@@ -1,0 +1,183 @@
+//! Distributed graph automata (Appendix A.3) — the Reiter \[43] model the
+//! paper contrasts with local certification.
+//!
+//! Nodes are **anonymous finite-state machines** updated in synchronous
+//! rounds for a constant number of rounds; a transition reads the node's
+//! state and the **set** (no counting!) of its neighbors' states; at the
+//! end, the *set* of states present in the graph is looked up in a family
+//! of accepting sets.
+//!
+//! The differences the paper lists against local certification are all
+//! visible in this API: no identifiers, finite state (vs. unbounded local
+//! computation), an arbitrary global acceptance function over the state
+//! set (vs. conjunction of local verdicts), constant rounds (vs. one),
+//! and — in the full model — alternating provers, of which we implement
+//! the deterministic core (enough to exhibit the contrasts; the
+//! alternation is a game on top of this semantics).
+
+use locert_graph::Graph;
+#[cfg(test)]
+use locert_graph::NodeId;
+use std::collections::BTreeSet;
+
+/// A deterministic distributed graph automaton.
+#[derive(Debug, Clone)]
+pub struct GraphAutomaton {
+    /// Number of states.
+    pub num_states: usize,
+    /// Initial state per input label (`init[label]`); anonymous nodes all
+    /// start from their label's state.
+    pub init: Vec<usize>,
+    /// Number of synchronous rounds.
+    pub rounds: usize,
+    /// `transition(state, neighbor-state set) -> state`.
+    pub transition: fn(usize, &BTreeSet<usize>) -> usize,
+    /// Accepting families: the run accepts iff the final set of states
+    /// present in the graph is one of these.
+    pub accepting_sets: Vec<BTreeSet<usize>>,
+}
+
+impl GraphAutomaton {
+    /// Runs the automaton on `g` with per-node input labels, returning
+    /// the final state of every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label has no initial state or a transition leaves the
+    /// state range.
+    pub fn run(&self, g: &Graph, labels: &[usize]) -> Vec<usize> {
+        assert_eq!(labels.len(), g.num_nodes(), "one label per node");
+        let mut states: Vec<usize> = labels.iter().map(|&l| self.init[l]).collect();
+        assert!(states.iter().all(|&q| q < self.num_states));
+        for _ in 0..self.rounds {
+            let next: Vec<usize> = g
+                .nodes()
+                .map(|v| {
+                    let nbr: BTreeSet<usize> =
+                        g.neighbors(v).iter().map(|&u| states[u.0]).collect();
+                    let q = (self.transition)(states[v.0], &nbr);
+                    assert!(q < self.num_states, "transition out of range");
+                    q
+                })
+                .collect();
+            states = next;
+        }
+        states
+    }
+
+    /// Whether the automaton accepts `(g, labels)`.
+    pub fn accepts(&self, g: &Graph, labels: &[usize]) -> bool {
+        let states = self.run(g, labels);
+        let present: BTreeSet<usize> = states.into_iter().collect();
+        self.accepting_sets.contains(&present)
+    }
+}
+
+/// "No vertex is isolated": one round; a node seeing an empty neighbor
+/// set moves to a flag state; accept iff the flag is absent.
+///
+/// (With anonymity and set-based views this is about the strongest
+/// degree-like property available — counting is impossible, which is
+/// exactly why the paper's certification model is stronger locally.)
+pub fn no_isolated_vertex() -> GraphAutomaton {
+    fn step(q: usize, nbrs: &BTreeSet<usize>) -> usize {
+        if q == 0 && nbrs.is_empty() {
+            1
+        } else {
+            q
+        }
+    }
+    GraphAutomaton {
+        num_states: 2,
+        init: vec![0],
+        rounds: 1,
+        transition: step,
+        accepting_sets: vec![BTreeSet::from([0])],
+    }
+}
+
+/// "Some `a`-labeled vertex is within distance `r` of a `b`-labeled one":
+/// `b`-ness floods for `r` rounds; accept iff a *met* state appears.
+/// Labels: 0 = plain, 1 = `a`, 2 = `b`.
+pub fn labels_within_distance(r: usize) -> GraphAutomaton {
+    // States: 0 plain, 1 a (not yet met), 2 b-flood, 3 met.
+    fn step(q: usize, nbrs: &BTreeSet<usize>) -> usize {
+        match q {
+            1 if nbrs.contains(&2) || nbrs.contains(&3) => 3,
+            0 if nbrs.contains(&2) => 2,
+            _ => q,
+        }
+    }
+    GraphAutomaton {
+        num_states: 4,
+        init: vec![0, 1, 2],
+        rounds: r,
+        transition: step,
+        // Accept any final set containing the met state.
+        accepting_sets: all_sets_containing(4, 3),
+    }
+}
+
+fn all_sets_containing(num_states: usize, must: usize) -> Vec<BTreeSet<usize>> {
+    let mut out = Vec::new();
+    for mask in 0..(1u32 << num_states) {
+        if mask & (1 << must) == 0 {
+            continue;
+        }
+        out.push(
+            (0..num_states)
+                .filter(|&q| mask & (1 << q) != 0)
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_graph::generators;
+    use locert_graph::traversal;
+
+    #[test]
+    fn isolated_vertex_detected() {
+        let a = no_isolated_vertex();
+        let g = generators::path(4);
+        assert!(a.accepts(&g, &[0; 4]));
+        let lonely = Graph::empty(3);
+        assert!(!a.accepts(&lonely, &[0; 3]));
+        let mixed = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(!a.accepts(&mixed, &[0; 3]));
+    }
+
+    #[test]
+    fn flooding_measures_distance() {
+        // Path with `a` at one end and `b` at the other: met iff
+        // rounds >= distance.
+        let n = 6;
+        let g = generators::path(n);
+        let mut labels = vec![0usize; n];
+        labels[0] = 1; // a
+        labels[n - 1] = 2; // b
+        let d = traversal::bfs_distances(&g, NodeId(n - 1))[0].unwrap();
+        for r in 1..=n {
+            let a = labels_within_distance(r);
+            assert_eq!(a.accepts(&g, &labels), r >= d, "r = {r}, d = {d}");
+        }
+    }
+
+    #[test]
+    fn anonymity_cannot_count() {
+        // The set-based view provably conflates stars of different sizes:
+        // the full runs of K_{1,2} and K_{1,5} produce identical state
+        // sets under ANY 1-round automaton (same initial states, and the
+        // hub sees the same *set* either way). Demonstrate with the
+        // isolated-vertex automaton.
+        let a = no_isolated_vertex();
+        let s2 = generators::star(3);
+        let s5 = generators::star(6);
+        let run2: BTreeSet<usize> = a.run(&s2, &[0; 3]).into_iter().collect();
+        let run5: BTreeSet<usize> = a.run(&s5, &[0; 6]).into_iter().collect();
+        assert_eq!(run2, run5);
+    }
+}

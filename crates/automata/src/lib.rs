@@ -1,0 +1,35 @@
+//! Automata substrate for MSO certification (Section 4 of the paper).
+//!
+//! Two automata families power Theorem 2.2:
+//!
+//! - **Word automata** ([`words`]) with the classical
+//!   Büchi–Elgot–Trakhtenbrot compiler from MSO-on-words to NFAs
+//!   ([`mso_words`]): the paper's warm-up, and the engine behind the
+//!   state-labeling certification of MSO properties on *path* graphs;
+//! - **Unranked–unordered tree automata with threshold counting guards**
+//!   ([`trees`]) — the paper's *unary ordering Presburger* (UOP) tree
+//!   automata \[Boneva–Talbot]: transitions inspect, for each state `q`,
+//!   how many children carry `q`, compared against constants. These
+//!   capture exactly MSO on the unordered unranked rooted trees the paper
+//!   certifies, and their runs are the constant-size certificates of
+//!   Theorem 2.2.
+//!
+//! A library of ready-made property automata lives in [`library`], each
+//! cross-validated against ground truth (direct combinatorial checks and
+//! the brute-force MSO evaluator of `locert-logic`). Two discussion
+//! appendices of the paper are also implemented: the LCL generalization
+//! to unbounded degrees via counting guards ([`lcl`], Appendix C.2) and
+//! Reiter's distributed graph automata ([`dga`], Appendix A.3).
+
+#![allow(clippy::needless_range_loop)]
+
+pub mod dga;
+pub mod lcl;
+pub mod library;
+pub mod mso_words;
+pub mod synthesis;
+pub mod trees;
+pub mod words;
+
+pub use trees::{CountAtom, Guard, LabeledTree, TreeAutomaton};
+pub use words::{Dfa, Nfa};

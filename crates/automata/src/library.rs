@@ -1,0 +1,455 @@
+//! Ready-made tree automata for MSO properties of rooted trees.
+//!
+//! Theorem 2.2's proof needs, for each MSO property, *an* automaton
+//! recognizing it; the certification scheme then labels nodes with an
+//! accepting run. This library supplies the automata used as workloads in
+//! experiment E1, each a handful of states with threshold guards, each
+//! cross-validated against a direct combinatorial ground truth:
+//!
+//! | automaton | property (of the rooted tree) | deterministic |
+//! |---|---|---|
+//! | [`height_at_most`] | height ≤ `c` (vertices on a root-leaf path) | yes |
+//! | [`has_perfect_matching`] | the tree has a perfect matching | yes |
+//! | [`max_children_at_most`] | every node has ≤ `d` children | yes |
+//! | [`all_internal_at_least`] | every internal node has ≥ `k` children | yes |
+//! | [`some_leaf_at_depth`] | some leaf sits at depth exactly `c` | no |
+//!
+//! All automata are over a single label (`num_labels = 1`).
+
+use crate::trees::{CountAtom, Guard, TreeAutomaton};
+
+fn mask(states: &[usize]) -> u64 {
+    states.iter().fold(0u64, |m, &q| m | (1u64 << q))
+}
+
+fn at_least(states: u64, count: usize) -> Guard {
+    Guard::AtLeast(CountAtom { states, count })
+}
+
+fn at_most(states: u64, count: usize) -> Guard {
+    Guard::AtMost(CountAtom { states, count })
+}
+
+fn and(a: Guard, b: Guard) -> Guard {
+    Guard::And(Box::new(a), Box::new(b))
+}
+
+/// "The tree has height at most `c`" (height = number of vertices on the
+/// longest root-to-leaf path; a single vertex has height 1).
+///
+/// States: `0..c` = "subtree height is `state + 1`", state `c` = reject
+/// sink. Deterministic and complete.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+pub fn height_at_most(c: usize) -> TreeAutomaton {
+    assert!(c >= 1, "height bound must be positive");
+    let num_states = c + 1;
+    let reject = c;
+    let all = mask(&(0..num_states).collect::<Vec<_>>());
+    let mut guards = Vec::with_capacity(num_states);
+    for h in 0..c {
+        // Subtree height h+1: no child of height ≥ h+1 (state ≥ h) nor
+        // reject, and (for h ≥ 1) at least one child of height exactly h
+        // (state h-1).
+        let too_tall = mask(&(h..=reject).collect::<Vec<_>>());
+        let g = if h == 0 {
+            at_most(all, 0)
+        } else {
+            and(at_most(too_tall, 0), at_least(mask(&[h - 1]), 1))
+        };
+        guards.push(vec![g]);
+    }
+    // Reject: some child is reject or has height ≥ c (state ≥ c-1 gives
+    // height ≥ c, so this node's height would exceed c).
+    let overflow = mask(&[c - 1, reject]);
+    guards.push(vec![at_least(overflow, 1)]);
+    let mut accepting = vec![true; num_states];
+    accepting[reject] = false;
+    TreeAutomaton::new(num_states, 1, guards, accepting).expect("well-formed")
+}
+
+/// "The tree has a perfect matching."
+///
+/// Classic greedy DP: state 0 = `U` (subtree minus its root is perfectly
+/// matched; the root needs its parent), state 1 = `M` (subtree is
+/// perfectly matched), state 2 = reject sink. A node is `M` iff exactly
+/// one child is `U` (the root matches it); `U` iff all children are `M`.
+/// Deterministic and complete; accept `{M}`.
+pub fn has_perfect_matching() -> TreeAutomaton {
+    let u = 0usize;
+    let _m = 1usize; // M state index, for reference.
+    let r = 2usize;
+    let guards = vec![
+        // U: no U child, no reject child.
+        vec![at_most(mask(&[u, r]), 0)],
+        // M: exactly one U child, no reject child.
+        vec![and(
+            and(at_least(mask(&[u]), 1), at_most(mask(&[u]), 1)),
+            at_most(mask(&[r]), 0),
+        )],
+        // Reject: two or more U children, or any reject child.
+        vec![Guard::Or(
+            Box::new(at_least(mask(&[u]), 2)),
+            Box::new(at_least(mask(&[r]), 1)),
+        )],
+    ];
+    TreeAutomaton::new(3, 1, guards, vec![false, true, false]).expect("well-formed")
+}
+
+/// "Every node has at most `d` children."
+///
+/// States: 0 = ok, 1 = reject sink. Deterministic and complete.
+pub fn max_children_at_most(d: usize) -> TreeAutomaton {
+    let all = mask(&[0, 1]);
+    let guards = vec![
+        vec![and(at_most(all, d), at_most(mask(&[1]), 0))],
+        vec![Guard::Or(
+            Box::new(at_least(all, d + 1)),
+            Box::new(at_least(mask(&[1]), 1)),
+        )],
+    ];
+    TreeAutomaton::new(2, 1, guards, vec![true, false]).expect("well-formed")
+}
+
+/// "Every internal (non-leaf) node has at least `k` children."
+///
+/// States: 0 = ok, 1 = reject sink. Deterministic and complete.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (trivially true; use a constant automaton).
+pub fn all_internal_at_least(k: usize) -> TreeAutomaton {
+    assert!(k >= 1, "use k >= 1");
+    let all = mask(&[0, 1]);
+    // Ok: leaf, or (≥ k children and no reject child).
+    let ok = Guard::Or(
+        Box::new(at_most(all, 0)),
+        Box::new(and(at_least(all, k), at_most(mask(&[1]), 0))),
+    );
+    // Reject: between 1 and k-1 children, or a reject child.
+    let bad = Guard::Or(
+        Box::new(and(at_least(all, 1), at_most(all, k - 1))),
+        Box::new(at_least(mask(&[1]), 1)),
+    );
+    TreeAutomaton::new(2, 1, vec![vec![ok], vec![bad]], vec![true, false]).expect("well-formed")
+}
+
+/// "All leaves sit at the same depth ≤ `c`" (the tree is *leaf-uniform*,
+/// e.g. a perfect k-ary tree).
+///
+/// States: `0..c` = "every leaf of this subtree is exactly `state` levels
+/// below me (state + 1 ≤ c levels of vertices)", state `c` = reject sink.
+/// Deterministic and complete.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+pub fn uniform_leaf_depth(c: usize) -> TreeAutomaton {
+    assert!(c >= 1, "depth budget must be positive");
+    let num_states = c + 1;
+    let reject = c;
+    let all = mask(&(0..num_states).collect::<Vec<_>>());
+    let mut guards = Vec::with_capacity(num_states);
+    for h in 0..c {
+        let g = if h == 0 {
+            // A leaf.
+            at_most(all, 0)
+        } else {
+            // Every child is uniform at h − 1: at least one child, and no
+            // child in any other state.
+            let other = all & !mask(&[h - 1]);
+            and(at_least(mask(&[h - 1]), 1), at_most(other, 0))
+        };
+        guards.push(vec![g]);
+    }
+    // Reject: children exist but are not all in one state h − 1 < c − 1…
+    // complement of the accepting guards: some child rejected, or
+    // children in ≥ 2 distinct states, or depth exhausted. Expressed as:
+    // NOT(leaf) and NOT(uniform at any level).
+    let mut accept_any = Guard::False;
+    for h in 0..c {
+        let g = if h == 0 {
+            at_most(all, 0)
+        } else {
+            let other = all & !mask(&[h - 1]);
+            and(at_least(mask(&[h - 1]), 1), at_most(other, 0))
+        };
+        accept_any = Guard::Or(Box::new(accept_any), Box::new(g));
+    }
+    guards.push(vec![Guard::Not(Box::new(accept_any))]);
+    let mut accepting = vec![true; num_states];
+    accepting[reject] = false;
+    TreeAutomaton::new(num_states, 1, guards, accepting).expect("well-formed")
+}
+
+/// "Some leaf sits at depth exactly `c`" (root depth 0) — a genuinely
+/// nondeterministic automaton: it guesses the witnessing leaf and threads
+/// a marked path to the root.
+///
+/// States: 0 = off-path, `1..=c+1` = "on the marked path, `state - 1`
+/// levels above the chosen leaf". Accepts when the root carries state
+/// `c + 1`.
+///
+/// # Panics
+///
+/// Panics if `c == 0` (the root itself; test `height == 1` instead) or
+/// `c > 62`.
+pub fn some_leaf_at_depth(c: usize) -> TreeAutomaton {
+    assert!((1..=62).contains(&c), "depth out of supported range");
+    let num_states = c + 2;
+    let on_states = mask(&(1..num_states).collect::<Vec<_>>());
+    let mut guards = Vec::with_capacity(num_states);
+    // Off: no on-path child (off subtrees contain no mark).
+    guards.push(vec![at_most(on_states, 0)]);
+    // On_0 (state 1): the chosen leaf.
+    guards.push(vec![Guard::leaf(num_states)]);
+    // On_i (state i+1, i >= 1): exactly one child On_{i-1}, no other
+    // on-path child.
+    for i in 1..=c {
+        let below = mask(&[i]); // state carrying On_{i-1}.
+        let others = on_states & !below;
+        guards.push(vec![and(
+            Guard::exactly(below, 1),
+            at_most(others, 0),
+        )]);
+    }
+    let mut accepting = vec![false; num_states];
+    accepting[c + 1] = true;
+    TreeAutomaton::new(num_states, 1, guards, accepting).expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::LabeledTree;
+    use locert_graph::{generators, Graph, NodeId, RootedTree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unlabeled(g: &Graph, root: usize) -> LabeledTree {
+        LabeledTree::unlabeled(RootedTree::from_tree(g, NodeId(root)).unwrap())
+    }
+
+    /// Ground truth: greedy perfect matching on rooted trees.
+    fn tree_has_pm(t: &LabeledTree) -> bool {
+        // Bottom-up: returns Some(unmatched?) or None if impossible.
+        let tree = t.tree();
+        let mut state = vec![false; tree.num_nodes()]; // true = unmatched (U)
+        for v in tree.postorder() {
+            let unmatched_children = tree
+                .children(v)
+                .iter()
+                .filter(|c| state[c.0])
+                .count();
+            match unmatched_children {
+                0 => state[v.0] = true,
+                1 => state[v.0] = false,
+                _ => return false,
+            }
+        }
+        !state[tree.root().0]
+    }
+
+    #[test]
+    fn height_automaton_matches_tree_height() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let g = generators::random_tree(1 + rand::RngExt::random_range(&mut rng, 0..12usize), &mut rng);
+            let t = unlabeled(&g, 0);
+            let h = t.tree().height() + 1;
+            for c in 1..=6 {
+                assert_eq!(
+                    height_at_most(c).accepts(&t),
+                    h <= c,
+                    "height {h} vs bound {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn height_automaton_is_deterministic() {
+        for c in 1..=4 {
+            assert!(height_at_most(c).is_deterministic(), "c = {c}");
+        }
+    }
+
+    #[test]
+    fn perfect_matching_matches_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = has_perfect_matching();
+        assert!(a.is_deterministic());
+        let mut seen_both = (false, false);
+        for _ in 0..60 {
+            let n = 1 + rand::RngExt::random_range(&mut rng, 0..10usize);
+            let g = generators::random_tree(n, &mut rng);
+            let t = unlabeled(&g, 0);
+            let expected = tree_has_pm(&t);
+            assert_eq!(a.accepts(&t), expected, "tree {g:?}");
+            if expected {
+                seen_both.0 = true;
+            } else {
+                seen_both.1 = true;
+            }
+        }
+        assert!(seen_both.0 && seen_both.1, "workload should cover both answers");
+    }
+
+    #[test]
+    fn perfect_matching_on_paths() {
+        let a = has_perfect_matching();
+        for n in 1..=8 {
+            let t = unlabeled(&generators::path(n), 0);
+            assert_eq!(a.accepts(&t), n % 2 == 0, "P_{n}");
+        }
+    }
+
+    #[test]
+    fn max_children_thresholds() {
+        let star = unlabeled(&generators::star(6), 0); // root has 5 children
+        assert!(!max_children_at_most(4).accepts(&star));
+        assert!(max_children_at_most(5).accepts(&star));
+        assert!(max_children_at_most(2).is_deterministic());
+        // Rerooting the star at a leaf: hub now has 4 children + parent.
+        let releaf = unlabeled(&generators::star(6), 1);
+        assert!(releaf.tree().children(NodeId(0)).len() == 4);
+        assert!(max_children_at_most(4).accepts(&releaf));
+    }
+
+    #[test]
+    fn internal_arity_lower_bound() {
+        let a = all_internal_at_least(2);
+        assert!(a.is_deterministic());
+        let bintree = unlabeled(&generators::complete_kary_tree(2, 3), 0);
+        assert!(a.accepts(&bintree));
+        let path = unlabeled(&generators::path(4), 0);
+        assert!(!a.accepts(&path));
+        let single = unlabeled(&Graph::empty(1), 0);
+        assert!(a.accepts(&single));
+    }
+
+    #[test]
+    fn leaf_depth_witness() {
+        let a = some_leaf_at_depth(2);
+        let star = unlabeled(&generators::star(5), 0);
+        assert!(!a.accepts(&star));
+        let spider = unlabeled(&generators::spider(3, 2), 0);
+        assert!(a.accepts(&spider));
+        let p4 = unlabeled(&generators::path(4), 0);
+        assert!(!a.accepts(&p4)); // only leaf at depth 3.
+        // Mixed: root 0 with leaves 1, 5 (depth 1) and chain 2-3-4 whose
+        // leaf 4 sits at depth 3 — no leaf at depth 2.
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (2, 3), (3, 4), (0, 5)]).unwrap();
+        let t = unlabeled(&g, 0);
+        assert!(!some_leaf_at_depth(1).is_deterministic());
+        assert!(some_leaf_at_depth(1).accepts(&t));
+        assert!(!some_leaf_at_depth(2).accepts(&t));
+        assert!(some_leaf_at_depth(3).accepts(&t));
+    }
+
+    #[test]
+    fn leaf_depth_exact_semantics() {
+        // Tree: root 0 with leaf 1 (depth 1) and chain 0-2-3-4 (leaf 4 at
+        // depth 3).
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let t = unlabeled(&g, 0);
+        assert!(some_leaf_at_depth(1).accepts(&t));
+        assert!(!some_leaf_at_depth(2).accepts(&t));
+        assert!(some_leaf_at_depth(3).accepts(&t));
+        assert!(!some_leaf_at_depth(4).accepts(&t));
+    }
+
+    #[test]
+    fn boolean_combinations_via_products() {
+        // height ≤ 3 AND perfect matching, on paths rooted at ends:
+        // P_2 (height 2, PM) yes; P_4 (height 4) no; P_3 (no PM) no.
+        let combo = height_at_most(3).intersect(&has_perfect_matching());
+        let yes = unlabeled(&generators::path(2), 0);
+        assert!(combo.accepts(&yes));
+        let no_height = unlabeled(&generators::path(4), 0);
+        assert!(!combo.accepts(&no_height));
+        let no_pm = unlabeled(&generators::path(3), 0);
+        assert!(!combo.accepts(&no_pm));
+        // Union: P_4 rooted at an end has height 4 ≤ 4... use P_5 instead.
+        let union = height_at_most(2).union_complete(&has_perfect_matching());
+        let p4 = unlabeled(&generators::path(4), 0); // height 4, has PM.
+        assert!(union.accepts(&p4));
+        let p5 = unlabeled(&generators::path(5), 0); // height 5, no PM.
+        assert!(!union.accepts(&p5));
+        let star = unlabeled(&generators::star(5), 0); // height 2, no PM.
+        assert!(union.accepts(&star));
+    }
+
+    #[test]
+    fn complement_of_height() {
+        let c = height_at_most(2).complement_deterministic();
+        let star = unlabeled(&generators::star(7), 0);
+        assert!(!c.accepts(&star));
+        let p3 = unlabeled(&generators::path(3), 0);
+        assert!(c.accepts(&p3));
+    }
+
+    #[test]
+    fn uniform_leaf_depth_recognizes_perfect_trees() {
+        let a = uniform_leaf_depth(5);
+        assert!(a.is_deterministic());
+        // Perfect binary trees: uniform.
+        for d in 0..=3 {
+            let t = unlabeled(&generators::complete_kary_tree(2, d), 0);
+            assert!(a.accepts(&t), "depth {d}");
+        }
+        // Stars: uniform (all leaves at depth 1).
+        assert!(a.accepts(&unlabeled(&generators::star(7), 0)));
+        // A path rooted at an end: uniform (single leaf).
+        assert!(a.accepts(&unlabeled(&generators::path(4), 0)));
+        // A path rooted at an inner vertex: leaves at depths 1 and 2.
+        assert!(!a.accepts(&unlabeled(&generators::path(4), 1)));
+        // Mixed depths.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        assert!(!a.accepts(&unlabeled(&g, 0)));
+        // Depth budget exceeded.
+        let tight = uniform_leaf_depth(2);
+        assert!(!tight.accepts(&unlabeled(&generators::path(4), 0)));
+        assert!(tight.accepts(&unlabeled(&generators::path(2), 0)));
+    }
+
+    #[test]
+    fn uniform_leaf_depth_ground_truth_random() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = uniform_leaf_depth(6);
+        for _ in 0..30 {
+            let n = 1 + rand::RngExt::random_range(&mut rng, 0..12usize);
+            let g = generators::random_tree(n, &mut rng);
+            let t = unlabeled(&g, 0);
+            let tree = t.tree();
+            let depths: std::collections::BTreeSet<usize> = g
+                .nodes()
+                .filter(|&v| tree.children(v).is_empty())
+                .map(|v| tree.depth(v))
+                .collect();
+            let expected = depths.len() == 1 && *depths.iter().next().unwrap() < 6
+                || (n == 1);
+            assert_eq!(a.accepts(&t), expected, "tree {g:?}");
+        }
+    }
+
+    #[test]
+    fn runs_extracted_for_all_library_automata() {
+        let g = generators::spider(2, 2);
+        let t = unlabeled(&g, 0);
+        for (name, a) in [
+            ("height", height_at_most(4)),
+            ("pm", has_perfect_matching()),
+            ("arity", max_children_at_most(3)),
+            ("internal", all_internal_at_least(1)),
+            ("leafdepth", some_leaf_at_depth(2)),
+        ] {
+            if a.accepts(&t) {
+                let run = a.accepting_run(&t).expect(name);
+                assert!(a.is_accepting_run(&t, &run), "{name}");
+            }
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! Unranked–unordered tree automata with threshold counting guards — the
+//! paper's *unary ordering Presburger* (UOP) tree automata \[7].
+//!
+//! A [`TreeAutomaton`] runs bottom-up over a [`LabeledTree`]: a run assigns
+//! a state to every node; the assignment is locally correct at a node with
+//! label `l` and state `q` when the guard `δ(q, l)` is satisfied by the
+//! *multiset of children states* — and guards can only compare, for a set
+//! of states `S`, the number of children carrying a state of `S` against
+//! constants ([`Guard`]). The tree is accepted when some run puts an
+//! accepting state at the root. By Boneva–Talbot (Proposition 8 of \[7],
+//! quoted as the engine of Theorem 2.2), these automata recognize exactly
+//! the MSO-definable sets of unordered unranked labeled rooted trees.
+//!
+//! The run itself is the certificate in the Theorem 2.2 scheme: each node
+//! can check its own guard by looking at its children's states.
+//!
+//! Counting is *capped*: every constant in a guard is at most
+//! [`TreeAutomaton::cap`], and count vectors saturate there — sound
+//! because `Σ min(xᵢ, C) ≥ c ⇔ Σ xᵢ ≥ c` whenever `c ≤ C`.
+
+use locert_graph::{NodeId, RootedTree};
+use std::collections::HashMap;
+
+/// One threshold atom: "the number of children whose state lies in
+/// `states` (a bitmask) compares against `count`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountAtom {
+    /// Bitmask of states counted together.
+    pub states: u64,
+    /// The threshold constant.
+    pub count: usize,
+}
+
+/// A boolean combination of threshold atoms over children-state counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// Always satisfied.
+    True,
+    /// Never satisfied.
+    False,
+    /// At least `count` children carry a state of `states`.
+    AtLeast(CountAtom),
+    /// At most `count` children carry a state of `states`.
+    AtMost(CountAtom),
+    /// Negation.
+    Not(Box<Guard>),
+    /// Conjunction.
+    And(Box<Guard>, Box<Guard>),
+    /// Disjunction.
+    Or(Box<Guard>, Box<Guard>),
+}
+
+impl Guard {
+    /// "Exactly `count` children carry a state of `states`."
+    pub fn exactly(states: u64, count: usize) -> Guard {
+        Guard::And(
+            Box::new(Guard::AtLeast(CountAtom { states, count })),
+            Box::new(Guard::AtMost(CountAtom { states, count })),
+        )
+    }
+
+    /// "No child at all" (leaf guard), given the total number of states.
+    pub fn leaf(num_states: usize) -> Guard {
+        Guard::AtMost(CountAtom {
+            states: mask_all(num_states),
+            count: 0,
+        })
+    }
+
+    /// Evaluates the guard against per-state children counts (uncapped;
+    /// sums saturate internally).
+    pub fn eval(&self, counts: &[usize]) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::False => false,
+            Guard::AtLeast(a) => set_count(counts, a.states) >= a.count,
+            Guard::AtMost(a) => set_count(counts, a.states) <= a.count,
+            Guard::Not(g) => !g.eval(counts),
+            Guard::And(a, b) => a.eval(counts) && b.eval(counts),
+            Guard::Or(a, b) => a.eval(counts) || b.eval(counts),
+        }
+    }
+
+    /// Largest constant appearing in the guard.
+    pub fn max_constant(&self) -> usize {
+        match self {
+            Guard::True | Guard::False => 0,
+            Guard::AtLeast(a) | Guard::AtMost(a) => a.count,
+            Guard::Not(g) => g.max_constant(),
+            Guard::And(a, b) | Guard::Or(a, b) => a.max_constant().max(b.max_constant()),
+        }
+    }
+
+    /// Largest state index referenced (None if no atom).
+    fn max_state(&self) -> Option<usize> {
+        match self {
+            Guard::True | Guard::False => None,
+            Guard::AtLeast(a) | Guard::AtMost(a) => {
+                if a.states == 0 {
+                    None
+                } else {
+                    Some(63 - a.states.leading_zeros() as usize)
+                }
+            }
+            Guard::Not(g) => g.max_state(),
+            Guard::And(a, b) | Guard::Or(a, b) => a.max_state().max(b.max_state()),
+        }
+    }
+
+    /// Rewrites every atom's state set through `f` (used by products).
+    fn map_states(&self, f: &impl Fn(u64) -> u64) -> Guard {
+        match self {
+            Guard::True => Guard::True,
+            Guard::False => Guard::False,
+            Guard::AtLeast(a) => Guard::AtLeast(CountAtom {
+                states: f(a.states),
+                count: a.count,
+            }),
+            Guard::AtMost(a) => Guard::AtMost(CountAtom {
+                states: f(a.states),
+                count: a.count,
+            }),
+            Guard::Not(g) => Guard::Not(Box::new(g.map_states(f))),
+            Guard::And(a, b) => Guard::And(
+                Box::new(a.map_states(f)),
+                Box::new(b.map_states(f)),
+            ),
+            Guard::Or(a, b) => Guard::Or(
+                Box::new(a.map_states(f)),
+                Box::new(b.map_states(f)),
+            ),
+        }
+    }
+}
+
+fn mask_all(num_states: usize) -> u64 {
+    if num_states >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << num_states) - 1
+    }
+}
+
+fn set_count(counts: &[usize], states: u64) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(q, _)| states & (1u64 << q) != 0)
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+/// A rooted tree whose nodes carry labels from `0..num_labels`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledTree {
+    tree: RootedTree,
+    labels: Vec<usize>,
+    num_labels: usize,
+}
+
+impl LabeledTree {
+    /// Pairs a rooted tree with labels.
+    ///
+    /// Returns `None` if `labels` has the wrong length or a label is out
+    /// of range.
+    pub fn new(tree: RootedTree, labels: Vec<usize>, num_labels: usize) -> Option<Self> {
+        if labels.len() != tree.num_nodes() || labels.iter().any(|&l| l >= num_labels) {
+            return None;
+        }
+        Some(LabeledTree {
+            tree,
+            labels,
+            num_labels,
+        })
+    }
+
+    /// An unlabeled tree (every node labeled 0).
+    pub fn unlabeled(tree: RootedTree) -> Self {
+        let n = tree.num_nodes();
+        LabeledTree {
+            tree,
+            labels: vec![0; n],
+            num_labels: 1,
+        }
+    }
+
+    /// The underlying rooted tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The label of node `v`.
+    pub fn label(&self, v: NodeId) -> usize {
+        self.labels[v.0]
+    }
+
+    /// Number of distinct labels.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+}
+
+/// An unranked–unordered bottom-up tree automaton with counting guards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeAutomaton {
+    num_states: usize,
+    num_labels: usize,
+    /// `guards[state][label]`.
+    guards: Vec<Vec<Guard>>,
+    accepting: Vec<bool>,
+}
+
+impl TreeAutomaton {
+    /// Builds an automaton, validating dimensions and state references.
+    ///
+    /// Returns `None` on ragged guard tables, out-of-range states in
+    /// atoms, or more than 64 states.
+    pub fn new(
+        num_states: usize,
+        num_labels: usize,
+        guards: Vec<Vec<Guard>>,
+        accepting: Vec<bool>,
+    ) -> Option<Self> {
+        if num_states == 0
+            || num_states > 64
+            || guards.len() != num_states
+            || accepting.len() != num_states
+        {
+            return None;
+        }
+        for row in &guards {
+            if row.len() != num_labels {
+                return None;
+            }
+            for g in row {
+                if let Some(ms) = g.max_state() {
+                    if ms >= num_states {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(TreeAutomaton {
+            num_states,
+            num_labels,
+            guards,
+            accepting,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Whether `state` accepts at the root.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The guard of `(state, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn guard(&self, state: usize, label: usize) -> &Guard {
+        &self.guards[state][label]
+    }
+
+    /// The saturation cap: all guard constants are `≤ cap`, and counting
+    /// to `cap` decides every atom.
+    pub fn cap(&self) -> usize {
+        self.guards
+            .iter()
+            .flatten()
+            .map(Guard::max_constant)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks a full run: `states[v]` for every node, local correctness at
+    /// every node, acceptance at the root.
+    pub fn is_accepting_run(&self, t: &LabeledTree, states: &[usize]) -> bool {
+        if states.len() != t.tree().num_nodes() || t.num_labels() > self.num_labels {
+            return false;
+        }
+        if states.iter().any(|&q| q >= self.num_states) {
+            return false;
+        }
+        for v in 0..states.len() {
+            let v = NodeId(v);
+            let mut counts = vec![0usize; self.num_states];
+            for &c in t.tree().children(v) {
+                counts[states[c.0]] += 1;
+            }
+            if !self.guards[states[v.0]][t.label(v)].eval(&counts) {
+                return false;
+            }
+        }
+        self.accepting[states[t.tree().root().0]]
+    }
+
+    /// The set of feasible states for every node (bottom-up
+    /// nondeterministic evaluation), as bitmasks.
+    ///
+    /// A state `q` is feasible at node `v` if the children can each pick a
+    /// feasible state such that `δ(q, label(v))` holds on the resulting
+    /// counts. The existential choice is decided by a DP over capped count
+    /// vectors.
+    pub fn feasible_states(&self, t: &LabeledTree) -> Vec<u64> {
+        let n = t.tree().num_nodes();
+        let cap = self.cap();
+        let mut feasible = vec![0u64; n];
+        for v in t.tree().postorder() {
+            let kids = t.tree().children(v);
+            let vectors = self.reachable_count_vectors(kids, &feasible, cap);
+            let label = t.label(v);
+            for q in 0..self.num_states {
+                if vectors
+                    .iter()
+                    .any(|vec| self.guards[q][label].eval(&to_usize(vec)))
+                {
+                    feasible[v.0] |= 1u64 << q;
+                }
+            }
+        }
+        feasible
+    }
+
+    /// All capped count vectors reachable by assigning each child one of
+    /// its feasible states.
+    fn reachable_count_vectors(
+        &self,
+        kids: &[NodeId],
+        feasible: &[u64],
+        cap: usize,
+    ) -> Vec<Vec<u8>> {
+        let mut set: Vec<Vec<u8>> = vec![vec![0u8; self.num_states]];
+        for &c in kids {
+            let mut next: std::collections::HashSet<Vec<u8>> =
+                std::collections::HashSet::new();
+            for vec in &set {
+                for q in 0..self.num_states {
+                    if feasible[c.0] & (1u64 << q) != 0 {
+                        let mut w = vec.clone();
+                        w[q] = w[q].saturating_add(1).min(cap as u8 + 1);
+                        next.insert(w);
+                    }
+                }
+            }
+            set = next.into_iter().collect();
+            if set.is_empty() {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Whether the automaton accepts `t`.
+    pub fn accepts(&self, t: &LabeledTree) -> bool {
+        let feasible = self.feasible_states(t);
+        let root = t.tree().root();
+        (0..self.num_states)
+            .any(|q| feasible[root.0] & (1u64 << q) != 0 && self.accepting[q])
+    }
+
+    /// An accepting run (state per node), if one exists. This is exactly
+    /// the certificate of Theorem 2.2.
+    pub fn accepting_run(&self, t: &LabeledTree) -> Option<Vec<usize>> {
+        let n = t.tree().num_nodes();
+        let feasible = self.feasible_states(t);
+        let root = t.tree().root();
+        let root_state = (0..self.num_states)
+            .find(|&q| feasible[root.0] & (1u64 << q) != 0 && self.accepting[q])?;
+        let mut states = vec![usize::MAX; n];
+        states[root.0] = root_state;
+        // Top-down: each node's state is fixed; choose children states.
+        let mut order = t.tree().postorder();
+        order.reverse(); // parents before children.
+        let cap = self.cap();
+        for v in order {
+            let q = states[v.0];
+            debug_assert_ne!(q, usize::MAX);
+            let kids = t.tree().children(v);
+            if kids.is_empty() {
+                continue;
+            }
+            let choice = self
+                .choose_child_states(kids, &feasible, &self.guards[q][t.label(v)], cap)
+                .expect("feasibility promised a satisfying choice");
+            for (i, &c) in kids.iter().enumerate() {
+                states[c.0] = choice[i];
+            }
+        }
+        debug_assert!(self.is_accepting_run(t, &states));
+        Some(states)
+    }
+
+    /// Finds one per-child state choice satisfying `guard`, via the count
+    /// DP with parent pointers.
+    fn choose_child_states(
+        &self,
+        kids: &[NodeId],
+        feasible: &[u64],
+        guard: &Guard,
+        cap: usize,
+    ) -> Option<Vec<usize>> {
+        // layer i: map vector -> (prev vector, chosen state).
+        type Layer = HashMap<Vec<u8>, (Vec<u8>, usize)>;
+        let mut layers: Vec<Layer> = Vec::new();
+        let zero = vec![0u8; self.num_states];
+        let mut current: Vec<Vec<u8>> = vec![zero.clone()];
+        for &c in kids {
+            let mut layer = HashMap::new();
+            for vec in &current {
+                for q in 0..self.num_states {
+                    if feasible[c.0] & (1u64 << q) != 0 {
+                        let mut w = vec.clone();
+                        w[q] = w[q].saturating_add(1).min(cap as u8 + 1);
+                        layer.entry(w).or_insert_with(|| (vec.clone(), q));
+                    }
+                }
+            }
+            current = layer.keys().cloned().collect();
+            layers.push(layer);
+        }
+        let target = current
+            .into_iter()
+            .find(|vec| guard.eval(&to_usize(vec)))?;
+        // Walk back the layers.
+        let mut choice = vec![usize::MAX; kids.len()];
+        let mut cur = target;
+        for i in (0..kids.len()).rev() {
+            let (prev, q) = layers[i].get(&cur)?.clone();
+            choice[i] = q;
+            cur = prev;
+        }
+        Some(choice)
+    }
+
+    /// Product automaton; `combine` merges acceptance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if label counts differ or the product exceeds 64 states.
+    pub fn product(&self, other: &TreeAutomaton, combine: impl Fn(bool, bool) -> bool) -> TreeAutomaton {
+        assert_eq!(self.num_labels, other.num_labels, "label alphabet mismatch");
+        let n = self.num_states * other.num_states;
+        assert!(n <= 64, "product exceeds 64 states");
+        let code = |a: usize, b: usize| a * other.num_states + b;
+        // Atom rewriting: a set S of A-states becomes the set of product
+        // states whose A-component is in S (and symmetrically).
+        let lift_a = |s: u64| {
+            let mut out = 0u64;
+            for a in 0..self.num_states {
+                if s & (1u64 << a) != 0 {
+                    for b in 0..other.num_states {
+                        out |= 1u64 << code(a, b);
+                    }
+                }
+            }
+            out
+        };
+        let lift_b = |s: u64| {
+            let mut out = 0u64;
+            for b in 0..other.num_states {
+                if s & (1u64 << b) != 0 {
+                    for a in 0..self.num_states {
+                        out |= 1u64 << code(a, b);
+                    }
+                }
+            }
+            out
+        };
+        let mut guards = Vec::with_capacity(n);
+        let mut accepting = vec![false; n];
+        for a in 0..self.num_states {
+            for b in 0..other.num_states {
+                let mut row = Vec::with_capacity(self.num_labels);
+                for l in 0..self.num_labels {
+                    row.push(Guard::And(
+                        Box::new(self.guards[a][l].map_states(&lift_a)),
+                        Box::new(other.guards[b][l].map_states(&lift_b)),
+                    ));
+                }
+                guards.push(row);
+                accepting[code(a, b)] = combine(self.accepting[a], other.accepting[b]);
+            }
+        }
+        TreeAutomaton {
+            num_states: n,
+            num_labels: self.num_labels,
+            guards,
+            accepting,
+        }
+    }
+
+    /// Intersection of the recognized tree languages.
+    pub fn intersect(&self, other: &TreeAutomaton) -> TreeAutomaton {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Union of the recognized tree languages.
+    ///
+    /// Correct when both automata are complete (every tree has at least
+    /// one run in each) — which [`TreeAutomaton::is_deterministic`]
+    /// automata are; for incomplete nondeterministic automata use
+    /// completion first.
+    pub fn union_complete(&self, other: &TreeAutomaton) -> TreeAutomaton {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Complement by flipping acceptance. **Only sound for deterministic
+    /// complete automata** (checked in debug builds when feasible).
+    pub fn complement_deterministic(&self) -> TreeAutomaton {
+        let mut c = self.clone();
+        for a in &mut c.accepting {
+            *a = !*a;
+        }
+        c
+    }
+
+    /// Whether the automaton is deterministic and complete over *all*
+    /// capped count vectors: for every label and every capped vector,
+    /// exactly one state's guard holds.
+    ///
+    /// This is stronger than determinism on reachable configurations but
+    /// is exactly the discipline the [`crate::library`] automata follow,
+    /// and it licenses [`TreeAutomaton::complement_deterministic`] and
+    /// [`TreeAutomaton::union_complete`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration `(cap+2)^{num_states}` exceeds `10^7`
+    /// vectors.
+    pub fn is_deterministic(&self) -> bool {
+        let cap = self.cap();
+        let base = cap + 2;
+        let total = (base as f64).powi(self.num_states as i32);
+        assert!(total <= 1e7, "determinism check domain too large");
+        let mut vec = vec![0usize; self.num_states];
+        loop {
+            for l in 0..self.num_labels {
+                let holds = (0..self.num_states)
+                    .filter(|&q| self.guards[q][l].eval(&vec))
+                    .count();
+                if holds != 1 {
+                    return false;
+                }
+            }
+            // Increment the mixed-radix vector.
+            let mut i = 0;
+            loop {
+                if i == self.num_states {
+                    return true;
+                }
+                vec[i] += 1;
+                if vec[i] < base {
+                    break;
+                }
+                vec[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+fn to_usize(v: &[u8]) -> Vec<usize> {
+    v.iter().map(|&x| x as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_graph::{generators, Graph};
+
+    fn rooted(g: &Graph, r: usize) -> RootedTree {
+        RootedTree::from_tree(g, NodeId(r)).unwrap()
+    }
+
+    /// Single-state automaton accepting every tree.
+    fn accept_all() -> TreeAutomaton {
+        TreeAutomaton::new(1, 1, vec![vec![Guard::True]], vec![true]).unwrap()
+    }
+
+    /// Two-state automaton: state 0 = leaf, state 1 = internal.
+    fn leaf_or_internal() -> TreeAutomaton {
+        let all = mask_all(2);
+        TreeAutomaton::new(
+            2,
+            1,
+            vec![
+                vec![Guard::leaf(2)],
+                vec![Guard::AtLeast(CountAtom {
+                    states: all,
+                    count: 1,
+                })],
+            ],
+            vec![false, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(TreeAutomaton::new(0, 1, vec![], vec![]).is_none());
+        assert!(TreeAutomaton::new(1, 1, vec![vec![]], vec![true]).is_none());
+        assert!(TreeAutomaton::new(
+            1,
+            1,
+            vec![vec![Guard::AtLeast(CountAtom { states: 1 << 5, count: 1 })]],
+            vec![true]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        let t = LabeledTree::unlabeled(rooted(&generators::star(5), 0));
+        assert!(accept_all().accepts(&t));
+    }
+
+    #[test]
+    fn leaf_or_internal_classifies_roots() {
+        let a = leaf_or_internal();
+        let single = LabeledTree::unlabeled(rooted(&Graph::empty(1), 0));
+        assert!(!a.accepts(&single)); // root is a leaf: state 0, rejecting.
+        let star = LabeledTree::unlabeled(rooted(&generators::star(4), 0));
+        assert!(a.accepts(&star));
+    }
+
+    #[test]
+    fn feasible_states_and_run_agree() {
+        let a = leaf_or_internal();
+        let t = LabeledTree::unlabeled(rooted(&generators::path(5), 0));
+        let run = a.accepting_run(&t).unwrap();
+        assert!(a.is_accepting_run(&t, &run));
+        // Leaves get state 0, internals state 1.
+        assert_eq!(run[4], 0);
+        assert_eq!(run[0], 1);
+    }
+
+    #[test]
+    fn is_accepting_run_rejects_corrupted_runs() {
+        let a = leaf_or_internal();
+        let t = LabeledTree::unlabeled(rooted(&generators::path(3), 0));
+        let mut run = a.accepting_run(&t).unwrap();
+        run[1] = 0; // middle vertex forged as leaf.
+        assert!(!a.is_accepting_run(&t, &run));
+        // Wrong length.
+        assert!(!a.is_accepting_run(&t, &[1, 1]));
+        // Out-of-range state.
+        assert!(!a.is_accepting_run(&t, &[7, 0, 0]));
+    }
+
+    #[test]
+    fn guard_eval_thresholds() {
+        let g = Guard::exactly(0b01, 2);
+        assert!(g.eval(&[2, 5]));
+        assert!(!g.eval(&[1, 0]));
+        assert!(!g.eval(&[3, 0]));
+        let h = Guard::Or(
+            Box::new(Guard::AtLeast(CountAtom { states: 0b10, count: 1 })),
+            Box::new(Guard::AtMost(CountAtom { states: 0b11, count: 0 })),
+        );
+        assert!(h.eval(&[0, 1]));
+        assert!(h.eval(&[0, 0]));
+        assert!(!h.eval(&[1, 0]));
+    }
+
+    #[test]
+    fn product_intersection() {
+        // accept_all ∩ leaf_or_internal ≡ leaf_or_internal.
+        let p = accept_all().intersect(&leaf_or_internal());
+        for g in [generators::star(4), generators::path(6)] {
+            let t = LabeledTree::unlabeled(rooted(&g, 0));
+            assert_eq!(p.accepts(&t), leaf_or_internal().accepts(&t));
+        }
+    }
+
+    #[test]
+    fn deterministic_complement() {
+        let a = leaf_or_internal();
+        assert!(a.is_deterministic());
+        let c = a.complement_deterministic();
+        let single = LabeledTree::unlabeled(rooted(&Graph::empty(1), 0));
+        assert!(c.accepts(&single));
+        let star = LabeledTree::unlabeled(rooted(&generators::star(4), 0));
+        assert!(!c.accepts(&star));
+    }
+
+    #[test]
+    fn nondeterministic_automaton_guessing() {
+        // Accepts trees with some leaf at depth exactly 2 below the root:
+        // states: 0 = Off, 1 = On0 (chosen leaf), 2 = On1, 3 = On2 (root).
+        let off = 0u64;
+        let _ = off;
+        let guards = vec![
+            // Off: all children Off or On-chains not ending here — children
+            // must all be Off (the marked path is unique and goes through
+            // one chain).
+            vec![Guard::AtMost(CountAtom { states: 0b1110, count: 0 })],
+            // On0: a leaf.
+            vec![Guard::leaf(4)],
+            // On1: exactly one On0 child, no other On.
+            vec![Guard::And(
+                Box::new(Guard::exactly(0b0010, 1)),
+                Box::new(Guard::AtMost(CountAtom { states: 0b1100, count: 0 })),
+            )],
+            // On2: exactly one On1 child, no other On.
+            vec![Guard::And(
+                Box::new(Guard::exactly(0b0100, 1)),
+                Box::new(Guard::AtMost(CountAtom { states: 0b1010, count: 0 })),
+            )],
+        ];
+        let a = TreeAutomaton::new(4, 1, guards, vec![false, false, false, true]).unwrap();
+        // Star: all leaves at depth 1 → reject.
+        let star = LabeledTree::unlabeled(rooted(&generators::star(5), 0));
+        assert!(!a.accepts(&star));
+        // Path of 3 rooted at an end: leaf at depth 2 → accept.
+        let p3 = LabeledTree::unlabeled(rooted(&generators::path(3), 0));
+        assert!(a.accepts(&p3));
+        // Path of 4 rooted at an end: single leaf at depth 3 → reject.
+        let p4 = LabeledTree::unlabeled(rooted(&generators::path(4), 0));
+        assert!(!a.accepts(&p4));
+        // Spider with legs of length 2: accept, and a run exists.
+        let sp = LabeledTree::unlabeled(rooted(&generators::spider(3, 2), 0));
+        assert!(a.accepts(&sp));
+        let run = a.accepting_run(&sp).unwrap();
+        assert!(a.is_accepting_run(&sp, &run));
+    }
+
+    #[test]
+    fn labels_affect_acceptance() {
+        // Accept iff the root's label is 1 (guards: state 0 only from
+        // label-0 nodes, state 1 only from label-1 nodes).
+        let guards = vec![
+            vec![Guard::True, Guard::False],
+            vec![Guard::False, Guard::True],
+        ];
+        let a = TreeAutomaton::new(2, 2, guards, vec![false, true]).unwrap();
+        let tree = rooted(&generators::star(3), 0);
+        let t1 = LabeledTree::new(tree.clone(), vec![1, 0, 0], 2).unwrap();
+        assert!(a.accepts(&t1));
+        let t0 = LabeledTree::new(tree, vec![0, 1, 1], 2).unwrap();
+        assert!(!a.accepts(&t0));
+    }
+
+    #[test]
+    fn labeled_tree_validation() {
+        let tree = rooted(&generators::path(3), 0);
+        assert!(LabeledTree::new(tree.clone(), vec![0, 1], 2).is_none());
+        assert!(LabeledTree::new(tree.clone(), vec![0, 1, 5], 2).is_none());
+        assert!(LabeledTree::new(tree, vec![0, 1, 1], 2).is_some());
+    }
+
+    #[test]
+    fn cap_saturation_is_sound() {
+        // Guard "at least 3 children in state 0" on a node with many
+        // children: capped counting must still fire.
+        let g = Guard::AtLeast(CountAtom { states: 0b1, count: 3 });
+        let a = TreeAutomaton::new(
+            2,
+            1,
+            vec![vec![Guard::leaf(2)], vec![g]],
+            vec![false, true],
+        )
+        .unwrap();
+        let big_star = LabeledTree::unlabeled(rooted(&generators::star(10), 0));
+        assert!(a.accepts(&big_star));
+        let small_star = LabeledTree::unlabeled(rooted(&generators::star(3), 0));
+        assert!(!a.accepts(&small_star));
+    }
+}

@@ -1,0 +1,729 @@
+//! Finite word automata: DFAs, NFAs, and the boolean/closure toolbox.
+//!
+//! Words are slices of symbols `&[usize]` over an alphabet `0..alphabet`.
+//! The toolbox implements everything the Büchi–Elgot–Trakhtenbrot compiler
+//! ([`crate::mso_words`]) needs: product, union, complement, subset-
+//! construction determinization, Moore minimization, emptiness, and
+//! language equivalence.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A deterministic finite automaton.
+///
+/// # Example
+///
+/// ```
+/// use locert_automata::Dfa;
+///
+/// // Even number of 1s over {0, 1}.
+/// let dfa = Dfa::new(2, 2, 0, vec![true, false], vec![
+///     vec![0, 1],
+///     vec![1, 0],
+/// ]).unwrap();
+/// assert!(dfa.accepts(&[1, 0, 1]));
+/// assert!(!dfa.accepts(&[1, 0, 0]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    num_states: usize,
+    alphabet: usize,
+    start: usize,
+    accepting: Vec<bool>,
+    /// `transitions[state][symbol] = next state`.
+    transitions: Vec<Vec<usize>>,
+}
+
+impl Dfa {
+    /// Builds a DFA, validating shapes and ranges.
+    ///
+    /// Returns `None` if the transition table is ragged, a target state is
+    /// out of range, `start` is out of range, or `accepting` has the wrong
+    /// length.
+    pub fn new(
+        num_states: usize,
+        alphabet: usize,
+        start: usize,
+        accepting: Vec<bool>,
+        transitions: Vec<Vec<usize>>,
+    ) -> Option<Self> {
+        if start >= num_states
+            || accepting.len() != num_states
+            || transitions.len() != num_states
+        {
+            return None;
+        }
+        for row in &transitions {
+            if row.len() != alphabet || row.iter().any(|&t| t >= num_states) {
+                return None;
+            }
+        }
+        Some(Dfa {
+            num_states,
+            alphabet,
+            start,
+            accepting,
+            transitions,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The successor of `state` on `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `symbol` is out of range.
+    pub fn step(&self, state: usize, symbol: usize) -> usize {
+        self.transitions[state][symbol]
+    }
+
+    /// The state reached from the start on `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol is out of range.
+    pub fn run(&self, word: &[usize]) -> usize {
+        word.iter().fold(self.start, |q, &a| self.step(q, a))
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        self.accepting[self.run(word)]
+    }
+
+    /// The complement DFA (accepts exactly the rejected words).
+    pub fn complement(&self) -> Dfa {
+        let mut c = self.clone();
+        for a in &mut c.accepting {
+            *a = !*a;
+        }
+        c
+    }
+
+    /// Product DFA accepting the intersection of the two languages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Product DFA accepting the union of the two languages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    fn product(&self, other: &Dfa, combine: impl Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let n = self.num_states * other.num_states;
+        let code = |a: usize, b: usize| a * other.num_states + b;
+        let mut transitions = vec![vec![0; self.alphabet]; n];
+        let mut accepting = vec![false; n];
+        for a in 0..self.num_states {
+            for b in 0..other.num_states {
+                accepting[code(a, b)] = combine(self.accepting[a], other.accepting[b]);
+                for s in 0..self.alphabet {
+                    transitions[code(a, b)][s] =
+                        code(self.transitions[a][s], other.transitions[b][s]);
+                }
+            }
+        }
+        Dfa {
+            num_states: n,
+            alphabet: self.alphabet,
+            start: code(self.start, other.start),
+            accepting,
+            transitions,
+        }
+    }
+
+    /// Whether the language is empty (no reachable accepting state).
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.num_states];
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start] = true;
+        while let Some(q) = queue.pop_front() {
+            if self.accepting[q] {
+                return false;
+            }
+            for s in 0..self.alphabet {
+                let t = self.transitions[q][s];
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted word, if any.
+    pub fn shortest_accepted(&self) -> Option<Vec<usize>> {
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; self.num_states];
+        let mut seen = vec![false; self.num_states];
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start] = true;
+        let mut hit = None;
+        'bfs: while let Some(q) = queue.pop_front() {
+            if self.accepting[q] {
+                hit = Some(q);
+                break 'bfs;
+            }
+            for s in 0..self.alphabet {
+                let t = self.transitions[q][s];
+                if !seen[t] {
+                    seen[t] = true;
+                    pred[t] = Some((q, s));
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut q = hit?;
+        let mut word = Vec::new();
+        while let Some((p, s)) = pred[q] {
+            word.push(s);
+            q = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Whether the two DFAs accept the same language (via symmetric
+    /// difference emptiness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        let a_not_b = self.intersect(&other.complement());
+        let b_not_a = other.intersect(&self.complement());
+        a_not_b.is_empty() && b_not_a.is_empty()
+    }
+
+    /// Moore minimization: merges indistinguishable states and drops
+    /// unreachable ones.
+    pub fn minimize(&self) -> Dfa {
+        // Restrict to reachable states first.
+        let mut reach = vec![false; self.num_states];
+        let mut queue = VecDeque::from([self.start]);
+        reach[self.start] = true;
+        while let Some(q) = queue.pop_front() {
+            for s in 0..self.alphabet {
+                let t = self.transitions[q][s];
+                if !reach[t] {
+                    reach[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        let reachable: Vec<usize> = (0..self.num_states).filter(|&q| reach[q]).collect();
+        // Initial partition by acceptance; refine until stable.
+        let mut class = vec![usize::MAX; self.num_states];
+        for &q in &reachable {
+            class[q] = usize::from(self.accepting[q]);
+        }
+        loop {
+            // Signature: (class, classes of successors).
+            let mut sig_to_new: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut new_class = vec![usize::MAX; self.num_states];
+            for &q in &reachable {
+                let sig = (
+                    class[q],
+                    (0..self.alphabet)
+                        .map(|s| class[self.transitions[q][s]])
+                        .collect::<Vec<_>>(),
+                );
+                let next = sig_to_new.len();
+                let c = *sig_to_new.entry(sig).or_insert(next);
+                new_class[q] = c;
+            }
+            let stable = reachable.iter().all(|&q| new_class[q] == class[q])
+                || sig_to_new.len()
+                    == reachable
+                        .iter()
+                        .map(|&q| class[q])
+                        .collect::<BTreeSet<_>>()
+                        .len();
+            class = new_class;
+            if stable {
+                break;
+            }
+        }
+        let num_classes = reachable
+            .iter()
+            .map(|&q| class[q])
+            .collect::<BTreeSet<_>>()
+            .len();
+        let mut transitions = vec![vec![0; self.alphabet]; num_classes];
+        let mut accepting = vec![false; num_classes];
+        for &q in &reachable {
+            let c = class[q];
+            accepting[c] = self.accepting[q];
+            for s in 0..self.alphabet {
+                transitions[c][s] = class[self.transitions[q][s]];
+            }
+        }
+        Dfa {
+            num_states: num_classes,
+            alphabet: self.alphabet,
+            start: class[self.start],
+            accepting,
+            transitions,
+        }
+    }
+}
+
+/// A nondeterministic finite automaton (multiple start states, no
+/// ε-transitions — the MSO compiler never needs them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nfa {
+    num_states: usize,
+    alphabet: usize,
+    start: BTreeSet<usize>,
+    accepting: Vec<bool>,
+    /// `transitions[state][symbol] = set of successors`.
+    transitions: Vec<Vec<BTreeSet<usize>>>,
+}
+
+impl Nfa {
+    /// Builds an NFA, validating shapes and ranges (see [`Dfa::new`]).
+    pub fn new(
+        num_states: usize,
+        alphabet: usize,
+        start: BTreeSet<usize>,
+        accepting: Vec<bool>,
+        transitions: Vec<Vec<BTreeSet<usize>>>,
+    ) -> Option<Self> {
+        if accepting.len() != num_states
+            || transitions.len() != num_states
+            || start.iter().any(|&q| q >= num_states)
+        {
+            return None;
+        }
+        for row in &transitions {
+            if row.len() != alphabet
+                || row.iter().any(|set| set.iter().any(|&t| t >= num_states))
+            {
+                return None;
+            }
+        }
+        Some(Nfa {
+            num_states,
+            alphabet,
+            start,
+            accepting,
+            transitions,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// The successor set of `state` on `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `symbol` is out of range.
+    pub fn successors(&self, state: usize, symbol: usize) -> &BTreeSet<usize> {
+        &self.transitions[state][symbol]
+    }
+
+    /// The start-state set.
+    pub fn start_states(&self) -> &BTreeSet<usize> {
+        &self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// Whether the NFA accepts `word`.
+    pub fn accepts(&self, word: &[usize]) -> bool {
+        let mut current = self.start.clone();
+        for &a in word {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                next.extend(self.transitions[q][a].iter().copied());
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.accepting[q])
+    }
+
+    /// Subset-construction determinization (reachable subsets only).
+    pub fn determinize(&self) -> Dfa {
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = vec![self.start.clone()];
+        index.insert(self.start.clone(), 0);
+        let mut transitions: Vec<Vec<usize>> = Vec::new();
+        let mut i = 0;
+        while i < subsets.len() {
+            let cur = subsets[i].clone();
+            let mut row = Vec::with_capacity(self.alphabet);
+            for a in 0..self.alphabet {
+                let mut next = BTreeSet::new();
+                for &q in &cur {
+                    next.extend(self.transitions[q][a].iter().copied());
+                }
+                let id = *index.entry(next.clone()).or_insert_with(|| {
+                    subsets.push(next);
+                    subsets.len() - 1
+                });
+                row.push(id);
+            }
+            transitions.push(row);
+            i += 1;
+        }
+        let accepting = subsets
+            .iter()
+            .map(|s| s.iter().any(|&q| self.accepting[q]))
+            .collect();
+        Dfa {
+            num_states: subsets.len(),
+            alphabet: self.alphabet,
+            start: 0,
+            accepting,
+            transitions,
+        }
+    }
+
+    /// Union of two NFAs (disjoint juxtaposition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let off = self.num_states;
+        let mut transitions = self.transitions.clone();
+        for row in &other.transitions {
+            transitions.push(
+                row.iter()
+                    .map(|set| set.iter().map(|&q| q + off).collect())
+                    .collect(),
+            );
+        }
+        let mut start = self.start.clone();
+        start.extend(other.start.iter().map(|&q| q + off));
+        let mut accepting = self.accepting.clone();
+        accepting.extend(other.accepting.iter().copied());
+        Nfa {
+            num_states: self.num_states + other.num_states,
+            alphabet: self.alphabet,
+            start,
+            accepting,
+            transitions,
+        }
+    }
+
+    /// Product NFA for the intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the alphabets differ.
+    pub fn intersect(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let code = |a: usize, b: usize| a * other.num_states + b;
+        let n = self.num_states * other.num_states;
+        let mut transitions = vec![vec![BTreeSet::new(); self.alphabet]; n];
+        let mut accepting = vec![false; n];
+        for a in 0..self.num_states {
+            for b in 0..other.num_states {
+                accepting[code(a, b)] = self.accepting[a] && other.accepting[b];
+                for s in 0..self.alphabet {
+                    let mut set = BTreeSet::new();
+                    for &ta in &self.transitions[a][s] {
+                        for &tb in &other.transitions[b][s] {
+                            set.insert(code(ta, tb));
+                        }
+                    }
+                    transitions[code(a, b)][s] = set;
+                }
+            }
+        }
+        let start = self
+            .start
+            .iter()
+            .flat_map(|&a| other.start.iter().map(move |&b| code(a, b)))
+            .collect();
+        Nfa {
+            num_states: n,
+            alphabet: self.alphabet,
+            start,
+            accepting,
+            transitions,
+        }
+    }
+
+    /// Complement via determinization.
+    pub fn complement(&self) -> Nfa {
+        Nfa::from_dfa(&self.determinize().complement())
+    }
+
+    /// Views a DFA as an NFA.
+    pub fn from_dfa(d: &Dfa) -> Nfa {
+        Nfa {
+            num_states: d.num_states,
+            alphabet: d.alphabet,
+            start: BTreeSet::from([d.start]),
+            accepting: d.accepting.clone(),
+            transitions: d
+                .transitions
+                .iter()
+                .map(|row| row.iter().map(|&t| BTreeSet::from([t])).collect())
+                .collect(),
+        }
+    }
+
+    /// Relabels the *input*: the result reads symbol `s` as `map[s]`
+    /// (`transitions'[q][s] = transitions[q][map[s]]`), producing an NFA
+    /// over `new_alphabet = map.len()` symbols. Dual of [`Nfa::project`]:
+    /// `project` merges symbols of the language, `pullback` duplicates
+    /// behavior across symbols of a new alphabet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a map target is out of range.
+    pub fn pullback(&self, map: &[usize]) -> Nfa {
+        assert!(
+            map.iter().all(|&m| m < self.alphabet),
+            "pullback source symbol out of range"
+        );
+        let transitions = (0..self.num_states)
+            .map(|q| map.iter().map(|&m| self.transitions[q][m].clone()).collect())
+            .collect();
+        Nfa {
+            num_states: self.num_states,
+            alphabet: map.len(),
+            start: self.start.clone(),
+            accepting: self.accepting.clone(),
+            transitions,
+        }
+    }
+
+    /// Projects each symbol through `map` (`map[symbol]` = new symbol),
+    /// producing an NFA over `new_alphabet`. Used by the MSO compiler to
+    /// erase a variable track (several old symbols map to one new symbol,
+    /// making the result genuinely nondeterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.len() != alphabet` or a target symbol is out of
+    /// range.
+    pub fn project(&self, new_alphabet: usize, map: &[usize]) -> Nfa {
+        assert_eq!(map.len(), self.alphabet, "projection map length mismatch");
+        assert!(map.iter().all(|&m| m < new_alphabet), "projection target out of range");
+        let mut transitions = vec![vec![BTreeSet::new(); new_alphabet]; self.num_states];
+        for q in 0..self.num_states {
+            for (old, &new) in map.iter().enumerate() {
+                let targets: Vec<usize> =
+                    self.transitions[q][old].iter().copied().collect();
+                transitions[q][new].extend(targets);
+            }
+        }
+        Nfa {
+            num_states: self.num_states,
+            alphabet: new_alphabet,
+            start: self.start.clone(),
+            accepting: self.accepting.clone(),
+            transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// DFA over {0,1} accepting words with an even number of 1s.
+    fn even_ones() -> Dfa {
+        Dfa::new(2, 2, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]]).unwrap()
+    }
+
+    /// DFA over {0,1} accepting words ending in 1.
+    fn ends_in_one() -> Dfa {
+        Dfa::new(2, 2, 0, vec![false, true], vec![vec![0, 1], vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn dfa_validation() {
+        assert!(Dfa::new(1, 1, 1, vec![true], vec![vec![0]]).is_none());
+        assert!(Dfa::new(1, 1, 0, vec![], vec![vec![0]]).is_none());
+        assert!(Dfa::new(1, 2, 0, vec![true], vec![vec![0]]).is_none());
+        assert!(Dfa::new(1, 1, 0, vec![true], vec![vec![5]]).is_none());
+    }
+
+    #[test]
+    fn dfa_run_and_accept() {
+        let d = even_ones();
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[1, 1]));
+        assert!(!d.accepts(&[1]));
+        assert_eq!(d.run(&[1, 0, 1, 1]), 1);
+    }
+
+    #[test]
+    fn complement_flips() {
+        let d = even_ones().complement();
+        assert!(!d.accepts(&[]));
+        assert!(d.accepts(&[1]));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let both = even_ones().intersect(&ends_in_one());
+        assert!(both.accepts(&[1, 1]));
+        assert!(!both.accepts(&[1]));
+        assert!(!both.accepts(&[1, 1, 0]));
+        let either = even_ones().union(&ends_in_one());
+        assert!(either.accepts(&[1]));
+        assert!(either.accepts(&[0, 0]));
+        assert!(!either.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let d = even_ones().intersect(&even_ones().complement());
+        assert!(d.is_empty());
+        assert_eq!(d.shortest_accepted(), None);
+        let w = ends_in_one().shortest_accepted().unwrap();
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = even_ones();
+        let doubled = a.intersect(&a); // same language, more states.
+        assert!(a.equivalent(&doubled));
+        assert!(!a.equivalent(&ends_in_one()));
+    }
+
+    #[test]
+    fn minimize_collapses_product() {
+        let doubled = even_ones().intersect(&even_ones());
+        assert_eq!(doubled.num_states(), 4);
+        let m = doubled.minimize();
+        assert_eq!(m.num_states(), 2);
+        assert!(m.equivalent(&even_ones()));
+    }
+
+    #[test]
+    fn minimize_drops_unreachable() {
+        // State 2 is unreachable.
+        let d = Dfa::new(
+            3,
+            1,
+            0,
+            vec![false, true, true],
+            vec![vec![1], vec![0], vec![2]],
+        )
+        .unwrap();
+        let m = d.minimize();
+        assert_eq!(m.num_states(), 2);
+        assert!(m.accepts(&[0]));
+        assert!(!m.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn nfa_accepts_and_determinizes() {
+        // NFA: guess the position of a 1 that is third from the end.
+        let mut t = vec![vec![BTreeSet::new(); 2]; 4];
+        t[0][0] = BTreeSet::from([0]);
+        t[0][1] = BTreeSet::from([0, 1]);
+        t[1][0] = BTreeSet::from([2]);
+        t[1][1] = BTreeSet::from([2]);
+        t[2][0] = BTreeSet::from([3]);
+        t[2][1] = BTreeSet::from([3]);
+        let nfa = Nfa::new(
+            4,
+            2,
+            BTreeSet::from([0]),
+            vec![false, false, false, true],
+            t,
+        )
+        .unwrap();
+        assert!(nfa.accepts(&[1, 0, 0]));
+        assert!(nfa.accepts(&[0, 1, 1, 1]));
+        assert!(!nfa.accepts(&[1, 0, 0, 0]));
+        let dfa = nfa.determinize();
+        for w in [
+            vec![],
+            vec![1],
+            vec![1, 0, 0],
+            vec![0, 1, 0, 1],
+            vec![1, 1, 1],
+            vec![0, 0, 1, 0, 0],
+        ] {
+            assert_eq!(nfa.accepts(&w), dfa.accepts(&w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn nfa_union_intersect_complement() {
+        let a = Nfa::from_dfa(&even_ones());
+        let b = Nfa::from_dfa(&ends_in_one());
+        let u = a.union(&b);
+        assert!(u.accepts(&[1]));
+        assert!(u.accepts(&[0]));
+        assert!(!u.accepts(&[1, 0]));
+        let i = a.intersect(&b);
+        assert!(i.accepts(&[1, 1]));
+        assert!(!i.accepts(&[1]));
+        let c = a.complement();
+        assert!(c.accepts(&[1]));
+        assert!(!c.accepts(&[1, 1]));
+    }
+
+    #[test]
+    fn projection_merges_symbols() {
+        // Over {0,1,2}: accept words containing symbol 2; project 2 onto 0.
+        let mut t = vec![vec![BTreeSet::new(); 3]; 2];
+        t[0][0] = BTreeSet::from([0]);
+        t[0][1] = BTreeSet::from([0]);
+        t[0][2] = BTreeSet::from([1]);
+        t[1][0] = BTreeSet::from([1]);
+        t[1][1] = BTreeSet::from([1]);
+        t[1][2] = BTreeSet::from([1]);
+        let nfa = Nfa::new(2, 3, BTreeSet::from([0]), vec![false, true], t).unwrap();
+        let proj = nfa.project(2, &[0, 1, 0]);
+        // Now a word of 0s *may* have contained a 2: nondeterministic accept.
+        assert!(proj.accepts(&[0]));
+        assert!(proj.accepts(&[0, 1, 0]));
+        assert!(!proj.accepts(&[1, 1]));
+        assert!(!proj.accepts(&[]));
+    }
+}

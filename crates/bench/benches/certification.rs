@@ -1,0 +1,167 @@
+//! Criterion benchmarks: one group per experiment, timing the full
+//! prover + verifier pipeline at representative sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e1_mso_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_mso_tree_cert");
+    for n in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::e1_mso_trees::bench_once(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e3_treedepth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_treedepth_cert");
+    for (n, t) in [(256usize, 3usize), (1024, 4), (4096, 5)] {
+        g.bench_with_input(
+            BenchmarkId::new("n_t", format!("{n}_{t}")),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| black_box(locert_bench::e3_treedepth::bench_once(n, t, 42)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_e4_gadget(c: &mut Criterion) {
+    use locert_lb::treedepth_gadget::build_gadget;
+    use locert_treedepth::treedepth_exact;
+    let mut g = c.benchmark_group("e4_treedepth_lb");
+    g.bench_function("gadget_n2_exact_td", |b| {
+        b.iter(|| {
+            let (graph, _) = build_gadget(2, &[0, 1], &[0, 1]);
+            black_box(treedepth_exact(&graph))
+        });
+    });
+    g.finish();
+}
+
+fn bench_e5_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_kernel_mso");
+    for n in [64usize, 512, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::e5_kernel::bench_once(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e6_minor_free(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_minor_free");
+    for n in [64usize, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::e6_minor_free::bench_once(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e7_fo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_fo_fragments");
+    for n in [64usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::e7_fo_fragments::bench_once(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e8_words(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_word_automata");
+    for n in [64usize, 1024, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::e8_words::bench_once(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_p34_spanning_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p34_spanning_tree");
+    for n in [256usize, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(locert_bench::p34_spanning_tree::bench_once(n, 7)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_e2_counting(c: &mut Criterion) {
+    use locert_graph::enumerate::count_trees_log2;
+    let mut g = c.benchmark_group("e2_fpf_lowerbound");
+    for n in [64usize, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(count_trees_log2(n, 3)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_f1_paths(c: &mut Criterion) {
+    use locert_treedepth::bounds::path_elimination_tree;
+    let mut g = c.benchmark_group("f1_path_models");
+    for k in [8usize, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(path_elimination_tree((1 << k) - 1).1.height()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_prover_vs_verifier(c: &mut Criterion) {
+    use locert_core::framework::{run_verification, Instance, Prover};
+    use locert_core::schemes::common::id_bits_for;
+    use locert_core::schemes::treedepth::{ModelStrategy, TreedepthScheme};
+    use locert_graph::{generators, IdAssignment};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("split_prover_verifier");
+    let n = 2048;
+    let t = 5;
+    let mut rng = StdRng::seed_from_u64(7);
+    let (g, parents) = generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
+    let ids = IdAssignment::contiguous(n);
+    let inst = Instance::new(&g, &ids);
+    let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
+        .with_strategy(ModelStrategy::Explicit(parents));
+    group.bench_function("treedepth_prover", |b| {
+        b.iter(|| black_box(scheme.assign(&inst).unwrap().max_bits()));
+    });
+    let asg = scheme.assign(&inst).unwrap();
+    group.bench_function("treedepth_verifier_all_nodes", |b| {
+        b.iter(|| black_box(run_verification(&scheme, &inst, &asg).accepted()));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    // Keep the full-suite wall time bounded: 10 samples × short windows.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group!(
+    name = benches;
+    config = config();
+    targets =
+    bench_prover_vs_verifier,
+    bench_e1_mso_tree,
+    bench_e2_counting,
+    bench_e3_treedepth,
+    bench_e4_gadget,
+    bench_e5_kernel,
+    bench_e6_minor_free,
+    bench_e7_fo,
+    bench_e8_words,
+    bench_f1_paths,
+    bench_p34_spanning_tree,
+);
+criterion_main!(benches);

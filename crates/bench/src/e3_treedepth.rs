@@ -1,0 +1,92 @@
+//! E3 — Theorem 2.4: treedepth ≤ t certified with O(t log n) bits.
+//!
+//! Random bounded-treedepth graphs (generator witness) across `t` and
+//! `n`; measured max certificate bits against the `t · log₂ n` reference.
+//! Soundness spot-checks (corrupted certificates rejected) run alongside.
+
+use crate::report::{f2, Table};
+use locert_core::framework::{run_scheme, run_verification, Instance, Prover};
+use locert_core::schemes::common::id_bits_for;
+use locert_core::schemes::treedepth::{ModelStrategy, TreedepthScheme};
+use locert_graph::{generators, IdAssignment, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs E3 over a (t, n) grid.
+pub fn run(ts: &[usize], ns: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "E3",
+        "Treedepth certification via ancestor lists (Theorem 2.4)",
+        "We can certify that a graph has treedepth at most t with O(t log n) bits.",
+        "measured bits / (t·log₂ n) stays bounded by a small constant across the grid",
+        &["t", "n", "max cert [bits]", "t·log2(n)", "ratio", "prover [ms]", "verify [µs/vertex]", "corruption rejected"],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &t in ts {
+        for &n in ns {
+            let (g, parents) =
+                generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
+            let ids = IdAssignment::shuffled(n, &mut rng);
+            let inst = Instance::new(&g, &ids);
+            let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
+                .with_strategy(ModelStrategy::Explicit(parents));
+            let t_prover = std::time::Instant::now();
+            let asg = scheme
+                .assign(&inst)
+                .expect("generator witness always certifies");
+            let prover_ms = t_prover.elapsed().as_secs_f64() * 1e3;
+            let t_verify = std::time::Instant::now();
+            let out = run_verification(&scheme, &inst, &asg);
+            let verify_us = t_verify.elapsed().as_secs_f64() * 1e6 / n as f64;
+            assert!(out.accepted(), "E3 rejected honest prover at t={t}, n={n}");
+            // Soundness spot-check: flip one bit in a random certificate.
+            let victim = NodeId(n / 2);
+            let mut bad = asg.clone();
+            let c = bad.cert(victim).clone();
+            let rejected = if c.len_bits() > 0 {
+                *bad.cert_mut(victim) = c.with_bit_flipped(c.len_bits() / 2);
+                !run_verification(&scheme, &inst, &bad).accepted()
+            } else {
+                true
+            };
+            let reference = t as f64 * (n as f64).log2();
+            table.push([
+                t.to_string(),
+                n.to_string(),
+                out.max_bits().to_string(),
+                f2(reference),
+                f2(out.max_bits() as f64 / reference),
+                f2(prover_ms),
+                f2(verify_us),
+                rejected.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// One pipeline run, for Criterion.
+pub fn bench_once(n: usize, t: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, parents) = generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
+    let ids = IdAssignment::contiguous(n);
+    let inst = Instance::new(&g, &ids);
+    let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
+        .with_strategy(ModelStrategy::Explicit(parents));
+    run_scheme(&scheme, &inst).expect("yes").max_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_bounded() {
+        let t = run(&[3, 5], &[64, 512], 7);
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio < 4.0, "ratio {ratio} too large");
+            assert_eq!(row[7], "true");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! E6 — Corollary 2.7: P_t- and C_t-minor-freeness with O(log n) bits.
+
+use crate::report::{f2, Table};
+use locert_core::framework::{run_scheme, Instance};
+use locert_core::schemes::common::id_bits_for;
+use locert_core::schemes::minor_free::{CtMinorFreeScheme, PathMinorFreeScheme};
+use locert_graph::{generators, Graph, GraphBuilder, IdAssignment};
+
+/// A caterpillar-free workload: spiders with legs of length `t − 2`
+/// rooted at the hub contain `P_{2t−3}` but we keep legs short enough to
+/// be `P_t`-minor-free: legs of length `⌊(t−2)/2⌋`.
+fn pt_free_instance(t: usize, n: usize) -> Graph {
+    let leg = ((t - 2) / 2).max(1);
+    let legs = (n.saturating_sub(1)) / leg;
+    generators::spider(legs.max(1), leg)
+}
+
+/// A cactus of triangles in a star arrangement: C_4-minor-free at any
+/// size.
+fn triangle_cactus(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(1 + 2 * k);
+    for i in 0..k {
+        let x = 1 + 2 * i;
+        let y = x + 1;
+        b.add_edge(0, x).unwrap();
+        b.add_edge(0, y).unwrap();
+        b.add_edge(x, y).unwrap();
+    }
+    b.build()
+}
+
+/// P_t sizes over t × n.
+pub fn run_paths(ts: &[usize], ns: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6a",
+        "P_t-minor-free certification (Corollary 2.7)",
+        "For all t, P_t-minor-free graphs can be certified with O(log n)-bit \
+         certificates.",
+        "bits / log₂ n bounded per fixed t; growth between doublings is O(1) bits",
+        &["t", "n", "max cert [bits]", "bits / log2 n"],
+    );
+    for &t in ts {
+        for &n in ns {
+            let g = pt_free_instance(t, n);
+            let n_actual = g.num_nodes();
+            let ids = IdAssignment::contiguous(n_actual);
+            let inst = Instance::new(&g, &ids);
+            let scheme = PathMinorFreeScheme::new(id_bits_for(&inst), t);
+            let out = run_scheme(&scheme, &inst)
+                .expect("spider instance is P_t-minor-free by construction");
+            assert!(out.accepted());
+            table.push([
+                t.to_string(),
+                n_actual.to_string(),
+                out.max_bits().to_string(),
+                f2(out.max_bits() as f64 / (n_actual as f64).log2()),
+            ]);
+        }
+    }
+    table
+}
+
+/// C_t sizes on triangle cacti.
+pub fn run_cycles(ks: &[usize]) -> Table {
+    let mut table = Table::new(
+        "E6b",
+        "C_t-minor-free certification (Corollary 2.7, via blocks)",
+        "C_t-minor-free graphs can be certified with O(log n) bits by certifying \
+         each 2-connected component (decomposition layer delegated to [8], see \
+         DESIGN.md).",
+        "bits / log₂ n bounded as the cactus grows",
+        &["blocks", "n", "max cert [bits]", "bits / log2 n"],
+    );
+    for &k in ks {
+        let g = triangle_cactus(k);
+        let n = g.num_nodes();
+        let ids = IdAssignment::contiguous(n);
+        let inst = Instance::new(&g, &ids);
+        let scheme = CtMinorFreeScheme::new(id_bits_for(&inst), 4);
+        let out = run_scheme(&scheme, &inst).expect("cactus is C_4-minor-free");
+        assert!(out.accepted());
+        table.push([
+            k.to_string(),
+            n.to_string(),
+            out.max_bits().to_string(),
+            f2(out.max_bits() as f64 / (n as f64).log2()),
+        ]);
+    }
+    table
+}
+
+/// One pipeline run, for Criterion.
+pub fn bench_once(n: usize) -> usize {
+    let g = pt_free_instance(4, n);
+    let ids = IdAssignment::contiguous(g.num_nodes());
+    let inst = Instance::new(&g, &ids);
+    let scheme = PathMinorFreeScheme::new(id_bits_for(&inst), 4);
+    run_scheme(&scheme, &inst).expect("yes").max_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_graph::minors;
+
+    #[test]
+    fn instances_are_actually_minor_free() {
+        for t in [4usize, 6] {
+            let g = pt_free_instance(t, 40);
+            assert!(!minors::has_path_minor(&g, t), "t = {t}");
+        }
+        let c = triangle_cactus(5);
+        assert!(!minors::has_cycle_minor(&c, 4));
+        assert!(minors::has_cycle_minor(&c, 3));
+    }
+
+    #[test]
+    fn path_table_runs() {
+        let t = run_paths(&[4], &[32, 128]);
+        assert_eq!(t.rows.len(), 2);
+        let r0: f64 = t.rows[0][3].parse().unwrap();
+        assert!(r0 > 0.0);
+    }
+
+    #[test]
+    fn cycle_table_runs() {
+        let t = run_cycles(&[3, 6]);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

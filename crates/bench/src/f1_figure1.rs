@@ -1,0 +1,56 @@
+//! F1 — Figure 1: the binary elimination tree of a path;
+//! `td(P_{2^k − 1}) = k`.
+
+use crate::report::Table;
+use locert_treedepth::bounds::{path_elimination_tree, treedepth_of_path};
+use locert_treedepth::treedepth_exact;
+
+/// Runs F1 for `k = 1..=max_k` (exact cross-check up to the solver limit).
+pub fn run(max_k: usize) -> Table {
+    let mut table = Table::new(
+        "F1",
+        "Figure 1: elimination trees of paths",
+        "P_7 (and generally P_{2^k − 1}) admits an elimination tree of height k; \
+         the binary middle-split construction is optimal and coherent.",
+        "constructed height = closed form = exact solver (where applicable), \
+         coherent at every size",
+        &["k", "n = 2^k − 1", "constructed height", "closed form", "exact", "coherent"],
+    );
+    for k in 1..=max_k {
+        let n = (1usize << k) - 1;
+        let (g, model) = path_elimination_tree(n);
+        let exact = if n <= locert_treedepth::exact::EXACT_LIMIT {
+            treedepth_exact(&g).to_string()
+        } else {
+            "-".to_string()
+        };
+        table.push([
+            k.to_string(),
+            n.to_string(),
+            model.height().to_string(),
+            treedepth_of_path(n).to_string(),
+            exact,
+            model.is_coherent(&g).to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_exactness() {
+        let t = run(8);
+        for (i, row) in t.rows.iter().enumerate() {
+            let k = i + 1;
+            assert_eq!(row[2], k.to_string());
+            assert_eq!(row[3], k.to_string());
+            assert_eq!(row[5], "true");
+            if row[4] != "-" {
+                assert_eq!(row[4], k.to_string());
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment harness: one module per experiment of DESIGN.md's index.
+//!
+//! Every module exposes a `run(...) -> Table` (or several) used by both
+//! the `experiments` binary — which regenerates `EXPERIMENTS.md` — and
+//! the Criterion benches. The experiments mirror the paper's theorems:
+//!
+//! | module | paper claim |
+//! |---|---|
+//! | [`e1_mso_trees`] | Thm 2.2: O(1)-bit MSO certification on trees |
+//! | [`e2_automorphism`] | Thm 2.3: Ω̃(n) for fixed-point-free automorphism |
+//! | [`e3_treedepth`] | Thm 2.4: O(t log n) treedepth certification |
+//! | [`e4_treedepth_lb`] | Thm 2.5: Ω(log n) for treedepth ≤ 5 |
+//! | [`e5_kernel`] | Thm 2.6 / Prop 6.2: kernel size independent of n |
+//! | [`e6_minor_free`] | Cor 2.7: O(log n) minor-freeness |
+//! | [`e7_fo_fragments`] | Lemma 2.1: O(log n) FO fragments |
+//! | [`e8_words`] | §4 warm-up: O(1) MSO-on-words on paths |
+//! | [`f1_figure1`] | Fig. 1: td(P_{2^k − 1}) = k |
+//! | [`f4_cops`] | Fig. 4: 5-cop capture on the gadget |
+//! | [`p34_spanning_tree`] | Prop 3.4: O(log n) spanning tree + count |
+//! | [`a1_radius`] | App. A.1: radius 3 vs radius 1 for diameter ≤ 2 |
+
+pub mod report;
+
+pub mod a1_radius;
+pub mod e1_mso_trees;
+pub mod e2_automorphism;
+pub mod e3_treedepth;
+pub mod e4_treedepth_lb;
+pub mod e5_kernel;
+pub mod e6_minor_free;
+pub mod e7_fo_fragments;
+pub mod e8_words;
+pub mod f1_figure1;
+pub mod f4_cops;
+pub mod p34_spanning_tree;
+pub mod s1_soundness;
+
+pub use report::Table;

@@ -1,0 +1,64 @@
+//! P34 — Proposition 3.4: spanning trees and vertex counts with
+//! O(log n) bits.
+
+use crate::report::{f2, Table};
+use locert_core::framework::{run_scheme, Instance};
+use locert_core::schemes::common::id_bits_for;
+use locert_core::schemes::spanning_tree::{SpanningTreeScheme, VertexCountScheme};
+use locert_graph::{generators, IdAssignment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs P34 over sizes.
+pub fn run(ns: &[usize], seed: u64) -> Table {
+    let mut table = Table::new(
+        "P34",
+        "Spanning-tree and vertex-count certification (Proposition 3.4)",
+        "One can locally encode and certify a spanning tree with O(log n) bits; \
+         the number of vertices can also be certified with O(log n) bits.",
+        "bits / log₂ n bounded by small constants (3 for the tree, 5 with counts)",
+        &["n", "spanning tree [bits]", "vertex count [bits]", "tree bits / log2 n"],
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    for &n in ns {
+        let g = generators::random_connected(n, n / 2, &mut rng);
+        let ids = IdAssignment::shuffled(n, &mut rng);
+        let inst = Instance::new(&g, &ids);
+        let st = SpanningTreeScheme::new(id_bits_for(&inst));
+        let vc = VertexCountScheme::new(id_bits_for(&inst), n as u64);
+        let out_st = run_scheme(&st, &inst).expect("connected");
+        let out_vc = run_scheme(&vc, &inst).expect("count matches");
+        assert!(out_st.accepted() && out_vc.accepted());
+        table.push([
+            n.to_string(),
+            out_st.max_bits().to_string(),
+            out_vc.max_bits().to_string(),
+            f2(out_st.max_bits() as f64 / (n as f64).log2()),
+        ]);
+    }
+    table
+}
+
+/// One pipeline run, for Criterion.
+pub fn bench_once(n: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::random_connected(n, n / 2, &mut rng);
+    let ids = IdAssignment::contiguous(n);
+    let inst = Instance::new(&g, &ids);
+    let st = SpanningTreeScheme::new(id_bits_for(&inst));
+    run_scheme(&st, &inst).expect("connected").max_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logarithmic_sizes() {
+        let t = run(&[32, 256, 1024], 17);
+        for row in &t.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio <= 4.5, "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Soundness attack harness.
+//!
+//! A lower-bound-free way to *test* soundness: a scheme is sound when no
+//! certificate assignment makes a no-instance accept. Universally
+//! quantifying over assignments is only feasible exhaustively at tiny
+//! sizes ([`exhaustive_soundness`]); at realistic sizes we attack with
+//! adversarial provers ([`mutation_attacks`], [`random_assignments`]) —
+//! these can only *falsify* soundness, never prove it, which is exactly
+//! their role in the test suite.
+
+use crate::bits::{BitWriter, Certificate};
+use crate::framework::{run_verification, Assignment, Instance, Verifier};
+use locert_graph::NodeId;
+use rand::{Rng, RngExt};
+
+/// Exhaustively checks that **no** assignment with per-vertex certificates
+/// of at most `max_bits` bits is accepted on `instance`.
+///
+/// Returns `Ok(checked)` with the number of assignments tried, or
+/// `Err(assignment)` with a fooling assignment if soundness fails.
+///
+/// # Panics
+///
+/// Panics if the search space exceeds `budget` assignments — keep
+/// `(2^{max_bits+1} - 1)^n` small.
+pub fn exhaustive_soundness(
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    max_bits: usize,
+    budget: u64,
+) -> Result<u64, Box<Assignment>> {
+    let n = instance.graph().num_nodes();
+    // All bit strings of length 0..=max_bits.
+    let mut space: Vec<Certificate> = Vec::new();
+    for len in 0..=max_bits {
+        for value in 0..(1u64 << len) {
+            let mut w = BitWriter::new();
+            w.write(value, len as u32);
+            space.push(w.finish());
+        }
+    }
+    let total = (space.len() as u64).checked_pow(n as u32);
+    assert!(
+        total.is_some_and(|t| t <= budget),
+        "exhaustive space too large (> {budget})"
+    );
+    let mut indices = vec![0usize; n];
+    let mut checked = 0u64;
+    loop {
+        let asg = Assignment::new(indices.iter().map(|&i| space[i].clone()).collect());
+        checked += 1;
+        if run_verification(verifier, instance, &asg).accepted() {
+            return Err(Box::new(asg));
+        }
+        // Increment mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return Ok(checked);
+            }
+            indices[i] += 1;
+            if indices[i] < space.len() {
+                break;
+            }
+            indices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Mutation attacks on a no-instance, seeded from a base assignment
+/// (typically an honest assignment for a *related yes-instance*, replayed
+/// here): per-vertex bit flips, pairwise certificate swaps, and
+/// truncations. Returns `None` if every attack was rejected, or the
+/// fooling assignment.
+pub fn mutation_attacks(
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    base: &Assignment,
+    rng: &mut impl Rng,
+    rounds: usize,
+) -> Option<Assignment> {
+    let n = instance.graph().num_nodes();
+    // The base itself.
+    if run_verification(verifier, instance, base).accepted() {
+        return Some(base.clone());
+    }
+    for _ in 0..rounds {
+        let mut asg = base.clone();
+        match rng.random_range(0..3u32) {
+            0 => {
+                // Flip a random bit of a random non-empty certificate.
+                let v = NodeId(rng.random_range(0..n));
+                let c = asg.cert(v).clone();
+                if c.len_bits() > 0 {
+                    let bit = rng.random_range(0..c.len_bits());
+                    *asg.cert_mut(v) = c.with_bit_flipped(bit);
+                }
+            }
+            1 => {
+                // Swap two vertices' certificates.
+                let a = NodeId(rng.random_range(0..n));
+                let b = NodeId(rng.random_range(0..n));
+                let ca = asg.cert(a).clone();
+                let cb = asg.cert(b).clone();
+                *asg.cert_mut(a) = cb;
+                *asg.cert_mut(b) = ca;
+            }
+            _ => {
+                // Blank one certificate.
+                let v = NodeId(rng.random_range(0..n));
+                *asg.cert_mut(v) = Certificate::empty();
+            }
+        }
+        if run_verification(verifier, instance, &asg).accepted() {
+            return Some(asg);
+        }
+    }
+    None
+}
+
+/// Random-assignment attack: uniformly random certificates of exactly
+/// `bits` bits at every vertex, `rounds` times. Returns a fooling
+/// assignment if found.
+pub fn random_assignments(
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    bits: usize,
+    rng: &mut impl Rng,
+    rounds: usize,
+) -> Option<Assignment> {
+    let n = instance.graph().num_nodes();
+    for _ in 0..rounds {
+        let certs = (0..n)
+            .map(|_| {
+                let mut w = BitWriter::new();
+                for _ in 0..bits {
+                    w.write_bit(rng.random_bool(0.5));
+                }
+                w.finish()
+            })
+            .collect();
+        let asg = Assignment::new(certs);
+        if run_verification(verifier, instance, &asg).accepted() {
+            return Some(asg);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::LocalView;
+    use locert_graph::{generators, IdAssignment};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A verifier for "the graph is a triangle-free cycle"… simplified:
+    /// accepts iff every vertex has degree 2 and its certificate equals
+    /// the constant 0b1.
+    struct TokenVerifier;
+
+    impl Verifier for TokenVerifier {
+        fn verify(&self, view: &LocalView<'_>) -> bool {
+            view.degree() == 2 && view.cert.len_bits() == 1 && view.cert.bit(0)
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_fooling_assignment_when_one_exists() {
+        // On a cycle, the all-0b1 assignment fools TokenVerifier — the
+        // harness must find it.
+        let g = generators::cycle(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        let res = exhaustive_soundness(&TokenVerifier, &inst, 1, 1_000_000);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn exhaustive_confirms_rejection_on_wrong_shape() {
+        // On a path, degree-1 endpoints always reject: no assignment
+        // works.
+        let g = generators::path(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        let res = exhaustive_soundness(&TokenVerifier, &inst, 2, 1_000_000);
+        let checked = res.expect("no fooling assignment exists");
+        // (2^3 - 1) strings of length <= 2 per vertex... space = 1+2+4 = 7.
+        assert_eq!(checked, 7u64.pow(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exhaustive_budget_guard() {
+        let g = generators::cycle(8);
+        let ids = IdAssignment::contiguous(8);
+        let inst = Instance::new(&g, &ids);
+        let _ = exhaustive_soundness(&TokenVerifier, &inst, 8, 1000);
+    }
+
+    #[test]
+    fn mutation_attacks_rejected_on_path() {
+        let g = generators::path(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        let base = Assignment::new(vec![w.finish(); 4]);
+        let mut rng = StdRng::seed_from_u64(61);
+        assert!(mutation_attacks(&TokenVerifier, &inst, &base, &mut rng, 200).is_none());
+    }
+
+    #[test]
+    fn random_attack_finds_hole_in_weak_verifier() {
+        // TokenVerifier on a cycle is fooled by the right random draw.
+        let g = generators::cycle(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let mut rng = StdRng::seed_from_u64(62);
+        let found = random_assignments(&TokenVerifier, &inst, 1, &mut rng, 500);
+        assert!(found.is_some());
+    }
+}

@@ -1,0 +1,361 @@
+//! Bit-exact certificates.
+//!
+//! Certificate sizes are the paper's central measure, so certificates are
+//! genuine bit strings: [`BitWriter`] packs fixed-width fields MSB-first
+//! into a [`Certificate`], [`BitReader`] unpacks them. A scheme's size on
+//! an instance is the maximum certificate length in bits.
+
+use std::fmt;
+
+/// An immutable bit string used as a vertex certificate.
+///
+/// # Example
+///
+/// ```
+/// use locert_core::bits::{BitWriter, BitReader};
+///
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(7, 5);
+/// let cert = w.finish();
+/// assert_eq!(cert.len_bits(), 8);
+/// let mut r = BitReader::new(&cert);
+/// assert_eq!(r.read(3), Some(0b101));
+/// assert_eq!(r.read(5), Some(7));
+/// assert_eq!(r.read(1), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Certificate {
+    bytes: Vec<u8>,
+    len_bits: usize,
+}
+
+impl Certificate {
+    /// The empty certificate (zero bits).
+    pub fn empty() -> Self {
+        Certificate::default()
+    }
+
+    /// Length in bits.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Whether the certificate carries zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The bit at `index` (MSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len_bits`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.len_bits, "bit index out of range");
+        let byte = self.bytes[index / 8];
+        (byte >> (7 - index % 8)) & 1 == 1
+    }
+
+    /// A copy with the bit at `index` flipped (for mutation attacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len_bits`.
+    pub fn with_bit_flipped(&self, index: usize) -> Certificate {
+        assert!(index < self.len_bits, "bit index out of range");
+        let mut c = self.clone();
+        c.bytes[index / 8] ^= 1 << (7 - index % 8);
+        c
+    }
+
+    /// The raw bytes (the final byte's trailing bits are zero).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Serializes as `"<len_bits>:<hex bytes>"` (for files and CLIs).
+    pub fn to_hex(&self) -> String {
+        let mut s = format!("{}:", self.len_bits);
+        for b in &self.bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses the [`Certificate::to_hex`] format. Trailing bits of the
+    /// final byte must be zero.
+    pub fn from_hex(s: &str) -> Option<Certificate> {
+        let (len_str, hex) = s.split_once(':')?;
+        let len_bits: usize = len_str.parse().ok()?;
+        if hex.len() % 2 != 0 || hex.len() / 2 != len_bits.div_ceil(8) {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        let mut chars = hex.bytes();
+        while let (Some(a), Some(b)) = (chars.next(), chars.next()) {
+            let hi = (a as char).to_digit(16)?;
+            let lo = (b as char).to_digit(16)?;
+            bytes.push((hi * 16 + lo) as u8);
+        }
+        // Trailing padding bits must be zero (canonical form).
+        if !len_bits.is_multiple_of(8) {
+            if let Some(&last) = bytes.last() {
+                let used = len_bits % 8;
+                if last & ((1u8 << (8 - used)) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Certificate { bytes, len_bits })
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b[", self.len_bits)?;
+        for i in 0..self.len_bits.min(64) {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        if self.len_bits > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Writes fixed-width fields MSB-first.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the `width` low bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write(&mut self, value: u64, width: u32) -> &mut Self {
+        assert!(width <= 64, "width exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            if self.len_bits.is_multiple_of(8) {
+                self.bytes.push(0);
+            }
+            if bit {
+                *self.bytes.last_mut().expect("pushed") |= 1 << (7 - self.len_bits % 8);
+            }
+            self.len_bits += 1;
+        }
+        self
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) -> &mut Self {
+        self.write(u64::from(bit), 1)
+    }
+
+    /// Appends all bits of another certificate.
+    pub fn write_cert(&mut self, other: &Certificate) -> &mut Self {
+        for i in 0..other.len_bits() {
+            self.write_bit(other.bit(i));
+        }
+        self
+    }
+
+    /// Current length in bits.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Finalizes into a [`Certificate`].
+    pub fn finish(self) -> Certificate {
+        Certificate {
+            bytes: self.bytes,
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// Reads fixed-width fields MSB-first; every accessor returns `None` past
+/// the end (verifiers must treat malformed certificates as rejection, not
+/// panic).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    cert: &'a Certificate,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader at bit position 0.
+    pub fn new(cert: &'a Certificate) -> Self {
+        BitReader { cert, pos: 0 }
+    }
+
+    /// Reads a `width`-bit field; `None` if fewer bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn read(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64, "width exceeds 64");
+        if self.pos + width as usize > self.cert.len_bits() {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.cert.bit(self.pos));
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Reads one bit.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        self.read(1).map(|v| v == 1)
+    }
+
+    /// Remaining bits.
+    pub fn remaining(&self) -> usize {
+        self.cert.len_bits() - self.pos
+    }
+
+    /// Whether the reader consumed the certificate exactly.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// Number of bits needed to store values in `0..=max` (at least 1).
+pub fn width_for(max: u64) -> u32 {
+    (u64::BITS - max.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let mut w = BitWriter::new();
+        w.write(5, 3).write(0, 2).write(u64::MAX, 64).write(1, 1);
+        let c = w.finish();
+        assert_eq!(c.len_bits(), 70);
+        let mut r = BitReader::new(&c);
+        assert_eq!(r.read(3), Some(5));
+        assert_eq!(r.read(2), Some(0));
+        assert_eq!(r.read(64), Some(u64::MAX));
+        assert_eq!(r.read_bit(), Some(true));
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn empty_certificate() {
+        let c = Certificate::empty();
+        assert_eq!(c.len_bits(), 0);
+        assert!(c.is_empty());
+        let mut r = BitReader::new(&c);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_rejected() {
+        BitWriter::new().write(4, 2);
+    }
+
+    #[test]
+    fn read_past_end_is_none_not_panic() {
+        let mut w = BitWriter::new();
+        w.write(3, 2);
+        let c = w.finish();
+        let mut r = BitReader::new(&c);
+        assert_eq!(r.read(3), None);
+        assert_eq!(r.read(2), Some(3));
+        assert_eq!(r.read(1), None);
+    }
+
+    #[test]
+    fn bit_indexing_msb_first() {
+        let mut w = BitWriter::new();
+        w.write(0b10, 2);
+        let c = w.finish();
+        assert!(c.bit(0));
+        assert!(!c.bit(1));
+    }
+
+    #[test]
+    fn flip_bit() {
+        let mut w = BitWriter::new();
+        w.write(0b1010, 4);
+        let c = w.finish().with_bit_flipped(1);
+        let mut r = BitReader::new(&c);
+        assert_eq!(r.read(4), Some(0b1110));
+    }
+
+    #[test]
+    fn write_cert_concatenates() {
+        let mut a = BitWriter::new();
+        a.write(0b101, 3);
+        let ca = a.finish();
+        let mut b = BitWriter::new();
+        b.write(0b01, 2).write_cert(&ca);
+        let cb = b.finish();
+        assert_eq!(cb.len_bits(), 5);
+        let mut r = BitReader::new(&cb);
+        assert_eq!(r.read(2), Some(0b01));
+        assert_eq!(r.read(3), Some(0b101));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0b1011001, 7).write(0xABCD, 16);
+        let c = w.finish();
+        let hex = c.to_hex();
+        assert_eq!(Certificate::from_hex(&hex), Some(c));
+        // Empty certificate.
+        let e = Certificate::empty();
+        assert_eq!(Certificate::from_hex(&e.to_hex()), Some(e));
+    }
+
+    #[test]
+    fn hex_rejects_malformed() {
+        assert_eq!(Certificate::from_hex("nope"), None);
+        assert_eq!(Certificate::from_hex("8:zz"), None);
+        // Wrong byte count for the claimed length.
+        assert_eq!(Certificate::from_hex("16:ff"), None);
+        // Non-zero padding bits.
+        assert_eq!(Certificate::from_hex("4:0f"), None);
+        assert!(Certificate::from_hex("4:f0").is_some());
+    }
+
+    #[test]
+    fn width_for_values() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 2);
+        assert_eq!(width_for(255), 8);
+        assert_eq!(width_for(256), 9);
+        assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut w = BitWriter::new();
+        w.write(0b110, 3);
+        let c = w.finish();
+        assert_eq!(c.to_string(), "3b[110]");
+    }
+}

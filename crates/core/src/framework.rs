@@ -1,0 +1,410 @@
+//! The certification framework: instances, views, provers, verifiers, and
+//! the network simulator.
+//!
+//! The model is the paper's (Section 3.3 and Appendix A.1):
+//!
+//! - vertices carry unique identifiers from a polynomial range;
+//! - the verification radius is exactly **1**: a vertex sees its own
+//!   identifier, input and certificate and the identifiers, inputs and
+//!   certificates of its neighbors — and *cannot* see which edges run
+//!   among those neighbors;
+//! - optionally, vertices carry constant-size *inputs* (the paper's
+//!   locally-checkable-labeling extension), used e.g. to put letters on
+//!   path graphs.
+
+use crate::bits::Certificate;
+use locert_graph::{Graph, IdAssignment, Ident, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// A certification instance: a connected graph, an identifier assignment,
+/// and optional constant-size inputs.
+#[derive(Debug, Clone)]
+pub struct Instance<'a> {
+    graph: &'a Graph,
+    ids: &'a IdAssignment,
+    inputs: Option<&'a [usize]>,
+}
+
+impl<'a> Instance<'a> {
+    /// Pairs a graph with an identifier assignment (no inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment size disagrees with the vertex count.
+    pub fn new(graph: &'a Graph, ids: &'a IdAssignment) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            ids.len(),
+            "identifier assignment must cover every vertex"
+        );
+        Instance {
+            graph,
+            ids,
+            inputs: None,
+        }
+    }
+
+    /// Adds per-vertex inputs (e.g. letters on a path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` disagrees with the vertex count.
+    pub fn with_inputs(graph: &'a Graph, ids: &'a IdAssignment, inputs: &'a [usize]) -> Self {
+        assert_eq!(graph.num_nodes(), ids.len(), "ids must cover every vertex");
+        assert_eq!(
+            graph.num_nodes(),
+            inputs.len(),
+            "inputs must cover every vertex"
+        );
+        Instance {
+            graph,
+            ids,
+            inputs: Some(inputs),
+        }
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The identifier assignment.
+    pub fn ids(&self) -> &IdAssignment {
+        self.ids
+    }
+
+    /// The input of vertex `v` (0 when no inputs were attached).
+    pub fn input(&self, v: NodeId) -> usize {
+        self.inputs.map_or(0, |ins| ins[v.0])
+    }
+}
+
+/// A certificate assignment: one certificate per vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    certs: Vec<Certificate>,
+}
+
+impl Assignment {
+    /// Wraps per-vertex certificates (indexed by [`NodeId`]).
+    pub fn new(certs: Vec<Certificate>) -> Self {
+        Assignment { certs }
+    }
+
+    /// All-empty certificates for `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Assignment {
+            certs: vec![Certificate::empty(); n],
+        }
+    }
+
+    /// The certificate of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn cert(&self, v: NodeId) -> &Certificate {
+        &self.certs[v.0]
+    }
+
+    /// Mutable access (for attack harnesses).
+    pub fn cert_mut(&mut self, v: NodeId) -> &mut Certificate {
+        &mut self.certs[v.0]
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Whether no vertex is covered.
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+
+    /// The size of the assignment: the maximum certificate length in bits
+    /// (the paper's measure).
+    pub fn max_bits(&self) -> usize {
+        self.certs.iter().map(Certificate::len_bits).max().unwrap_or(0)
+    }
+
+    /// Total bits across all vertices (for redundancy analyses).
+    pub fn total_bits(&self) -> usize {
+        self.certs.iter().map(Certificate::len_bits).sum()
+    }
+}
+
+/// What one vertex sees: its radius-1 view.
+#[derive(Debug, Clone)]
+pub struct LocalView<'a> {
+    /// The vertex's own identifier.
+    pub id: Ident,
+    /// The vertex's own input (0 if the instance has none).
+    pub input: usize,
+    /// The vertex's own certificate.
+    pub cert: &'a Certificate,
+    /// For each incident edge: the neighbor's identifier, input and
+    /// certificate. **No information about edges among neighbors.**
+    pub neighbors: Vec<(Ident, usize, &'a Certificate)>,
+}
+
+impl<'a> LocalView<'a> {
+    /// The degree of the vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether some neighbor carries identifier `id`.
+    pub fn has_neighbor(&self, id: Ident) -> bool {
+        self.neighbors.iter().any(|&(nid, _, _)| nid == id)
+    }
+
+    /// The certificate of the neighbor with identifier `id`, if present.
+    pub fn neighbor_cert(&self, id: Ident) -> Option<&'a Certificate> {
+        self.neighbors
+            .iter()
+            .find(|&&(nid, _, _)| nid == id)
+            .map(|&(_, _, c)| c)
+    }
+}
+
+/// Builds the view of vertex `v` under `assignment`.
+pub fn view_of<'a>(
+    instance: &'a Instance<'a>,
+    assignment: &'a Assignment,
+    v: NodeId,
+) -> LocalView<'a> {
+    let neighbors = instance
+        .graph()
+        .neighbors(v)
+        .iter()
+        .map(|&u| {
+            (
+                instance.ids().ident(u),
+                instance.input(u),
+                assignment.cert(u),
+            )
+        })
+        .collect();
+    LocalView {
+        id: instance.ids().ident(v),
+        input: instance.input(v),
+        cert: assignment.cert(v),
+        neighbors,
+    }
+}
+
+/// Error produced by a prover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProverError {
+    /// The instance does not satisfy the property (no certificate can
+    /// exist; this is a *no*-instance).
+    NotAYesInstance,
+    /// The prover needs a witness it could not compute at this scale
+    /// (e.g. an optimal elimination tree beyond the exact solver's limit).
+    WitnessUnavailable(String),
+}
+
+impl fmt::Display for ProverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProverError::NotAYesInstance => write!(f, "instance does not satisfy the property"),
+            ProverError::WitnessUnavailable(msg) => write!(f, "witness unavailable: {msg}"),
+        }
+    }
+}
+
+impl Error for ProverError {}
+
+/// The honest prover of a scheme.
+pub trait Prover {
+    /// Computes a certificate assignment for a yes-instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ProverError::NotAYesInstance`] when the property fails (so
+    /// completeness tests can also drive no-instances through the
+    /// prover), or [`ProverError::WitnessUnavailable`] when the instance
+    /// exceeds what the prover can handle.
+    fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError>;
+}
+
+/// The local verification algorithm of a scheme.
+pub trait Verifier {
+    /// The decision of one vertex given its radius-1 view.
+    fn verify(&self, view: &LocalView<'_>) -> bool;
+}
+
+/// A complete certification scheme: prover + verifier + metadata.
+pub trait Scheme: Prover + Verifier {
+    /// Human-readable name (for experiment reports).
+    fn name(&self) -> String;
+}
+
+/// The outcome of running the verifier at every vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationOutcome {
+    rejecting: Vec<Ident>,
+    max_bits: usize,
+}
+
+impl VerificationOutcome {
+    /// Whether every vertex accepted.
+    pub fn accepted(&self) -> bool {
+        self.rejecting.is_empty()
+    }
+
+    /// Identifiers of the rejecting vertices.
+    pub fn rejecting(&self) -> &[Ident] {
+        &self.rejecting
+    }
+
+    /// The certificate size (max bits) of the assignment that was run.
+    pub fn max_bits(&self) -> usize {
+        self.max_bits
+    }
+}
+
+/// Runs `verifier` at every vertex under `assignment`.
+///
+/// # Panics
+///
+/// Panics if the assignment does not cover every vertex.
+pub fn run_verification(
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    assignment: &Assignment,
+) -> VerificationOutcome {
+    assert_eq!(
+        assignment.len(),
+        instance.graph().num_nodes(),
+        "assignment must cover every vertex"
+    );
+    let rejecting = instance
+        .graph()
+        .nodes()
+        .filter(|&v| !verifier.verify(&view_of(instance, assignment, v)))
+        .map(|v| instance.ids().ident(v))
+        .collect();
+    VerificationOutcome {
+        rejecting,
+        max_bits: assignment.max_bits(),
+    }
+}
+
+/// Runs the full pipeline: prover, then verification at every vertex.
+///
+/// # Errors
+///
+/// Propagates the prover's error on non-yes-instances.
+pub fn run_scheme(
+    scheme: &dyn Scheme,
+    instance: &Instance<'_>,
+) -> Result<VerificationOutcome, ProverError> {
+    let assignment = scheme.assign(instance)?;
+    Ok(run_verification(scheme, instance, &assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWriter;
+    use locert_graph::generators;
+
+    /// Toy scheme: every vertex's certificate is its own degree; verified
+    /// against the visible neighbor count.
+    struct DegreeScheme;
+
+    impl Prover for DegreeScheme {
+        fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+            let certs = instance
+                .graph()
+                .nodes()
+                .map(|v| {
+                    let mut w = BitWriter::new();
+                    w.write(instance.graph().degree(v) as u64, 16);
+                    w.finish()
+                })
+                .collect();
+            Ok(Assignment::new(certs))
+        }
+    }
+
+    impl Verifier for DegreeScheme {
+        fn verify(&self, view: &LocalView<'_>) -> bool {
+            let mut r = crate::bits::BitReader::new(view.cert);
+            r.read(16) == Some(view.degree() as u64) && r.exhausted()
+        }
+    }
+
+    impl Scheme for DegreeScheme {
+        fn name(&self) -> String {
+            "degree".into()
+        }
+    }
+
+    #[test]
+    fn pipeline_accepts_honest_prover() {
+        let g = generators::cycle(5);
+        let ids = IdAssignment::contiguous(5);
+        let inst = Instance::new(&g, &ids);
+        let out = run_scheme(&DegreeScheme, &inst).unwrap();
+        assert!(out.accepted());
+        assert_eq!(out.max_bits(), 16);
+    }
+
+    #[test]
+    fn corrupted_certificate_rejected_by_owner() {
+        let g = generators::star(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let mut asg = DegreeScheme.assign(&inst).unwrap();
+        *asg.cert_mut(NodeId(0)) = asg.cert(NodeId(0)).with_bit_flipped(15);
+        let out = run_verification(&DegreeScheme, &inst, &asg);
+        assert!(!out.accepted());
+        assert_eq!(out.rejecting(), &[ids.ident(NodeId(0))]);
+    }
+
+    #[test]
+    fn views_do_not_expose_neighbor_edges() {
+        // The view type simply has no such field; spot-check the shape.
+        let g = generators::clique(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        let asg = Assignment::empty(3);
+        let view = view_of(&inst, &asg, NodeId(0));
+        assert_eq!(view.degree(), 2);
+        assert!(view.has_neighbor(Ident(2)));
+        assert!(view.has_neighbor(Ident(3)));
+        assert!(!view.has_neighbor(Ident(1))); // itself.
+        assert!(view.neighbor_cert(Ident(2)).unwrap().is_empty());
+        assert_eq!(view.neighbor_cert(Ident(9)), None);
+    }
+
+    #[test]
+    fn inputs_flow_into_views() {
+        let g = generators::path(3);
+        let ids = IdAssignment::contiguous(3);
+        let inputs = vec![7usize, 8, 9];
+        let inst = Instance::with_inputs(&g, &ids, &inputs);
+        let asg = Assignment::empty(3);
+        let view = view_of(&inst, &asg, NodeId(1));
+        assert_eq!(view.input, 8);
+        let mut nbr_inputs: Vec<usize> =
+            view.neighbors.iter().map(|&(_, i, _)| i).collect();
+        nbr_inputs.sort_unstable();
+        assert_eq!(nbr_inputs, vec![7, 9]);
+    }
+
+    #[test]
+    fn assignment_size_accounting() {
+        let mut w1 = BitWriter::new();
+        w1.write(1, 5);
+        let mut w2 = BitWriter::new();
+        w2.write(1, 9);
+        let asg = Assignment::new(vec![w1.finish(), w2.finish()]);
+        assert_eq!(asg.max_bits(), 9);
+        assert_eq!(asg.total_bits(), 14);
+    }
+}

@@ -1,0 +1,292 @@
+//! Scheme combinators: conjunction and disjunction.
+//!
+//! Lemma A.3's proof uses that "certifying disjunction or conjunction of
+//! certifiable sentences without (asymptotic) blow-up in size is
+//! straightforward": for `∧`, concatenate certificates; for `∨`, the
+//! prover writes one selector bit (which disjunct holds) followed by that
+//! disjunct's certificate, and every vertex checks the selector agrees
+//! with its neighbors'.
+
+use crate::bits::{BitReader, BitWriter, Certificate};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
+};
+use locert_graph::NodeId;
+
+/// Both sub-properties hold: certificates are concatenated with a length
+/// header for the first part.
+pub struct AndScheme<A, B> {
+    first: A,
+    second: B,
+    /// Bits used for the length header of the first certificate.
+    len_bits: u32,
+}
+
+impl<A: Scheme, B: Scheme> AndScheme<A, B> {
+    /// Combines two schemes; `len_bits` must be enough for the first
+    /// scheme's certificate length (in bits).
+    pub fn new(first: A, second: B, len_bits: u32) -> Self {
+        AndScheme {
+            first,
+            second,
+            len_bits,
+        }
+    }
+
+    fn split(&self, cert: &Certificate) -> Option<(Certificate, Certificate)> {
+        let mut r = BitReader::new(cert);
+        let len_a = r.read(self.len_bits)? as usize;
+        if len_a > r.remaining() {
+            return None;
+        }
+        let mut wa = BitWriter::new();
+        for _ in 0..len_a {
+            wa.write_bit(r.read_bit()?);
+        }
+        let mut wb = BitWriter::new();
+        while let Some(b) = r.read_bit() {
+            wb.write_bit(b);
+        }
+        Some((wa.finish(), wb.finish()))
+    }
+}
+
+impl<A: Scheme, B: Scheme> Prover for AndScheme<A, B> {
+    fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let a = self.first.assign(instance)?;
+        let b = self.second.assign(instance)?;
+        let certs = instance
+            .graph()
+            .nodes()
+            .map(|v| {
+                let ca = a.cert(v);
+                let cb = b.cert(v);
+                let mut w = BitWriter::new();
+                w.write(ca.len_bits() as u64, self.len_bits);
+                w.write_cert(ca);
+                w.write_cert(cb);
+                w.finish()
+            })
+            .collect();
+        Ok(Assignment::new(certs))
+    }
+}
+
+impl<A: Scheme, B: Scheme> Verifier for AndScheme<A, B> {
+    fn verify(&self, view: &LocalView<'_>) -> bool {
+        let Some((ca, cb)) = self.split(view.cert) else {
+            return false;
+        };
+        let mut nbrs_a = Vec::with_capacity(view.neighbors.len());
+        let mut nbrs_b = Vec::with_capacity(view.neighbors.len());
+        for &(nid, ninput, cert) in &view.neighbors {
+            let Some((na, nb)) = self.split(cert) else {
+                return false;
+            };
+            nbrs_a.push((nid, ninput, na));
+            nbrs_b.push((nid, ninput, nb));
+        }
+        let view_a = LocalView {
+            id: view.id,
+            input: view.input,
+            cert: &ca,
+            neighbors: nbrs_a.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
+        };
+        if !self.first.verify(&view_a) {
+            return false;
+        }
+        let view_b = LocalView {
+            id: view.id,
+            input: view.input,
+            cert: &cb,
+            neighbors: nbrs_b.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
+        };
+        self.second.verify(&view_b)
+    }
+}
+
+impl<A: Scheme, B: Scheme> Scheme for AndScheme<A, B> {
+    fn name(&self) -> String {
+        format!("({} AND {})", self.first.name(), self.second.name())
+    }
+}
+
+/// At least one sub-property holds: one selector bit plus the selected
+/// scheme's certificate.
+pub struct OrScheme<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: Scheme, B: Scheme> OrScheme<A, B> {
+    /// Combines two schemes disjunctively.
+    pub fn new(first: A, second: B) -> Self {
+        OrScheme { first, second }
+    }
+
+    fn split(cert: &Certificate) -> Option<(bool, Certificate)> {
+        let mut r = BitReader::new(cert);
+        let selector = r.read_bit()?;
+        let mut w = BitWriter::new();
+        while let Some(b) = r.read_bit() {
+            w.write_bit(b);
+        }
+        Some((selector, w.finish()))
+    }
+}
+
+impl<A: Scheme, B: Scheme> Prover for OrScheme<A, B> {
+    fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let wrap = |selector: bool, asg: Assignment, n: usize| {
+            Assignment::new(
+                (0..n)
+                    .map(|v| {
+                        let mut w = BitWriter::new();
+                        w.write_bit(selector);
+                        w.write_cert(asg.cert(NodeId(v)));
+                        w.finish()
+                    })
+                    .collect(),
+            )
+        };
+        let n = instance.graph().num_nodes();
+        match self.first.assign(instance) {
+            Ok(asg) => Ok(wrap(false, asg, n)),
+            Err(ProverError::NotAYesInstance) => {
+                let asg = self.second.assign(instance)?;
+                Ok(wrap(true, asg, n))
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<A: Scheme, B: Scheme> Verifier for OrScheme<A, B> {
+    fn verify(&self, view: &LocalView<'_>) -> bool {
+        let Some((selector, mine)) = Self::split(view.cert) else {
+            return false;
+        };
+        let mut nbrs = Vec::with_capacity(view.neighbors.len());
+        for &(nid, ninput, cert) in &view.neighbors {
+            match Self::split(cert) {
+                Some((s, c)) if s == selector => nbrs.push((nid, ninput, c)),
+                _ => return false, // disagreeing selectors.
+            }
+        }
+        let inner = LocalView {
+            id: view.id,
+            input: view.input,
+            cert: &mine,
+            neighbors: nbrs.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
+        };
+        if selector {
+            self.second.verify(&inner)
+        } else {
+            self.first.verify(&inner)
+        }
+    }
+}
+
+impl<A: Scheme, B: Scheme> Scheme for OrScheme<A, B> {
+    fn name(&self) -> String {
+        format!("({} OR {})", self.first.name(), self.second.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_scheme;
+    use crate::schemes::acyclicity::AcyclicityScheme;
+    use crate::schemes::common::id_bits_for;
+    use crate::schemes::tree_diameter::TreeDiameterScheme;
+    use locert_graph::{generators, IdAssignment};
+
+    #[test]
+    fn and_of_tree_and_diameter() {
+        let g = generators::star(6);
+        let ids = IdAssignment::contiguous(6);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let scheme = AndScheme::new(
+            AcyclicityScheme::new(b),
+            TreeDiameterScheme::new(b, 2),
+            10,
+        );
+        let out = run_scheme(&scheme, &inst).unwrap();
+        assert!(out.accepted());
+        // A long path fails the second conjunct.
+        let p = generators::path(6);
+        let ids_p = IdAssignment::contiguous(6);
+        let inst_p = Instance::new(&p, &ids_p);
+        let scheme_p = AndScheme::new(
+            AcyclicityScheme::new(id_bits_for(&inst_p)),
+            TreeDiameterScheme::new(id_bits_for(&inst_p), 2),
+            10,
+        );
+        assert_eq!(
+            run_scheme(&scheme_p, &inst_p).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+    }
+
+    #[test]
+    fn or_takes_whichever_holds() {
+        // diameter ≤ 1 OR diameter ≤ 4.
+        let g = generators::path(4); // diameter 3
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let scheme = OrScheme::new(
+            TreeDiameterScheme::new(b, 1),
+            TreeDiameterScheme::new(b, 4),
+        );
+        assert!(run_scheme(&scheme, &inst).unwrap().accepted());
+        // Neither disjunct: diameter ≤ 1 OR ≤ 2 on P_4.
+        let scheme_bad = OrScheme::new(
+            TreeDiameterScheme::new(b, 1),
+            TreeDiameterScheme::new(b, 2),
+        );
+        assert_eq!(
+            run_scheme(&scheme_bad, &inst).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+    }
+
+    #[test]
+    fn or_rejects_selector_disagreement() {
+        use crate::framework::run_verification;
+        let g = generators::path(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let scheme = OrScheme::new(
+            TreeDiameterScheme::new(b, 2),
+            TreeDiameterScheme::new(b, 5),
+        );
+        let mut asg = scheme.assign(&inst).unwrap();
+        // Flip vertex 1's selector bit.
+        let c = asg.cert(locert_graph::NodeId(1)).clone();
+        *asg.cert_mut(locert_graph::NodeId(1)) = c.with_bit_flipped(0);
+        let out = run_verification(&scheme, &inst, &asg);
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn and_certificate_size_is_sum_plus_header() {
+        let g = generators::star(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let a = AcyclicityScheme::new(b);
+        let d = TreeDiameterScheme::new(b, 2);
+        let asg_a = a.assign(&inst).unwrap();
+        let asg_d = d.assign(&inst).unwrap();
+        let combo = AndScheme::new(a, d, 10);
+        let asg = combo.assign(&inst).unwrap();
+        assert_eq!(
+            asg.max_bits(),
+            asg_a.max_bits() + asg_d.max_bits() + 10
+        );
+    }
+}

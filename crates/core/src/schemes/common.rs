@@ -1,0 +1,53 @@
+//! Shared helpers for scheme implementations.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::framework::Instance;
+use locert_graph::Ident;
+
+/// The identifier field width a scheme should use for `instance`:
+/// enough bits for every identifier present (`O(log n)` for polynomial
+/// ranges).
+pub fn id_bits_for(instance: &Instance<'_>) -> u32 {
+    instance.ids().max_bits().max(1)
+}
+
+/// Writes an identifier as a fixed-width field.
+///
+/// # Panics
+///
+/// Panics if the identifier does not fit in `width` bits.
+pub fn write_ident(w: &mut BitWriter, id: Ident, width: u32) {
+    w.write(id.value(), width);
+}
+
+/// Reads an identifier written by [`write_ident`].
+pub fn read_ident(r: &mut BitReader<'_>, width: u32) -> Option<Ident> {
+    r.read(width).map(Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::Instance;
+    use locert_graph::{generators, IdAssignment};
+
+    #[test]
+    fn ident_roundtrip() {
+        let mut w = BitWriter::new();
+        write_ident(&mut w, Ident(42), 7);
+        let c = w.finish();
+        let mut r = BitReader::new(&c);
+        assert_eq!(read_ident(&mut r, 7), Some(Ident(42)));
+    }
+
+    #[test]
+    fn id_bits_scale_with_assignment() {
+        let g = generators::path(5);
+        let small = IdAssignment::contiguous(5);
+        let inst = Instance::new(&g, &small);
+        assert_eq!(id_bits_for(&inst), 3);
+        let big = IdAssignment::new((0..5).map(|i| Ident(1000 + i)).collect()).unwrap();
+        let inst2 = Instance::new(&g, &big);
+        assert_eq!(id_bits_for(&inst2), 10);
+    }
+}

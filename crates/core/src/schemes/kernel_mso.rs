@@ -1,0 +1,964 @@
+//! FO/MSO certification on bounded-treedepth graphs via certified
+//! kernelization (Theorem 2.6, Propositions 6.2–6.4).
+//!
+//! The certificate of a vertex at depth `m` of a coherent `t`-model
+//! extends the Theorem 2.4 treedepth certificate with
+//!
+//! 1. one *pruned* flag per ancestor (including the vertex itself):
+//!    whether that ancestor's subtree was pruned during the `k`-reduction;
+//! 2. one *end type* per ancestor (Section 6.1), coded as an index into
+//! 3. a serialized *type table* — the interned `(ancestor vector,
+//!    children-type multiset)` data of every end type, identical at every
+//!    vertex. Its size depends only on `k` and `t` (Proposition 6.2), not
+//!    on `n`.
+//!
+//! Verification (Proposition 6.4): the treedepth checks; table equality
+//! with neighbors; each vertex audits its own end type — the ancestor
+//! vector against its actual adjacency (it sees its ancestors' ids), and
+//! the children-type multiset against the types reported by the visible
+//! members of its children's subtrees (coherence, enforced by the exit
+//! checks of Theorem 2.4, guarantees every child is visible); a pruned
+//! child must leave exactly `k` kept siblings of its type (Lemma 6.1).
+//! Finally every vertex *expands the root's end type into the kernel
+//! graph `H`* — a constant-size description — and checks `H ⊨ φ`, which
+//! by `G ≃_k H` (Proposition 6.3) decides `G ⊨ φ`.
+
+use crate::bits::{width_for, BitReader, BitWriter, Certificate};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
+};
+use crate::schemes::treedepth::{honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert};
+use locert_graph::{Graph, GraphBuilder};
+#[cfg(test)]
+use locert_graph::NodeId;
+use locert_kernel::{k_reduce, TypeId};
+use locert_logic::depth::{is_fo, quantifier_depth};
+use locert_logic::eval::models;
+use locert_logic::Formula;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A fast decision procedure for `φ` on expanded kernels (see
+/// [`KernelMsoScheme::with_evaluator`]).
+pub type KernelEvaluator = Box<dyn Fn(&Graph) -> bool>;
+
+/// Hard cap on the expanded kernel size a verifier will accept; beyond it
+/// the certificate is rejected (the bound `f(t, φ)` is a constant for
+/// fixed parameters, so honest certificates at experiment scale stay far
+/// below).
+pub const KERNEL_EXPANSION_CAP: usize = 4000;
+
+/// One serialized type-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SerType {
+    /// Depth of vertices carrying this type.
+    pub depth: usize,
+    /// Adjacency to the ancestors at depths `0..depth`.
+    pub anc: Vec<bool>,
+    /// Children-type multiset: (type index, multiplicity).
+    pub children: Vec<(u32, usize)>,
+}
+
+/// The serialized table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SerTable {
+    /// Entries indexed by type id.
+    pub types: Vec<SerType>,
+}
+
+impl SerTable {
+    fn type_bits(&self) -> u32 {
+        width_for(self.types.len().max(1) as u64 - 1)
+    }
+
+    fn write(&self, w: &mut BitWriter, t: usize, k: usize) {
+        w.write(self.types.len() as u64, 12);
+        let tb = self.type_bits();
+        let db = width_for(t as u64);
+        let mb = width_for(k as u64);
+        for ty in &self.types {
+            w.write(ty.depth as u64, db);
+            for &b in &ty.anc {
+                w.write_bit(b);
+            }
+            w.write(ty.children.len() as u64, 8);
+            for &(child, mult) in &ty.children {
+                w.write(child as u64, tb);
+                w.write(mult as u64, mb);
+            }
+        }
+    }
+
+    fn read(r: &mut BitReader<'_>, t: usize, k: usize) -> Option<SerTable> {
+        let count = r.read(12)? as usize;
+        let tb = width_for(count.max(1) as u64 - 1);
+        let db = width_for(t as u64);
+        let mb = width_for(k as u64);
+        let mut types = Vec::with_capacity(count);
+        for _ in 0..count {
+            let depth = r.read(db)? as usize;
+            if depth >= t {
+                return None;
+            }
+            let mut anc = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                anc.push(r.read_bit()?);
+            }
+            let n_children = r.read(8)? as usize;
+            let mut children = Vec::with_capacity(n_children);
+            for _ in 0..n_children {
+                let child = r.read(tb)? as u32;
+                let mult = r.read(mb)? as usize;
+                children.push((child, mult));
+            }
+            types.push(SerType {
+                depth,
+                anc,
+                children,
+            });
+        }
+        Some(SerTable { types })
+    }
+
+    /// Structural well-formedness: references in range, multiplicities in
+    /// `1..=k`, children one level deeper, children lists strictly sorted
+    /// by type id (canonical form, so equal tables have equal bits), no
+    /// duplicate entries (so a type id is determined by its data).
+    fn well_formed(&self, k: usize) -> bool {
+        let n = self.types.len();
+        let mut seen = std::collections::HashSet::new();
+        for ty in &self.types {
+            if !seen.insert(ty) {
+                return false;
+            }
+            let mut last_child: Option<u32> = None;
+            for &(child, mult) in &ty.children {
+                if child as usize >= n || mult == 0 || mult > k {
+                    return false;
+                }
+                if self.types[child as usize].depth != ty.depth + 1 {
+                    return false;
+                }
+                if last_child.is_some_and(|l| l >= child) {
+                    return false;
+                }
+                last_child = Some(child);
+            }
+        }
+        true
+    }
+
+    /// Expands `root` into the kernel graph. Returns `None` when the
+    /// expansion exceeds `cap` vertices or the root has non-zero depth.
+    pub fn expand(&self, root: u32, cap: usize) -> Option<Graph> {
+        if self.types.get(root as usize)?.depth != 0 {
+            return None;
+        }
+        // Nodes: (type, ancestor node indices root→parent).
+        let mut node_types: Vec<u32> = vec![root];
+        let mut ancestors: Vec<Vec<usize>> = vec![vec![]];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(node) = queue.pop_front() {
+            let ty = &self.types[node_types[node] as usize];
+            // Edges to ancestors per the ancestor vector.
+            for (j, &adj) in ty.anc.iter().enumerate() {
+                if adj {
+                    edges.push((ancestors[node][j], node));
+                }
+            }
+            for &(child_ty, mult) in &ty.children {
+                for _ in 0..mult {
+                    let idx = node_types.len();
+                    if idx >= cap {
+                        return None;
+                    }
+                    node_types.push(child_ty);
+                    let mut chain = ancestors[node].clone();
+                    chain.push(node);
+                    ancestors.push(chain);
+                    queue.push_back(idx);
+                }
+            }
+        }
+        let mut b = GraphBuilder::new(node_types.len());
+        for (u, v) in edges {
+            b.add_edge(u, v).ok()?;
+        }
+        Some(b.build())
+    }
+}
+
+/// Parsed kernel-MSO certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct KernelCert {
+    td: TdCert,
+    /// Pruned flag per ancestor, aligned with `td.ancestors`.
+    flags: Vec<bool>,
+    /// End type per ancestor, aligned with `td.ancestors`.
+    types: Vec<u32>,
+    table: SerTable,
+}
+
+/// Certifies an FO sentence on graphs of treedepth ≤ `t` (Theorem 2.6).
+pub struct KernelMsoScheme {
+    id_bits: u32,
+    t: usize,
+    k: usize,
+    formula: Formula,
+    strategy: ModelStrategy,
+    /// Optional fast decision procedure for `φ` on the expanded kernel,
+    /// replacing the brute-force FO evaluator. **Must be semantically
+    /// equivalent to `φ`** — used e.g. by `P_t`-minor-freeness, where the
+    /// sentence `¬∃x₁…x_t path` has quantifier depth `t` and brute-force
+    /// evaluation is `|H|^t`, while a bounded path search is cheap.
+    evaluator: Option<KernelEvaluator>,
+    phi_cache: RefCell<HashMap<(u64, u32), bool>>,
+}
+
+impl std::fmt::Debug for KernelMsoScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelMsoScheme")
+            .field("id_bits", &self.id_bits)
+            .field("t", &self.t)
+            .field("k", &self.k)
+            .field("formula", &self.formula.to_string())
+            .field("has_custom_evaluator", &self.evaluator.is_some())
+            .finish()
+    }
+}
+
+impl KernelMsoScheme {
+    /// Builds the scheme for an FO sentence `phi` on graphs of treedepth
+    /// at most `t`. The reduction parameter `k` is `phi`'s quantifier
+    /// depth.
+    ///
+    /// Returns `None` if `phi` is not a closed FO formula. (MSO sentences
+    /// are handled by first translating to FO on bounded-treedepth
+    /// classes, per Theorem 3.2 — the translation itself is outside this
+    /// crate's scope.)
+    pub fn new(id_bits: u32, t: usize, phi: Formula) -> Option<Self> {
+        if !is_fo(&phi) || !phi.is_sentence() {
+            return None;
+        }
+        let k = quantifier_depth(&phi).max(1);
+        Some(KernelMsoScheme {
+            id_bits,
+            t,
+            k,
+            formula: phi,
+            strategy: ModelStrategy::Auto,
+            evaluator: None,
+            phi_cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Overrides the prover's model strategy.
+    pub fn with_strategy(mut self, strategy: ModelStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Installs a fast kernel evaluator equivalent to `φ` (see the field
+    /// docs; the caller owns the equivalence proof).
+    pub fn with_evaluator(
+        mut self,
+        evaluator: impl Fn(&Graph) -> bool + 'static,
+    ) -> Self {
+        self.evaluator = Some(Box::new(evaluator));
+        self
+    }
+
+    /// The reduction parameter `k` (the formula's quantifier depth).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn parse(&self, cert: &Certificate) -> Option<KernelCert> {
+        let mut r = BitReader::new(cert);
+        let td = TdCert::read(&mut r, self.id_bits, self.t)?;
+        let len = td.ancestors.len();
+        let mut flags = Vec::with_capacity(len);
+        for _ in 0..len {
+            flags.push(r.read_bit()?);
+        }
+        // The type-id field width is set by the count, which sits in the
+        // table at the end; write the count redundantly before the types.
+        let count = r.read(12)? as usize;
+        let tb = width_for(count.max(1) as u64 - 1);
+        let mut types = Vec::with_capacity(len);
+        for _ in 0..len {
+            let ty = r.read(tb)? as u32;
+            if ty as usize >= count {
+                return None;
+            }
+            types.push(ty);
+        }
+        let table = SerTable::read(&mut r, self.t, self.k)?;
+        if table.types.len() != count || !r.exhausted() {
+            return None;
+        }
+        Some(KernelCert {
+            td,
+            flags,
+            types,
+            table,
+        })
+    }
+
+    fn kernel_satisfies_phi(&self, table: &SerTable, root: u32) -> bool {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        table.hash(&mut hasher);
+        let key = (hasher.finish(), root);
+        if let Some(&hit) = self.phi_cache.borrow().get(&key) {
+            return hit;
+        }
+        let result = table
+            .expand(root, KERNEL_EXPANSION_CAP)
+            .is_some_and(|h| {
+                h.num_nodes() > 0
+                    && match &self.evaluator {
+                        Some(f) => f(&h),
+                        None => models(&h, &self.formula),
+                    }
+            });
+        self.phi_cache.borrow_mut().insert(key, result);
+        result
+    }
+}
+
+impl Prover for KernelMsoScheme {
+    fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let g = instance.graph();
+        let model = model_for(instance, self.t, &self.strategy)?;
+        let red = k_reduce(g, &model, self.k);
+        // Serialize the type table.
+        let table = SerTable {
+            types: (0..red.types.len())
+                .map(|i| {
+                    let data = red.types.get(TypeId(i as u32));
+                    SerType {
+                        depth: data.ancestors.len(),
+                        anc: data.ancestors.clone(),
+                        children: data
+                            .children
+                            .iter()
+                            .map(|(&TypeId(c), &m)| (c, m))
+                            .collect(),
+                    }
+                })
+                .collect(),
+        };
+        if table.types.len() >= (1 << 12) {
+            return Err(ProverError::WitnessUnavailable(
+                "type table exceeds the 12-bit index space".into(),
+            ));
+        }
+        // Completeness gate: check φ on the expanded kernel — the same
+        // object the verifier will inspect.
+        let root_type = red.end_type[model.root().0];
+        if !self.kernel_satisfies_phi(&table, root_type.0) {
+            return Err(ProverError::NotAYesInstance);
+        }
+        let td = honest_td_certs(instance, &model);
+        let tb = table.type_bits();
+        let certs = g
+            .nodes()
+            .map(|v| {
+                let ancs = model.ancestors(v);
+                let mut w = BitWriter::new();
+                td[v.0].write(&mut w, self.id_bits, self.t);
+                for &a in &ancs {
+                    w.write_bit(red.pruned[a.0]);
+                }
+                w.write(table.types.len() as u64, 12);
+                for &a in &ancs {
+                    w.write(red.end_type[a.0].0 as u64, tb);
+                }
+                table.write(&mut w, self.t, self.k);
+                w.finish()
+            })
+            .collect();
+        Ok(Assignment::new(certs))
+    }
+}
+
+impl Verifier for KernelMsoScheme {
+    fn verify(&self, view: &LocalView<'_>) -> bool {
+        // 1. Treedepth layer.
+        let Some(td) = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td))
+        else {
+            return false;
+        };
+        let Some(mine) = self.parse(view.cert) else {
+            return false;
+        };
+        let m = td.depth();
+        if mine.flags.len() != m + 1 || mine.types.len() != m + 1 {
+            return false;
+        }
+        // 2. Table integrity.
+        if !mine.table.well_formed(self.k) {
+            return false;
+        }
+        // 3. Parse neighbors; identical tables; shared-ancestor types and
+        //    flags agree.
+        let mut nbrs = Vec::with_capacity(view.neighbors.len());
+        for &(_, _, cert) in &view.neighbors {
+            let Some(nc) = self.parse(cert) else {
+                return false;
+            };
+            if nc.table != mine.table {
+                return false;
+            }
+            let shared = mine.types.len().min(nc.types.len());
+            let my_off = mine.types.len() - shared;
+            let n_off = nc.types.len() - shared;
+            if mine.types[my_off..] != nc.types[n_off..]
+                || mine.flags[my_off..] != nc.flags[n_off..]
+            {
+                return false;
+            }
+            nbrs.push(nc);
+        }
+        // 4. Each carried type sits at the right depth.
+        for (i, &ty) in mine.types.iter().enumerate() {
+            let depth = m - i;
+            if mine.table.types[ty as usize].depth != depth {
+                return false;
+            }
+        }
+        // 5. My own type's ancestor vector against my real adjacency.
+        let my_type = &mine.table.types[mine.types[0] as usize];
+        for j in 0..m {
+            let anc_id = mine.td.ancestors[m - j];
+            if my_type.anc[j] != view.has_neighbor(anc_id) {
+                return false;
+            }
+        }
+        // 6. Children audit: collect (child id → (type, flag)) from
+        //    strict descendants among my neighbors.
+        let mut children: HashMap<u64, (u32, bool)> = HashMap::new();
+        for nc in &nbrs {
+            let nm = nc.td.depth();
+            if nm < m + 1 {
+                continue;
+            }
+            // Strict descendant iff my list is a proper suffix of theirs
+            // (already guaranteed comparable by the td layer).
+            let off = nm - m;
+            if nc.td.ancestors[off..] != mine.td.ancestors[..] {
+                continue;
+            }
+            let child_idx = off - 1; // their ancestor at depth m + 1.
+            let child_id = nc.td.ancestors[child_idx].value();
+            let report = (nc.types[child_idx], nc.flags[child_idx]);
+            if let Some(prev) = children.insert(child_id, report) {
+                if prev != report {
+                    return false;
+                }
+            }
+        }
+        // Multiset of kept-children types.
+        let mut kept_counts: HashMap<u32, usize> = HashMap::new();
+        let mut pruned_types: Vec<u32> = Vec::new();
+        for (ty, pruned) in children.values() {
+            if *pruned {
+                pruned_types.push(*ty);
+            } else {
+                *kept_counts.entry(*ty).or_insert(0) += 1;
+            }
+        }
+        let declared: HashMap<u32, usize> =
+            my_type.children.iter().copied().collect();
+        if kept_counts != declared {
+            return false;
+        }
+        // Lemma 6.1: every pruned child type has exactly k kept siblings.
+        for ty in pruned_types {
+            if declared.get(&ty).copied() != Some(self.k) {
+                return false;
+            }
+        }
+        // 7. The kernel satisfies φ.
+        let root_type = *mine.types.last().expect("non-empty list");
+        self.kernel_satisfies_phi(&mine.table, root_type)
+    }
+}
+
+impl Scheme for KernelMsoScheme {
+    fn name(&self) -> String {
+        format!("kernel-mso[t={}, k={}]", self.t, self.k)
+    }
+}
+
+/// The global+local variant of the paper's Section 7.1 remark (and
+/// \[27]): vertices receive one **shared global certificate** — here the
+/// constant-size type table — plus short local certificates (the
+/// Theorem 2.4 layer, pruned flags, and type indices).
+///
+/// Semantics are identical to [`KernelMsoScheme`] (the implementation
+/// reconstitutes full certificates by appending the global part, which is
+/// exactly where the local-only scheme keeps the table), but the *sizes*
+/// split: the `f(t, φ)` table is paid once globally, the per-vertex cost
+/// drops to `O(t log n)`.
+pub struct KernelMsoGlobalScheme {
+    inner: KernelMsoScheme,
+}
+
+impl std::fmt::Debug for KernelMsoGlobalScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelMsoGlobalScheme")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Outcome of a global+local run: acceptance and the two size components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalOutcome {
+    /// Whether every vertex accepted.
+    pub accepted: bool,
+    /// Bits of the shared global certificate.
+    pub global_bits: usize,
+    /// Maximum bits over the per-vertex local certificates.
+    pub max_local_bits: usize,
+}
+
+impl KernelMsoGlobalScheme {
+    /// Builds the scheme (same parameters as [`KernelMsoScheme::new`]).
+    pub fn new(id_bits: u32, t: usize, phi: Formula) -> Option<Self> {
+        Some(KernelMsoGlobalScheme {
+            inner: KernelMsoScheme::new(id_bits, t, phi)?,
+        })
+    }
+
+    /// Overrides the prover's model strategy.
+    pub fn with_strategy(mut self, strategy: ModelStrategy) -> Self {
+        self.inner = self.inner.with_strategy(strategy);
+        self
+    }
+
+    /// The bit length of the serialized table inside `cert` (the table is
+    /// the suffix of every local-only certificate).
+    fn table_bits(&self, cert: &Certificate) -> Option<usize> {
+        let parsed = self.inner.parse(cert)?;
+        let mut w = BitWriter::new();
+        parsed.table.write(&mut w, self.inner.t, self.inner.k);
+        Some(w.len_bits())
+    }
+
+    fn slice(cert: &Certificate, from: usize, to: usize) -> Certificate {
+        let mut w = BitWriter::new();
+        for i in from..to {
+            w.write_bit(cert.bit(i));
+        }
+        w.finish()
+    }
+
+    /// Prover: the shared global certificate (the table) and the
+    /// per-vertex locals.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelMsoScheme`]'s prover.
+    pub fn assign_split(
+        &self,
+        instance: &Instance<'_>,
+    ) -> Result<(Certificate, Assignment), ProverError> {
+        let full = self.inner.assign(instance)?;
+        let n = instance.graph().num_nodes();
+        let first = full.cert(locert_graph::NodeId(0));
+        let tbits = self
+            .table_bits(first)
+            .expect("honest certificates parse");
+        let global = Self::slice(first, first.len_bits() - tbits, first.len_bits());
+        let locals = Assignment::new(
+            (0..n)
+                .map(|v| {
+                    let c = full.cert(locert_graph::NodeId(v));
+                    Self::slice(c, 0, c.len_bits() - tbits)
+                })
+                .collect(),
+        );
+        Ok((global, locals))
+    }
+
+    /// One vertex's verdict given its local view and the shared global
+    /// certificate.
+    pub fn verify_with_global(&self, view: &LocalView<'_>, global: &Certificate) -> bool {
+        let glue = |local: &Certificate| {
+            let mut w = BitWriter::new();
+            w.write_cert(local);
+            w.write_cert(global);
+            w.finish()
+        };
+        let own = glue(view.cert);
+        let nbr_certs: Vec<Certificate> = view
+            .neighbors
+            .iter()
+            .map(|(_, _, c)| glue(c))
+            .collect();
+        let full_view = LocalView {
+            id: view.id,
+            input: view.input,
+            cert: &own,
+            neighbors: view
+                .neighbors
+                .iter()
+                .zip(nbr_certs.iter())
+                .map(|(&(id, input, _), c)| (id, input, c))
+                .collect(),
+        };
+        self.inner.verify(&full_view)
+    }
+
+    /// Runs the full global+local pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the prover's error.
+    pub fn run(&self, instance: &Instance<'_>) -> Result<GlobalOutcome, ProverError> {
+        let (global, locals) = self.assign_split(instance)?;
+        let accepted = instance.graph().nodes().all(|v| {
+            let view = crate::framework::view_of(instance, &locals, v);
+            self.verify_with_global(&view, &global)
+        });
+        Ok(GlobalOutcome {
+            accepted,
+            global_bits: global.len_bits(),
+            max_local_bits: locals.max_bits(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::{run_scheme, run_verification};
+    use crate::schemes::common::id_bits_for;
+    use locert_graph::{generators, IdAssignment};
+    use locert_logic::props;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_matches_ground_truth(
+        g: &Graph,
+        t: usize,
+        phi: &Formula,
+        strategy: ModelStrategy,
+    ) {
+        let ids = IdAssignment::contiguous(g.num_nodes());
+        let inst = Instance::new(g, &ids);
+        let scheme = KernelMsoScheme::new(id_bits_for(&inst), t, phi.clone())
+            .unwrap()
+            .with_strategy(strategy);
+        let expected = models(g, phi);
+        match run_scheme(&scheme, &inst) {
+            Ok(out) => {
+                assert!(out.accepted(), "verifier rejected honest prover: {phi} on {g:?}");
+                assert!(expected, "accepted a no-instance: {phi} on {g:?}");
+            }
+            Err(ProverError::NotAYesInstance) => {
+                assert!(!expected, "refused a yes-instance: {phi} on {g:?}");
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn stars_and_domination() {
+        // Stars (treedepth 2): domination holds; on a path it does not.
+        check_matches_ground_truth(
+            &generators::star(9),
+            2,
+            &props::has_dominating_vertex(),
+            ModelStrategy::Auto,
+        );
+        check_matches_ground_truth(
+            &generators::path(7),
+            3,
+            &props::has_dominating_vertex(),
+            ModelStrategy::Auto,
+        );
+    }
+
+    #[test]
+    fn triangle_freeness_on_bounded_treedepth() {
+        let mut rng = StdRng::seed_from_u64(151);
+        for _ in 0..6 {
+            let (g, parents) = generators::random_bounded_treedepth(14, 3, 0.5, &mut rng);
+            check_matches_ground_truth(
+                &g,
+                3,
+                &props::triangle_free(),
+                ModelStrategy::Explicit(parents),
+            );
+        }
+    }
+
+    #[test]
+    fn path_freeness_formula() {
+        // P_4-freeness on stars (true) and paths (false).
+        check_matches_ground_truth(
+            &generators::star(8),
+            2,
+            &props::path_minor_free(4),
+            ModelStrategy::Auto,
+        );
+        check_matches_ground_truth(
+            &generators::path(6),
+            3,
+            &props::path_minor_free(4),
+            ModelStrategy::Auto,
+        );
+    }
+
+    #[test]
+    fn certificate_sizes_scale_with_t_log_n_plus_constant() {
+        // Same t and φ, growing n: the certificate splits into an
+        // O(t log n) part and a constant table.
+        let phi = props::has_dominating_vertex();
+        let mut sizes = Vec::new();
+        for exp in [3u32, 5, 7] {
+            let n = 1usize << exp;
+            let g = generators::star(n);
+            let ids = IdAssignment::contiguous(n);
+            let inst = Instance::new(&g, &ids);
+            let scheme =
+                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let out = run_scheme(&scheme, &inst).unwrap();
+            assert!(out.accepted());
+            sizes.push(out.max_bits());
+        }
+        // Growth between successive doublings is bounded by the id-width
+        // growth (a few bits per extra id bit), far below the table size.
+        assert!(sizes[2] - sizes[1] <= 30, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn forged_type_rejected() {
+        let g = generators::star(6);
+        let ids = IdAssignment::contiguous(6);
+        let inst = Instance::new(&g, &ids);
+        let scheme = KernelMsoScheme::new(
+            id_bits_for(&inst),
+            2,
+            props::has_dominating_vertex(),
+        )
+        .unwrap();
+        let asg = scheme.assign(&inst).unwrap();
+        // Flip each bit of one leaf's certificate in turn; all must be
+        // rejected (no single-bit forgery survives).
+        let victim = NodeId(3);
+        let base = asg.cert(victim).clone();
+        for bit in 0..base.len_bits() {
+            let mut forged = asg.clone();
+            *forged.cert_mut(victim) = base.with_bit_flipped(bit);
+            let out = run_verification(&scheme, &inst, &forged);
+            assert!(!out.accepted(), "bit {bit} forgery accepted");
+        }
+    }
+
+    #[test]
+    fn replay_across_instances_rejected() {
+        // Certificates from a dominated graph replayed on a path of the
+        // same size: must fail.
+        let star = generators::star(6);
+        let path = generators::path(6);
+        let ids = IdAssignment::contiguous(6);
+        let inst_star = Instance::new(&star, &ids);
+        let inst_path = Instance::new(&path, &ids);
+        let scheme = KernelMsoScheme::new(
+            id_bits_for(&inst_star),
+            3,
+            props::has_dominating_vertex(),
+        )
+        .unwrap();
+        let honest = scheme.assign(&inst_star).unwrap();
+        assert!(!run_verification(&scheme, &inst_path, &honest).accepted());
+    }
+
+    #[test]
+    fn kernel_reduces_large_stars_to_constant_table() {
+        // The table of a star does not grow with n.
+        let phi = props::has_dominating_vertex();
+        let mut table_sizes = Vec::new();
+        for n in [8usize, 64, 512] {
+            let g = generators::star(n);
+            let ids = IdAssignment::contiguous(n);
+            let inst = Instance::new(&g, &ids);
+            let scheme =
+                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let asg = scheme.assign(&inst).unwrap();
+            let parsed = scheme.parse(asg.cert(NodeId(0))).unwrap();
+            table_sizes.push(parsed.table.types.len());
+        }
+        assert_eq!(table_sizes[0], table_sizes[1]);
+        assert_eq!(table_sizes[1], table_sizes[2]);
+    }
+
+    #[test]
+    fn expansion_reconstructs_kernel() {
+        // For a star with k = 2, the expansion of the root type is the
+        // 3-vertex star.
+        let g = generators::star(10);
+        let ids = IdAssignment::contiguous(10);
+        let inst = Instance::new(&g, &ids);
+        let phi = props::has_dominating_vertex(); // depth 2 → k = 2.
+        let scheme = KernelMsoScheme::new(id_bits_for(&inst), 2, phi).unwrap();
+        let asg = scheme.assign(&inst).unwrap();
+        let parsed = scheme.parse(asg.cert(NodeId(0))).unwrap();
+        let root_ty = *parsed.types.last().unwrap();
+        let h = parsed.table.expand(root_ty, 100).unwrap();
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn ill_formed_table_rejected() {
+        let g = generators::star(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let scheme = KernelMsoScheme::new(
+            id_bits_for(&inst),
+            2,
+            props::has_dominating_vertex(),
+        )
+        .unwrap();
+        // A table whose child multiplicity exceeds k is rejected by
+        // well_formed.
+        let bad = SerTable {
+            types: vec![
+                SerType {
+                    depth: 0,
+                    anc: vec![],
+                    children: vec![(1, 99)],
+                },
+                SerType {
+                    depth: 1,
+                    anc: vec![true],
+                    children: vec![],
+                },
+            ],
+        };
+        assert!(!bad.well_formed(scheme.k()));
+        let good = SerTable {
+            types: vec![
+                SerType {
+                    depth: 0,
+                    anc: vec![],
+                    children: vec![(1, 2)],
+                },
+                SerType {
+                    depth: 1,
+                    anc: vec![true],
+                    children: vec![],
+                },
+            ],
+        };
+        assert!(good.well_formed(2));
+        // Expansion of the good table: root + 2 children, edges to root.
+        let h = good.expand(0, 10).unwrap();
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn expansion_cap_enforced() {
+        // A self-exploding table: depth-0 root with many children each
+        // with many children.
+        let t = SerTable {
+            types: vec![
+                SerType {
+                    depth: 0,
+                    anc: vec![],
+                    children: vec![(1, 3)],
+                },
+                SerType {
+                    depth: 1,
+                    anc: vec![true],
+                    children: vec![(2, 3)],
+                },
+                SerType {
+                    depth: 2,
+                    anc: vec![true, true],
+                    children: vec![],
+                },
+            ],
+        };
+        assert!(t.expand(0, 5).is_none());
+        assert!(t.expand(0, 100).is_some());
+        // Root must have depth 0.
+        assert!(t.expand(1, 100).is_none());
+    }
+
+    #[test]
+    fn global_variant_agrees_and_shrinks_locals() {
+        let phi = props::has_dominating_vertex();
+        for n in [16usize, 128, 1024] {
+            let g = generators::star(n);
+            let ids = IdAssignment::contiguous(n);
+            let inst = Instance::new(&g, &ids);
+            let local_only =
+                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let split =
+                KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let full = run_scheme(&local_only, &inst).unwrap();
+            assert!(full.accepted());
+            let out = split.run(&inst).unwrap();
+            assert!(out.accepted);
+            // Local + global = local-only total per vertex.
+            assert_eq!(out.max_local_bits + out.global_bits, full.max_bits());
+            assert!(out.max_local_bits < full.max_bits());
+        }
+    }
+
+    #[test]
+    fn global_variant_soundness_spot_checks() {
+        let phi = props::has_dominating_vertex();
+        let g = generators::star(8);
+        let ids = IdAssignment::contiguous(8);
+        let inst = Instance::new(&g, &ids);
+        let split = KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi).unwrap();
+        let (global, locals) = split.assign_split(&inst).unwrap();
+        // Corrupt the global table: everyone who reads it rejects.
+        let bad_global = global.with_bit_flipped(global.len_bits() / 2);
+        let rejected = g.nodes().any(|v| {
+            let view = crate::framework::view_of(&inst, &locals, v);
+            !split.verify_with_global(&view, &bad_global)
+        });
+        assert!(rejected, "corrupted global table went unnoticed");
+        // Corrupt one local certificate.
+        let mut bad_locals = locals.clone();
+        let c = bad_locals.cert(NodeId(3)).clone();
+        *bad_locals.cert_mut(NodeId(3)) = c.with_bit_flipped(1);
+        let rejected_local = g.nodes().any(|v| {
+            let view = crate::framework::view_of(&inst, &bad_locals, v);
+            !split.verify_with_global(&view, &global)
+        });
+        assert!(rejected_local);
+    }
+
+    #[test]
+    fn random_larger_instances_with_witness() {
+        let mut rng = StdRng::seed_from_u64(152);
+        let (g, parents) = generators::random_bounded_treedepth(60, 3, 0.6, &mut rng);
+        let ids = IdAssignment::shuffled(60, &mut rng);
+        let inst = Instance::new(&g, &ids);
+        let phi = props::triangle_free();
+        let expected = models(&g, &phi);
+        let scheme = KernelMsoScheme::new(id_bits_for(&inst), 3, phi)
+            .unwrap()
+            .with_strategy(ModelStrategy::Explicit(parents));
+        match run_scheme(&scheme, &inst) {
+            Ok(out) => {
+                assert!(out.accepted());
+                assert!(expected);
+            }
+            Err(ProverError::NotAYesInstance) => assert!(!expected),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}

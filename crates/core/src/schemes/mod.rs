@@ -1,0 +1,16 @@
+//! Every certification scheme from the paper, one module per result.
+
+pub mod acyclicity;
+pub mod combinators;
+pub mod common;
+pub mod depth2_fo;
+pub mod existential_fo;
+pub mod kernel_mso;
+pub mod minor_free;
+pub mod mso_tree;
+pub mod spanning_tree;
+pub mod tree_depth_bound;
+pub mod tree_diameter;
+pub mod universal;
+pub mod treedepth;
+pub mod word_path;

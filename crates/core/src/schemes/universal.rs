@@ -1,0 +1,413 @@
+//! The universal certification (Section 1.2): *any* property of connected
+//! graphs is certifiable by broadcasting the whole graph.
+//!
+//! Every vertex receives the full map — vertex count, the identifier
+//! list, the adjacency matrix — plus its own index in the map. Each
+//! vertex checks that (1) its neighbors carry the identical map, (2) the
+//! map's row at its own index matches its *actual* neighborhood exactly,
+//! and (3) the map graph satisfies the property.
+//!
+//! Soundness for connected targets: every real vertex pins its own row,
+//! so the map restricted to real identifiers is exactly `G`; phantom map
+//! vertices cannot claim edges into the real part (the real endpoint
+//! would see a foreign identifier), so they form separate components —
+//! killed by requiring the map to be connected.
+//!
+//! Size: `n² + O(n log n)` bits — the paper's generic upper bound, and
+//! the upper-bound companion to the `Ω̃(n)` lower bound of Theorem 2.3
+//! (e.g. instantiated with the fixed-point-free-automorphism property via
+//! [`crate::schemes::universal::fpf_automorphism_scheme`]).
+
+use crate::bits::{BitReader, BitWriter, Certificate};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
+};
+use crate::schemes::common::{read_ident, write_ident};
+use locert_graph::{automorphism, Graph, Ident};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// How the broadcast map is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapEncoding {
+    /// Upper-triangular adjacency matrix: `n²/2` bits — the paper's
+    /// generic `O(n²)` bound.
+    Matrix,
+    /// Edge list: `O(m log n)` bits — `Õ(n)` on trees, matching the
+    /// Theorem 2.3 lower bound for fixed-point-free automorphism.
+    EdgeList,
+}
+
+/// Certifies an arbitrary (isomorphism-invariant) property of connected
+/// graphs by broadcasting the full graph description.
+pub struct UniversalScheme {
+    id_bits: u32,
+    /// Maximum representable vertex count (field width guard).
+    n_bits: u32,
+    encoding: MapEncoding,
+    property: Arc<dyn Fn(&Graph) -> bool + Send + Sync>,
+    name: String,
+}
+
+impl std::fmt::Debug for UniversalScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniversalScheme")
+            .field("id_bits", &self.id_bits)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl UniversalScheme {
+    /// Builds the scheme for `property` (evaluated on the broadcast map;
+    /// it must be isomorphism-invariant and should imply connectivity or
+    /// tolerate checking it — the verifier additionally rejects
+    /// disconnected maps).
+    pub fn new(
+        id_bits: u32,
+        name: impl Into<String>,
+        property: impl Fn(&Graph) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        UniversalScheme {
+            id_bits,
+            n_bits: 16,
+            encoding: MapEncoding::Matrix,
+            property: Arc::new(property),
+            name: name.into(),
+        }
+    }
+
+    /// Switches to the sparse edge-list encoding (`O(m log n)` bits).
+    pub fn sparse(mut self) -> Self {
+        self.encoding = MapEncoding::EdgeList;
+        self
+    }
+
+    fn parse(&self, cert: &Certificate) -> Option<(Vec<Ident>, Graph, usize)> {
+        let mut r = BitReader::new(cert);
+        let n = r.read(self.n_bits)? as usize;
+        if n == 0 || n > 4096 {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(read_ident(&mut r, self.id_bits)?);
+        }
+        // Distinct identifiers.
+        if ids.iter().collect::<BTreeSet<_>>().len() != n {
+            return None;
+        }
+        let mut edges = Vec::new();
+        match self.encoding {
+            MapEncoding::Matrix => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if r.read_bit()? {
+                            edges.push((i, j));
+                        }
+                    }
+                }
+            }
+            MapEncoding::EdgeList => {
+                let vb = crate::bits::width_for(n as u64 - 1);
+                let m = r.read(20)? as usize;
+                for _ in 0..m {
+                    let i = r.read(vb)? as usize;
+                    let j = r.read(vb)? as usize;
+                    if i >= n || j >= n || i >= j {
+                        return None; // canonical: i < j.
+                    }
+                    edges.push((i, j));
+                }
+            }
+        }
+        let self_idx = r.read(self.n_bits)? as usize;
+        if self_idx >= n || !r.exhausted() {
+            return None;
+        }
+        let g = Graph::from_edges(n, edges).ok()?;
+        Some((ids, g, self_idx))
+    }
+}
+
+impl Prover for UniversalScheme {
+    fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let g = instance.graph();
+        if !(self.property)(g) || !g.is_connected() {
+            return Err(ProverError::NotAYesInstance);
+        }
+        let n = g.num_nodes();
+        if n >= (1usize << self.n_bits) {
+            return Err(ProverError::WitnessUnavailable(
+                "graph exceeds the universal scheme's size field".into(),
+            ));
+        }
+        let ids = instance.ids();
+        let certs = g
+            .nodes()
+            .map(|v| {
+                let mut w = BitWriter::new();
+                w.write(n as u64, self.n_bits);
+                for u in g.nodes() {
+                    write_ident(&mut w, ids.ident(u), self.id_bits);
+                }
+                match self.encoding {
+                    MapEncoding::Matrix => {
+                        for i in 0..n {
+                            for j in (i + 1)..n {
+                                w.write_bit(g.has_edge(i.into(), j.into()));
+                            }
+                        }
+                    }
+                    MapEncoding::EdgeList => {
+                        let vb = crate::bits::width_for(n as u64 - 1);
+                        w.write(g.num_edges() as u64, 20);
+                        for (a, b) in g.edges() {
+                            w.write(a.0 as u64, vb);
+                            w.write(b.0 as u64, vb);
+                        }
+                    }
+                }
+                w.write(v.0 as u64, self.n_bits);
+                w.finish()
+            })
+            .collect();
+        Ok(Assignment::new(certs))
+    }
+}
+
+impl Verifier for UniversalScheme {
+    fn verify(&self, view: &LocalView<'_>) -> bool {
+        let Some((ids, map, self_idx)) = self.parse(view.cert) else {
+            return false;
+        };
+        // My identifier sits at my claimed index.
+        if ids[self_idx] != view.id {
+            return false;
+        }
+        // Neighbors carry the identical map (ids + adjacency); their
+        // self-indices differ, so compare the parsed pieces.
+        for &(_, _, cert) in &view.neighbors {
+            match self.parse(cert) {
+                Some((nids, nmap, _)) if nids == ids && nmap == map => {}
+                _ => return false,
+            }
+        }
+        // My map row matches my actual neighborhood exactly.
+        let claimed: BTreeSet<Ident> = map
+            .neighbors(locert_graph::NodeId(self_idx))
+            .iter()
+            .map(|&j| ids[j.0])
+            .collect();
+        let actual: BTreeSet<Ident> =
+            view.neighbors.iter().map(|&(nid, _, _)| nid).collect();
+        if claimed != actual {
+            return false;
+        }
+        // The map is connected and satisfies the property.
+        map.is_connected() && (self.property)(&map)
+    }
+}
+
+impl Scheme for UniversalScheme {
+    fn name(&self) -> String {
+        format!("universal[{}]", self.name)
+    }
+}
+
+/// The Theorem 2.3 upper-bound companion: certify "the tree has a
+/// fixed-point-free automorphism" with Õ(n)-bit certificates via the
+/// universal scheme (the lower bound says this is essentially optimal —
+/// in stark contrast with the O(1) bits of every MSO property).
+pub fn fpf_automorphism_scheme(id_bits: u32) -> UniversalScheme {
+    UniversalScheme::new(id_bits, "fpf-automorphism", |g| {
+        automorphism::tree_has_fpf_automorphism(g) == Some(true)
+    })
+    // Trees are sparse: the edge list costs O(n log n) = Õ(n) bits,
+    // matching the Ω̃(n) lower bound of Theorem 2.3.
+    .sparse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks;
+    use crate::framework::{run_scheme, run_verification};
+    use crate::schemes::common::id_bits_for;
+    use locert_graph::{generators, IdAssignment, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certifies_arbitrary_properties() {
+        // "The graph has an even number of edges" — far outside MSO's
+        // certifiable-with-small-certificates world, trivial here.
+        let g = generators::cycle(6);
+        let ids = IdAssignment::contiguous(6);
+        let inst = Instance::new(&g, &ids);
+        let scheme = UniversalScheme::new(id_bits_for(&inst), "even-edges", |g| {
+            g.num_edges() % 2 == 0
+        });
+        assert!(run_scheme(&scheme, &inst).unwrap().accepted());
+        let c5 = generators::cycle(5);
+        let ids5 = IdAssignment::contiguous(5);
+        let inst5 = Instance::new(&c5, &ids5);
+        let scheme5 = UniversalScheme::new(id_bits_for(&inst5), "even-edges", |g| {
+            g.num_edges() % 2 == 0
+        });
+        assert_eq!(
+            run_scheme(&scheme5, &inst5).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+    }
+
+    #[test]
+    fn fpf_scheme_matches_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..12 {
+            let n = 2 + rand::RngExt::random_range(&mut rng, 0..8usize);
+            let g = generators::random_tree(n, &mut rng);
+            let ids = IdAssignment::shuffled(n, &mut rng);
+            let inst = Instance::new(&g, &ids);
+            let scheme = fpf_automorphism_scheme(id_bits_for(&inst));
+            let expected =
+                automorphism::tree_has_fpf_automorphism(&g) == Some(true);
+            match run_scheme(&scheme, &inst) {
+                Ok(out) => {
+                    assert!(out.accepted());
+                    assert!(expected);
+                }
+                Err(ProverError::NotAYesInstance) => assert!(!expected),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_quadratic_plus_n_log_n() {
+        for n in [8usize, 16, 32] {
+            let g = generators::path(n);
+            let ids = IdAssignment::contiguous(n);
+            let inst = Instance::new(&g, &ids);
+            let scheme = UniversalScheme::new(id_bits_for(&inst), "any", |_| true);
+            let out = run_scheme(&scheme, &inst).unwrap();
+            let expected =
+                16 + n * id_bits_for(&inst) as usize + n * (n - 1) / 2 + 16;
+            assert_eq!(out.max_bits(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sparse_encoding_is_quasilinear_on_trees() {
+        for n in [16usize, 64, 256] {
+            let g = generators::path(n);
+            let ids = IdAssignment::contiguous(n);
+            let inst = Instance::new(&g, &ids);
+            let dense = UniversalScheme::new(id_bits_for(&inst), "any", |_| true);
+            let sparse =
+                UniversalScheme::new(id_bits_for(&inst), "any", |_| true).sparse();
+            let db = run_scheme(&dense, &inst).unwrap().max_bits();
+            let sb = run_scheme(&sparse, &inst).unwrap().max_bits();
+            // Sparse beats dense as soon as m log n < n²/2.
+            if n >= 64 {
+                assert!(sb < db, "n = {n}: sparse {sb} >= dense {db}");
+            }
+            // Õ(n): within a log factor of linear.
+            let l = id_bits_for(&inst) as usize;
+            assert!(sb <= 52 + n * l + (n - 1) * 2 * l, "n = {n}, sb = {sb}");
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_non_canonical_edge_lists() {
+        // An edge encoded as (j, i) with j > i must not parse.
+        let g = generators::path(2);
+        let ids = IdAssignment::contiguous(2);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let scheme = UniversalScheme::new(b, "any", |_| true).sparse();
+        let mut w = BitWriter::new();
+        w.write(2, 16);
+        write_ident(&mut w, Ident(1), b);
+        write_ident(&mut w, Ident(2), b);
+        w.write(1, 20); // one edge
+        w.write(1, 1); // i = 1
+        w.write(0, 1); // j = 0 (non-canonical)
+        w.write(0, 16);
+        let asg = Assignment::new(vec![w.finish(), Certificate::empty()]);
+        assert!(!run_verification(&scheme, &inst, &asg).accepted());
+    }
+
+    #[test]
+    fn forged_map_row_caught_by_owner() {
+        let g = generators::path(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let scheme = UniversalScheme::new(id_bits_for(&inst), "any", |_| true);
+        let honest = scheme.assign(&inst).unwrap();
+        // Forge an extra edge into every copy of the map (bit of pair
+        // (0, 2) in the upper-triangle block).
+        let n = 4;
+        let header = 16 + n * id_bits_for(&inst) as usize;
+        let pair_index = |i: usize, j: usize| {
+            // upper triangle, row-major: (0,1)(0,2)(0,3)(1,2)...
+            let mut k = 0;
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if (a, b) == (i, j) {
+                        return k;
+                    }
+                    k += 1;
+                }
+            }
+            unreachable!()
+        };
+        let mut forged = honest.clone();
+        for v in 0..n {
+            let c = forged.cert(NodeId(v)).clone();
+            *forged.cert_mut(NodeId(v)) =
+                c.with_bit_flipped(header + pair_index(0, 2));
+        }
+        let out = run_verification(&scheme, &inst, &forged);
+        assert!(!out.accepted());
+        // The endpoints of the phantom edge are among the rejectors.
+        assert!(out.rejecting().contains(&Ident(1)) || out.rejecting().contains(&Ident(3)));
+    }
+
+    #[test]
+    fn phantom_component_killed_by_connectivity() {
+        // Hand-build a map with an extra isolated phantom vertex: the
+        // map is disconnected → rejected.
+        let g = generators::path(2);
+        let ids = IdAssignment::contiguous(2);
+        let inst = Instance::new(&g, &ids);
+        let b = id_bits_for(&inst);
+        let scheme = UniversalScheme::new(b, "any", |_| true);
+        let make = |self_idx: u64| {
+            let mut w = BitWriter::new();
+            w.write(3, 16); // claim n = 3.
+            write_ident(&mut w, Ident(1), b);
+            write_ident(&mut w, Ident(2), b);
+            write_ident(&mut w, Ident(3), b); // phantom.
+            // adjacency pairs (0,1), (0,2), (1,2): only the real edge.
+            w.write_bit(true);
+            w.write_bit(false);
+            w.write_bit(false);
+            w.write(self_idx, 16);
+            w.finish()
+        };
+        let asg = Assignment::new(vec![make(0), make(1)]);
+        assert!(!run_verification(&scheme, &inst, &asg).accepted());
+    }
+
+    #[test]
+    fn random_attacks_rejected() {
+        let g = generators::star(5); // no FPF automorphism (center fixed).
+        let ids = IdAssignment::contiguous(5);
+        let inst = Instance::new(&g, &ids);
+        let scheme = fpf_automorphism_scheme(id_bits_for(&inst));
+        let mut rng = StdRng::seed_from_u64(92);
+        let bits = 16 + 5 * 3 + 10 + 16;
+        assert!(attacks::random_assignments(&scheme, &inst, bits, &mut rng, 200).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Fixed-point-free automorphisms of trees.
+//!
+//! Theorem 2.3 of the paper concerns the property "the tree has an
+//! automorphism without fixed point", the canonical example of a non-MSO
+//! property that cannot be certified compactly. This module decides the
+//! property exactly:
+//!
+//! - for trees, via the center criterion ([`tree_has_fpf_automorphism`]):
+//!   every automorphism preserves the center, so a fixed-point-free
+//!   automorphism exists **iff** the center is an edge whose two halves are
+//!   isomorphic as rooted trees (swapping the halves moves every vertex);
+//! - for arbitrary small graphs, by brute force over all permutations
+//!   ([`brute_force_fpf_automorphism`]), used to cross-validate the
+//!   criterion.
+
+use crate::canon::{ahu_code, center};
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::rooted::RootedTree;
+
+/// Decides whether the tree `g` has a fixed-point-free automorphism.
+///
+/// Returns `None` if `g` is not a tree.
+///
+/// Every tree automorphism maps the center to itself. If the center is a
+/// single vertex, that vertex is a fixed point of every automorphism, so no
+/// fixed-point-free automorphism exists. If the center is an edge `{u, v}`,
+/// an automorphism swapping `u` and `v` exchanges the two halves of the
+/// tree and fixes nothing; such a swap exists iff the halves are isomorphic
+/// as rooted trees. Conversely an automorphism fixing both `u` and `v`
+/// fixes them, so swaps are the only candidates.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::{automorphism, generators};
+///
+/// // An even path: the central-edge swap is fixed-point-free.
+/// assert_eq!(
+///     automorphism::tree_has_fpf_automorphism(&generators::path(4)),
+///     Some(true)
+/// );
+/// // An odd path has a central vertex, always fixed.
+/// assert_eq!(
+///     automorphism::tree_has_fpf_automorphism(&generators::path(5)),
+///     Some(false)
+/// );
+/// ```
+pub fn tree_has_fpf_automorphism(g: &Graph) -> Option<bool> {
+    let c = center(g)?;
+    match c.as_slice() {
+        [_] => Some(false),
+        [u, v] => {
+            // Split on the center edge: the half containing u, rooted at u,
+            // versus the half containing v, rooted at v.
+            let (hu, hv) = split_on_edge(g, *u, *v);
+            Some(ahu_code(&hu) == ahu_code(&hv))
+        }
+        _ => unreachable!("tree centers have one or two vertices"),
+    }
+}
+
+/// Removes the edge `{u, v}` from the tree and returns the two halves,
+/// rooted at `u` and `v` respectively.
+fn split_on_edge(g: &Graph, u: NodeId, v: NodeId) -> (RootedTree, RootedTree) {
+    debug_assert!(g.has_edge(u, v));
+    let half = |root: NodeId, banned: NodeId| -> RootedTree {
+        // Collect the vertices on root's side by BFS avoiding `banned`.
+        let mut side = Vec::new();
+        let mut seen = vec![false; g.num_nodes()];
+        seen[banned.0] = true;
+        seen[root.0] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(x) = queue.pop_front() {
+            side.push(x);
+            for &y in g.neighbors(x) {
+                if !seen[y.0] {
+                    seen[y.0] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        let (sub, map) = g.induced_subgraph(&side);
+        let new_root = map
+            .iter()
+            .position(|&old| old == root)
+            .expect("root is in its own side");
+        RootedTree::from_tree(&sub, NodeId(new_root)).expect("halves of a tree are trees")
+    };
+    (half(u, v), half(v, u))
+}
+
+/// Brute-force search for a fixed-point-free automorphism of an arbitrary
+/// graph (not just a tree), enumerating all vertex permutations.
+///
+/// Returns the permutation if one exists.
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > 10` — factorial blow-up; this function exists
+/// only as a ground-truth oracle for tests.
+pub fn brute_force_fpf_automorphism(g: &Graph) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    assert!(n <= 10, "brute force limited to 10 vertices");
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        if perm.iter().enumerate().all(|(i, &p)| i != p) && is_automorphism(g, &perm) {
+            return Some(perm.into_iter().map(NodeId).collect());
+        }
+        if !next_permutation(&mut perm) {
+            return None;
+        }
+    }
+}
+
+/// Whether `perm` (as a map `i -> perm[i]`) is a graph automorphism.
+pub fn is_automorphism(g: &Graph, perm: &[usize]) -> bool {
+    if perm.len() != g.num_nodes() {
+        return false;
+    }
+    // Must be a bijection on 0..n.
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    g.edges().all(|(u, v)| {
+        g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0]))
+    }) && g.num_edges()
+        == g
+            .edges()
+            .filter(|(u, v)| g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0])))
+            .count()
+}
+
+/// In-place next lexicographic permutation; returns `false` after the last.
+fn next_permutation(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn even_paths_have_fpf() {
+        for n in [2usize, 4, 6, 8] {
+            assert_eq!(
+                tree_has_fpf_automorphism(&generators::path(n)),
+                Some(true),
+                "P_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_paths_have_none() {
+        for n in [1usize, 3, 5, 7] {
+            assert_eq!(
+                tree_has_fpf_automorphism(&generators::path(n)),
+                Some(false),
+                "P_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn stars_have_none() {
+        // The hub is the center vertex, fixed by every automorphism.
+        assert_eq!(tree_has_fpf_automorphism(&generators::star(6)), Some(false));
+    }
+
+    #[test]
+    fn mirrored_gadget_has_fpf() {
+        // Two copies of the same rooted tree joined by an edge between roots.
+        // This is exactly the Theorem 2.3 yes-instance shape.
+        let half = Graph::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let mut edges: Vec<(usize, usize)> = half.edges().map(|(u, v)| (u.0, v.0)).collect();
+        edges.extend(half.edges().map(|(u, v)| (u.0 + 4, v.0 + 4)));
+        edges.push((0, 4));
+        let g = Graph::from_edges(8, edges).unwrap();
+        assert_eq!(tree_has_fpf_automorphism(&g), Some(true));
+    }
+
+    #[test]
+    fn asymmetric_gadget_has_none() {
+        // Same shape but the two halves differ.
+        let edges = vec![(0usize, 1usize), (0, 2), (2, 3), (4, 5), (4, 6), (4, 7), (0, 4)];
+        let g = Graph::from_edges(8, edges).unwrap();
+        assert_eq!(tree_has_fpf_automorphism(&g), Some(false));
+    }
+
+    #[test]
+    fn non_tree_returns_none() {
+        assert_eq!(tree_has_fpf_automorphism(&generators::cycle(4)), None);
+    }
+
+    #[test]
+    fn brute_force_on_cycle() {
+        // C_4 has the antipodal rotation, which is fixed-point-free.
+        let rot = brute_force_fpf_automorphism(&generators::cycle(4));
+        assert!(rot.is_some());
+    }
+
+    #[test]
+    fn brute_force_agrees_with_criterion_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..40 {
+            let n = 2 + (rand::RngExt::random_range(&mut rng, 0..7usize));
+            let g = generators::random_tree(n, &mut rng);
+            let expected = brute_force_fpf_automorphism(&g).is_some();
+            assert_eq!(
+                tree_has_fpf_automorphism(&g),
+                Some(expected),
+                "disagreement on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_automorphism_checks_bijection() {
+        let g = generators::path(3);
+        assert!(!is_automorphism(&g, &[0, 0, 2]));
+        assert!(!is_automorphism(&g, &[0, 1]));
+        assert!(is_automorphism(&g, &[2, 1, 0]));
+        assert!(is_automorphism(&g, &[0, 1, 2]));
+        assert!(!is_automorphism(&g, &[1, 0, 2]));
+    }
+
+    #[test]
+    fn next_permutation_cycles_all() {
+        let mut p = vec![0usize, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut p) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert_eq!(p, vec![2, 1, 0]);
+    }
+}

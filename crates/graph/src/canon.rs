@@ -1,0 +1,237 @@
+//! Canonical forms and isomorphism for trees.
+//!
+//! The AHU (Aho–Hopcroft–Ullman) canonical code assigns every rooted tree a
+//! string over `{ '(', ')' }` such that two rooted trees are isomorphic if
+//! and only if their codes are equal. Unrooted tree isomorphism reduces to
+//! the rooted case by canonically rooting at the [`center`].
+//!
+//! These are used by the fixed-point-free-automorphism machinery of
+//! Theorem 2.3 and by the tree enumeration of [`crate::enumerate`].
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::rooted::RootedTree;
+
+/// The AHU canonical code of the subtree of `t` rooted at `v`.
+///
+/// Two rooted trees are isomorphic iff their root codes are equal. Codes
+/// are balanced-parenthesis strings: a leaf is `()`, an internal vertex is
+/// `(` + sorted child codes + `)`.
+pub fn ahu_code_at(t: &RootedTree, v: NodeId) -> String {
+    // Iterative over postorder to avoid recursion depth issues on paths.
+    let n = t.num_nodes();
+    let mut in_subtree = vec![false; n];
+    for u in t.subtree(v) {
+        in_subtree[u.0] = true;
+    }
+    let mut code: Vec<Option<String>> = vec![None; n];
+    for u in t.postorder() {
+        if !in_subtree[u.0] {
+            continue;
+        }
+        let mut kids: Vec<String> = t
+            .children(u)
+            .iter()
+            .map(|c| code[c.0].take().expect("postorder: children done first"))
+            .collect();
+        kids.sort();
+        let mut s = String::with_capacity(2 + kids.iter().map(String::len).sum::<usize>());
+        s.push('(');
+        for k in &kids {
+            s.push_str(k);
+        }
+        s.push(')');
+        code[u.0] = Some(s);
+    }
+    code[v.0].take().expect("v's code was computed")
+}
+
+/// The AHU canonical code of the whole rooted tree.
+pub fn ahu_code(t: &RootedTree) -> String {
+    ahu_code_at(t, t.root())
+}
+
+/// The center of a tree-shaped graph: one or two adjacent vertices that
+/// minimize eccentricity, computed by iteratively peeling leaves.
+///
+/// Returns `None` if `g` is not a tree.
+pub fn center(g: &Graph) -> Option<Vec<NodeId>> {
+    if !g.is_tree() {
+        return None;
+    }
+    let n = g.num_nodes();
+    if n <= 2 {
+        return Some(g.nodes().collect());
+    }
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut layer: Vec<NodeId> = g.nodes().filter(|&v| degree[v.0] == 1).collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        let mut next = Vec::new();
+        for &leaf in &layer {
+            removed[leaf.0] = true;
+            remaining -= 1;
+            for &u in g.neighbors(leaf) {
+                if !removed[u.0] {
+                    degree[u.0] -= 1;
+                    if degree[u.0] == 1 {
+                        next.push(u);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    let mut centers: Vec<NodeId> = g.nodes().filter(|&v| !removed[v.0]).collect();
+    centers.sort();
+    Some(centers)
+}
+
+/// A canonical code for an *unrooted* tree: root at the center (for a
+/// two-vertex center, take the lexicographically smaller of the two rooted
+/// codes, tagged with the center arity so a path of 2 and a single edge
+/// rooted differently cannot collide).
+///
+/// Two trees are isomorphic iff their unrooted codes are equal. Returns
+/// `None` if `g` is not a tree.
+pub fn unrooted_code(g: &Graph) -> Option<String> {
+    let c = center(g)?;
+    match c.as_slice() {
+        [v] => {
+            let t = RootedTree::from_tree(g, *v).expect("center of a tree roots it");
+            Some(format!("1{}", ahu_code(&t)))
+        }
+        [u, v] => {
+            let tu = RootedTree::from_tree(g, *u).expect("valid root");
+            let tv = RootedTree::from_tree(g, *v).expect("valid root");
+            let cu = ahu_code(&tu);
+            let cv = ahu_code(&tv);
+            Some(format!("2{}", if cu <= cv { cu } else { cv }))
+        }
+        _ => unreachable!("a tree center has one or two vertices"),
+    }
+}
+
+/// Whether two rooted trees are isomorphic (as rooted trees).
+pub fn rooted_isomorphic(a: &RootedTree, b: &RootedTree) -> bool {
+    a.num_nodes() == b.num_nodes() && ahu_code(a) == ahu_code(b)
+}
+
+/// Whether two tree-shaped graphs are isomorphic (as unrooted trees).
+///
+/// Returns `None` if either graph is not a tree.
+pub fn tree_isomorphic(a: &Graph, b: &Graph) -> Option<bool> {
+    Some(unrooted_code(a)? == unrooted_code(b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rooted(g: &Graph, r: usize) -> RootedTree {
+        RootedTree::from_tree(g, NodeId(r)).unwrap()
+    }
+
+    #[test]
+    fn ahu_leaf_and_star() {
+        let single = Graph::empty(1);
+        assert_eq!(ahu_code(&rooted(&single, 0)), "()");
+        let star = generators::star(4);
+        assert_eq!(ahu_code(&rooted(&star, 0)), "(()()())");
+    }
+
+    #[test]
+    fn ahu_sorts_children() {
+        // Root 0 with children: a leaf (1) and a path of two (2-3). The code
+        // must not depend on child insertion order.
+        let g1 = Graph::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let g2 = Graph::from_edges(4, [(0, 2), (0, 1), (1, 3)]).unwrap();
+        assert_eq!(ahu_code(&rooted(&g1, 0)), ahu_code(&rooted(&g2, 0)));
+    }
+
+    #[test]
+    fn rooted_isomorphism_depends_on_root() {
+        let g = generators::path(3);
+        let end = rooted(&g, 0);
+        let mid = rooted(&g, 1);
+        assert!(!rooted_isomorphic(&end, &mid));
+        let other_end = rooted(&g, 2);
+        assert!(rooted_isomorphic(&end, &other_end));
+    }
+
+    #[test]
+    fn center_of_paths() {
+        assert_eq!(center(&generators::path(5)).unwrap(), vec![NodeId(2)]);
+        assert_eq!(
+            center(&generators::path(4)).unwrap(),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(center(&generators::path(1)).unwrap(), vec![NodeId(0)]);
+        assert_eq!(
+            center(&generators::path(2)).unwrap(),
+            vec![NodeId(0), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn center_of_star_is_hub() {
+        assert_eq!(center(&generators::star(9)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn center_rejects_non_trees() {
+        assert!(center(&generators::cycle(5)).is_none());
+    }
+
+    #[test]
+    fn unrooted_isomorphism_relabeling() {
+        // The same tree with two different labelings.
+        let a = Graph::from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        let b = Graph::from_edges(5, [(4, 3), (3, 2), (3, 1), (1, 0)]).unwrap();
+        assert_eq!(tree_isomorphic(&a, &b), Some(true));
+    }
+
+    #[test]
+    fn unrooted_non_isomorphic() {
+        let path = generators::path(4);
+        let star = generators::star(4);
+        assert_eq!(tree_isomorphic(&path, &star), Some(false));
+    }
+
+    #[test]
+    fn unrooted_code_distinguishes_center_arity() {
+        let p2 = generators::path(2);
+        let p1 = generators::path(1);
+        assert_ne!(unrooted_code(&p2), unrooted_code(&p1));
+    }
+
+    #[test]
+    fn unrooted_code_random_relabel_invariant() {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [5usize, 9, 16] {
+            let g = generators::random_tree(n, &mut rng);
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let h = Graph::from_edges(
+                n,
+                g.edges().map(|(u, v)| (perm[u.0], perm[v.0])),
+            )
+            .unwrap();
+            assert_eq!(tree_isomorphic(&g, &h), Some(true), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        // The iterative AHU must handle long paths.
+        let g = generators::path(2_000);
+        let t = rooted(&g, 0);
+        let code = ahu_code(&t);
+        assert_eq!(code.len(), 4_000);
+    }
+}

@@ -1,0 +1,468 @@
+//! Counting, enumerating and encoding rooted trees of bounded depth.
+//!
+//! Theorem 2.3's lower bound hinges on the fact (Pach–Pluhár–Pongrácz–Szabó
+//! \[42]) that the number of non-isomorphic rooted trees of depth `k >= 3`
+//! on `n` vertices is `2^{Θ(n / log log n)}` (and `2^{Θ(√n)}` for depth 2,
+//! via integer partitions). This module provides:
+//!
+//! - exact counts [`count_trees`] (checked `u128`) and [`count_trees_log2`]
+//!   (floating point, reaches much larger `n`), via the Euler transform
+//!   `F_{d} = ∏_{m ≥ 1} (1 - x^m)^{-T_{d-1}(m)}`;
+//! - exhaustive enumeration [`enumerate_trees`] of all non-isomorphic
+//!   rooted trees of given size and depth bound (small `n`), each returned
+//!   as a parent array in preorder;
+//! - the **injections from bit strings to trees** the reduction framework
+//!   needs: [`string_to_tree_depth2`] (the integer-partition encoding,
+//!   `n = Θ(ℓ²)`, works at any scale) and its inverse
+//!   [`tree_depth2_to_string`], plus [`enumeration_injection`]
+//!   (rank-based, optimal rate, small `n`).
+
+use crate::rooted::RootedTree;
+
+/// Exact number of non-isomorphic rooted trees with exactly `n` vertices
+/// and depth at most `max_depth` (root at depth 0), or `None` on `u128`
+/// overflow.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::enumerate::count_trees;
+/// // Depth <= 1: a star, unique for every n.
+/// assert_eq!(count_trees(5, 1), Some(1));
+/// // Depth <= 2 trees on n vertices are integer partitions of n - 1.
+/// assert_eq!(count_trees(5, 2), Some(5)); // partitions of 4: 5
+/// ```
+pub fn count_trees(n: usize, max_depth: usize) -> Option<u128> {
+    if n == 0 {
+        return Some(0);
+    }
+    // t[d][m] = number of rooted trees with m vertices, depth <= d.
+    // t[0][m] = [m == 1].
+    let mut t = vec![0u128; n + 1];
+    if n >= 1 {
+        t[1] = 1;
+    }
+    for _ in 0..max_depth {
+        t = forests_from(&t, n)?;
+        // Trees of depth <= d+1 with m vertices = forests of depth-<= d
+        // trees with m-1 vertices; shift by one (root).
+        let mut next = vec![0u128; n + 1];
+        for m in 1..=n {
+            next[m] = t[m - 1];
+        }
+        t = next;
+    }
+    Some(t[n])
+}
+
+/// Given `t[m]` = number of tree types of size `m`, computes `f[m]` =
+/// number of multisets of trees with total size `m` (with `f\[0] = 1`),
+/// up to size `max`. Returns `None` on overflow.
+fn forests_from(t: &[u128], max: usize) -> Option<Vec<u128>> {
+    let mut f = vec![0u128; max + 1];
+    f[0] = 1;
+    for m in 1..=max {
+        let types = t[m];
+        if types == 0 {
+            continue;
+        }
+        // Incorporate trees of size m: for each count j >= 1, multiply by
+        // the number of multisets of j items from `types` types:
+        // C(types + j - 1, j). Process as a convolution, iterating j.
+        let mut g = f.clone();
+        let mut choose = 1u128; // C(types + j - 1, j) built incrementally.
+        for j in 1..=(max / m) {
+            // choose *= (types + j - 1) / j, exactly (binomials divide).
+            choose = mul_div_exact(choose, types.checked_add(j as u128 - 1)?, j as u128)?;
+            for total in (j * m)..=max {
+                let add = f[total - j * m].checked_mul(choose)?;
+                g[total] = g[total].checked_add(add)?;
+            }
+        }
+        f = g;
+    }
+    Some(f)
+}
+
+/// Computes `a * b / c` where the division is exact, guarding overflow by
+/// dividing first through `gcd`s.
+fn mul_div_exact(a: u128, b: u128, c: u128) -> Option<u128> {
+    let g1 = gcd(a, c);
+    let (a, c) = (a / g1, c / g1);
+    let g2 = gcd(b, c);
+    let (b, c) = (b / g2, c / g2);
+    debug_assert_eq!(c, 1, "binomial recurrence divides exactly");
+    a.checked_mul(b)
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Floating-point variant of [`count_trees`]: returns `log2` of the count
+/// (`f64::NEG_INFINITY` if the count is zero), usable far beyond `u128`
+/// range. Counts are accumulated in `f64`, so precision is a few ulps —
+/// ample for plotting the `Θ(n / log log n)` growth of Theorem 2.3.
+pub fn count_trees_log2(n: usize, max_depth: usize) -> f64 {
+    if n == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let mut t = vec![0f64; n + 1];
+    t[1] = 1.0;
+    for _ in 0..max_depth {
+        // Forest counts via the same convolution in f64.
+        let mut f = vec![0f64; n + 1];
+        f[0] = 1.0;
+        for m in 1..=n {
+            let types = t[m];
+            if types == 0.0 {
+                continue;
+            }
+            let mut g = f.clone();
+            let mut choose = 1f64;
+            for j in 1..=(n / m) {
+                choose = choose * (types + j as f64 - 1.0) / j as f64;
+                for total in (j * m)..=n {
+                    g[total] += f[total - j * m] * choose;
+                }
+            }
+            f = g;
+        }
+        let mut next = vec![0f64; n + 1];
+        for m in 1..=n {
+            next[m] = f[m - 1];
+        }
+        t = next;
+    }
+    t[n].log2()
+}
+
+/// A rooted tree represented canonically as a parent array in preorder
+/// (entry 0 is the root with parent `usize::MAX`).
+pub type ParentVec = Vec<usize>;
+
+/// All non-isomorphic rooted trees with exactly `n` vertices and depth at
+/// most `max_depth`, as preorder parent arrays.
+///
+/// Enumeration is canonical (children subtrees listed in non-increasing
+/// canonical order), so no two results are isomorphic.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (combinatorial explosion guard).
+pub fn enumerate_trees(n: usize, max_depth: usize) -> Vec<ParentVec> {
+    assert!(n <= 24, "exhaustive tree enumeration limited to 24 vertices");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Enumerate recursively: a tree of size n, depth <= d is a root plus a
+    // canonical multiset of subtrees of depth <= d-1 totaling n-1 vertices.
+    // Canonical multiset: a non-increasing sequence of encoded subtrees
+    // (compare by (size, code) descending).
+    fn trees(n: usize, d: usize, memo: &mut Memo) -> Vec<Code> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n > 1 && d == 0 {
+            return Vec::new();
+        }
+        if let Some(hit) = memo.get(&(n, d)) {
+            return hit.clone();
+        }
+        let mut out = Vec::new();
+        if n == 1 {
+            out.push(Code(vec![]));
+        } else {
+            // Choose a multiset of subtrees of total size n-1, each of
+            // depth <= d-1, in non-increasing Code order.
+            let pool_max = n - 1;
+            let mut options: Vec<Code> = Vec::new();
+            for m in (1..=pool_max).rev() {
+                options.extend(trees(m, d - 1, memo));
+            }
+            // `options` is sorted by decreasing size; within a size the
+            // recursive order is deterministic. Enumerate non-increasing
+            // (by index) selections summing to n-1.
+            fn go(
+                options: &[Code],
+                start: usize,
+                remaining: usize,
+                acc: &mut Vec<Code>,
+                out: &mut Vec<Code>,
+            ) {
+                if remaining == 0 {
+                    out.push(Code::join(acc));
+                    return;
+                }
+                for i in start..options.len() {
+                    let sz = options[i].size();
+                    if sz > remaining {
+                        continue;
+                    }
+                    acc.push(options[i].clone());
+                    go(options, i, remaining - sz, acc, out);
+                    acc.pop();
+                }
+            }
+            let mut acc = Vec::new();
+            go(&options, 0, n - 1, &mut acc, &mut out);
+        }
+        memo.insert((n, d), out.clone());
+        out
+    }
+
+    /// Subtree encoding: the preorder parent array of the subtree relative
+    /// to its root (children blocks in enumeration order).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Code(Vec<usize>);
+    impl Code {
+        /// Number of vertices of the encoded subtree (root + entries).
+        fn size(&self) -> usize {
+            self.0.len() + 1
+        }
+        /// Joins child codes under a fresh root.
+        fn join(children: &[Code]) -> Code {
+            let mut v = Vec::new();
+            let mut offset = 1usize; // next free index after the root (0).
+            for c in children {
+                v.push(0); // the child's root hangs off our root.
+                for &p in &c.0 {
+                    v.push(p + offset);
+                }
+                offset += c.size();
+            }
+            Code(v)
+        }
+    }
+    type Memo = std::collections::HashMap<(usize, usize), Vec<Code>>;
+
+    let mut memo = Memo::new();
+    trees(n, max_depth, &mut memo)
+        .into_iter()
+        .map(|c| {
+            let mut pv = vec![usize::MAX];
+            pv.extend(c.0);
+            pv
+        })
+        .collect()
+}
+
+/// Converts a preorder parent array into a [`RootedTree`].
+///
+/// # Panics
+///
+/// Panics if the array is not a valid preorder parent array.
+pub fn parent_vec_to_rooted(pv: &ParentVec) -> RootedTree {
+    let parents: Vec<Option<usize>> = pv
+        .iter()
+        .map(|&p| if p == usize::MAX { None } else { Some(p) })
+        .collect();
+    RootedTree::from_parent_array(&parents).expect("valid preorder parent array")
+}
+
+/// Injection from bit strings to rooted trees of depth 2 via integer
+/// partitions with *distinct parts*: bit `i` of `s` (0-based) controls
+/// whether child `i` has `2i + 2 + s_i` leaf children. Children sizes are
+/// pairwise distinct, so the multiset of children determines the string.
+///
+/// The resulting tree has `1 + ℓ + Σ(2i + 2 + s_i)` vertices, i.e.
+/// `n = Θ(ℓ²)` — this is the `2^{Θ(√n)}` depth-2 regime mentioned at the
+/// end of the proof of Theorem 2.3.
+pub fn string_to_tree_depth2(s: &[bool]) -> ParentVec {
+    let mut pv = vec![usize::MAX];
+    for (i, &bit) in s.iter().enumerate() {
+        let child = pv.len();
+        pv.push(0);
+        let leaves = 2 * i + 2 + usize::from(bit);
+        for _ in 0..leaves {
+            pv.push(child);
+        }
+    }
+    pv
+}
+
+/// Inverse of [`string_to_tree_depth2`] on its image (up to isomorphism:
+/// only the multiset of child sizes is read). Returns `None` if the tree is
+/// not in the image for the given string length `len`.
+pub fn tree_depth2_to_string(t: &RootedTree, len: usize) -> Option<Vec<bool>> {
+    let root = t.root();
+    let kids = t.children(root);
+    if kids.len() != len {
+        return None;
+    }
+    let mut sizes: Vec<usize> = kids
+        .iter()
+        .map(|&c| {
+            t.children(c).len()
+        })
+        .collect();
+    sizes.sort_unstable();
+    let mut out = Vec::with_capacity(len);
+    for (i, &sz) in sizes.iter().enumerate() {
+        // Expected size: 2i + 2 + bit.
+        if sz == 2 * i + 2 {
+            out.push(false);
+        } else if sz == 2 * i + 3 {
+            out.push(true);
+        } else {
+            return None;
+        }
+    }
+    // Validate depth-2 shape: grandchildren are leaves.
+    for &c in kids {
+        for &gc in t.children(c) {
+            if !t.children(gc).is_empty() {
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Rank-based injection for small sizes: all strings of length
+/// `⌊log2(count_trees(n, depth))⌋` map to distinct trees of exactly `n`
+/// vertices, via the exhaustive enumeration.
+///
+/// Returns the enumerated trees and the supported string length.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (enumeration guard).
+pub fn enumeration_injection(n: usize, max_depth: usize) -> (Vec<ParentVec>, usize) {
+    let all = enumerate_trees(n, max_depth);
+    let bits = if all.len() <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - (all.len().leading_zeros())) as usize
+    };
+    (all, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Number of integer partitions of n (OEIS A000041).
+    const PARTITIONS: [u128; 11] = [1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42];
+
+    #[test]
+    fn depth0_counts() {
+        assert_eq!(count_trees(1, 0), Some(1));
+        assert_eq!(count_trees(2, 0), Some(0));
+        assert_eq!(count_trees(0, 5), Some(0));
+    }
+
+    #[test]
+    fn depth1_counts_are_stars() {
+        for n in 1..10 {
+            assert_eq!(count_trees(n, 1), Some(1), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn depth2_counts_are_partitions() {
+        // A depth-<=2 tree on n vertices = a partition of n-1 (children
+        // subtree sizes, each subtree being a star).
+        for n in 1..=10 {
+            assert_eq!(
+                count_trees(n, 2),
+                Some(PARTITIONS[n - 1]),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_depth_matches_oeis() {
+        // Rooted unlabeled trees (OEIS A000081): 1, 1, 2, 4, 9, 20, 48, 115, 286, 719.
+        let expected: [u128; 10] = [1, 1, 2, 4, 9, 20, 48, 115, 286, 719];
+        for (i, &e) in expected.iter().enumerate() {
+            let n = i + 1;
+            assert_eq!(count_trees(n, n), Some(e), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn log2_matches_exact_counts() {
+        for n in [5usize, 8, 12] {
+            for d in [2usize, 3, 4] {
+                let exact = count_trees(n, d).unwrap() as f64;
+                let log = count_trees_log2(n, d);
+                assert!((log - exact.log2()).abs() < 1e-9, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_count_agrees() {
+        for n in 1..=9 {
+            for d in 0..=4 {
+                let listed = enumerate_trees(n, d).len() as u128;
+                assert_eq!(Some(listed), count_trees(n, d), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_produces_valid_distinct_trees() {
+        use crate::canon::ahu_code;
+        let all = enumerate_trees(7, 3);
+        let mut codes = std::collections::HashSet::new();
+        for pv in &all {
+            let t = parent_vec_to_rooted(pv);
+            assert_eq!(t.num_nodes(), 7);
+            assert!(t.height() <= 3);
+            assert!(codes.insert(ahu_code(&t)), "duplicate tree {pv:?}");
+        }
+    }
+
+    #[test]
+    fn depth2_injection_roundtrip() {
+        for bits in [0b0000usize, 0b1010, 0b1111, 0b0001] {
+            let s: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let pv = string_to_tree_depth2(&s);
+            let t = parent_vec_to_rooted(&pv);
+            assert!(t.height() <= 2);
+            assert_eq!(tree_depth2_to_string(&t, 4), Some(s));
+        }
+    }
+
+    #[test]
+    fn depth2_injection_distinct_codes() {
+        use crate::canon::ahu_code;
+        let mut codes = std::collections::HashSet::new();
+        for bits in 0..16usize {
+            let s: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let t = parent_vec_to_rooted(&string_to_tree_depth2(&s));
+            assert!(codes.insert(ahu_code(&t)));
+        }
+    }
+
+    #[test]
+    fn depth2_inverse_rejects_foreign_trees() {
+        let t = parent_vec_to_rooted(&vec![usize::MAX, 0, 0]);
+        assert_eq!(tree_depth2_to_string(&t, 4), None);
+    }
+
+    #[test]
+    fn enumeration_injection_capacity() {
+        let (all, bits) = enumeration_injection(8, 3);
+        assert!(1usize << bits <= all.len());
+        assert!(all.len() < 2usize << bits.max(1));
+    }
+
+    #[test]
+    fn counts_grow_with_depth() {
+        for n in [6usize, 10, 14] {
+            let c2 = count_trees(n, 2).unwrap();
+            let c3 = count_trees(n, 3).unwrap();
+            let c4 = count_trees(n, 4).unwrap();
+            assert!(c2 <= c3 && c3 <= c4, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Deterministic and random graph generators.
+//!
+//! Every workload in the experiment suite comes from this module:
+//! elementary families (paths, cycles, cliques, stars, spiders, complete
+//! k-ary trees), uniformly random labeled trees (via Prüfer sequences),
+//! random connected graphs, and random graphs of bounded treedepth built
+//! from an explicit elimination tree (so the treedepth witness is known by
+//! construction).
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::prelude::IndexedRandom;
+use rand::{Rng, RngExt};
+
+/// The path `P_n` on `n` vertices (`0 - 1 - … - n-1`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` (the paper only considers non-empty graphs).
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path requires at least one vertex");
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i))).expect("path edges are valid")
+}
+
+/// The cycle `C_n` on `n >= 3` vertices.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires at least three vertices");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("cycle edges are valid")
+}
+
+/// The complete graph `K_n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn clique(n: usize) -> Graph {
+    assert!(n > 0, "clique requires at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("clique edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}`: vertex 0 adjacent to all others.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n > 0, "star requires at least one vertex");
+    Graph::from_edges(n, (1..n).map(|i| (0, i))).expect("star edges are valid")
+}
+
+/// A spider: `legs` paths of length `leg_len` glued at a central vertex 0.
+///
+/// Has `1 + legs * leg_len` vertices.
+///
+/// # Panics
+///
+/// Panics if `leg_len == 0` and `legs > 0` is requested with zero-length
+/// legs (use [`star`] for unit legs).
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(leg_len > 0, "spider legs must have positive length");
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::new(n);
+    for l in 0..legs {
+        let mut prev = 0;
+        for j in 0..leg_len {
+            let v = 1 + l * leg_len + j;
+            b.add_edge(prev, v).expect("spider edges are valid");
+            prev = v;
+        }
+    }
+    b.build()
+}
+
+/// The complete `k`-ary tree of the given `depth` (a single vertex at
+/// depth 0). Vertex 0 is the root; children are laid out level by level.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn complete_kary_tree(k: usize, depth: usize) -> Graph {
+    assert!(k > 0, "arity must be positive");
+    // Count vertices: 1 + k + k^2 + ... + k^depth.
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= k;
+        n += level;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Level-order: vertex i's children are k*i + 1 ... k*i + k while in range.
+    for i in 0..n {
+        for c in 1..=k {
+            let child = k * i + c;
+            if child < n {
+                b.add_edge(i, child).expect("tree edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into a labeled tree on `n`
+/// vertices. With a uniformly random sequence this samples labeled trees
+/// uniformly (Cayley's bijection).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `seq.len() != n - 2`, or if a sequence entry is
+/// `>= n`.
+pub fn tree_from_prufer(n: usize, seq: &[usize]) -> Graph {
+    assert!(n >= 2, "Prüfer decoding needs n >= 2");
+    assert_eq!(seq.len(), n - 2, "Prüfer sequence must have length n - 2");
+    let mut degree = vec![1usize; n];
+    for &x in seq {
+        assert!(x < n, "Prüfer entry out of range");
+        degree[x] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap via sorted scan: use a BinaryHeap of Reverse for clarity.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut leaves: BinaryHeap<Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(Reverse)
+        .collect();
+    for &x in seq {
+        let Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        b.add_edge(leaf, x).expect("Prüfer edges are valid");
+        degree[x] -= 1;
+        if degree[x] == 1 {
+            leaves.push(Reverse(x));
+        }
+    }
+    let Reverse(u) = leaves.pop().expect("two leaves remain");
+    let Reverse(v) = leaves.pop().expect("two leaves remain");
+    b.add_edge(u, v).expect("Prüfer edges are valid");
+    b.build()
+}
+
+/// Uniformly random labeled tree on `n` vertices.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    assert!(n > 0, "tree requires at least one vertex");
+    if n == 1 {
+        return Graph::empty(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("valid");
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    tree_from_prufer(n, &seq)
+}
+
+/// Random connected graph: a random tree plus `extra_edges` additional
+/// uniformly random non-edges (as many as available).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    let tree = random_tree(n, rng);
+    let mut edges: Vec<(usize, usize)> = tree.edges().map(|(u, v)| (u.0, v.0)).collect();
+    let mut non_edges: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !tree.has_edge(u.into(), v.into()) {
+                non_edges.push((u, v));
+            }
+        }
+    }
+    let take = extra_edges.min(non_edges.len());
+    let sample: Vec<(usize, usize)> = non_edges.sample(rng, take).copied().collect();
+    edges.extend(sample);
+    Graph::from_edges(n, edges).expect("sampled edges are valid")
+}
+
+/// A random rooted tree with exactly `n` vertices and depth at most
+/// `max_depth`, returned as (graph, parent array, depth array) with vertex 0
+/// as the root.
+///
+/// Each non-root vertex picks a uniformly random earlier vertex of depth
+/// `< max_depth` as its parent, so the depth bound holds by construction.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `max_depth == 0 && n > 1`.
+pub fn random_bounded_depth_tree<R: Rng + ?Sized>(
+    n: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> (Graph, Vec<Option<usize>>, Vec<usize>) {
+    assert!(n > 0, "tree requires at least one vertex");
+    assert!(
+        max_depth > 0 || n == 1,
+        "depth 0 only allows a single vertex"
+    );
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut depth = vec![0usize; n];
+    let mut eligible: Vec<usize> = vec![0];
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let &p = eligible.choose(rng).expect("root is always eligible");
+        parent[v] = Some(p);
+        depth[v] = depth[p] + 1;
+        b.add_edge(p, v).expect("tree edges are valid");
+        if depth[v] < max_depth {
+            eligible.push(v);
+        }
+    }
+    (b.build(), parent, depth)
+}
+
+/// A random connected graph of treedepth at most `t`, built from an explicit
+/// elimination tree: first a random rooted tree of depth `< t` on the vertex
+/// set (the elimination tree), then each tree edge becomes a graph edge
+/// (making the model coherent and the graph connected) and every other
+/// ancestor–descendant pair becomes an edge independently with probability
+/// `ancestor_edge_prob`.
+///
+/// Returns the graph and the elimination-tree parent array (vertex 0 is the
+/// root). The graph's treedepth is at most `t` by construction
+/// (Definition 3.1).
+///
+/// # Panics
+///
+/// Panics if `t == 0`, or `n == 0`, or `ancestor_edge_prob` is not in
+/// `[0, 1]`.
+pub fn random_bounded_treedepth<R: Rng + ?Sized>(
+    n: usize,
+    t: usize,
+    ancestor_edge_prob: f64,
+    rng: &mut R,
+) -> (Graph, Vec<Option<usize>>) {
+    assert!(t > 0, "treedepth bound must be positive");
+    assert!(
+        (0.0..=1.0).contains(&ancestor_edge_prob),
+        "probability must lie in [0, 1]"
+    );
+    // Depth here is 0-based, so "height <= t" means depth <= t - 1.
+    let (_, parent, _) = random_bounded_depth_tree(n, t - 1, rng);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = parent[v].expect("non-root has a parent");
+        b.add_edge(p, v).expect("tree edges are valid");
+        // Walk strict ancestors above the parent.
+        let mut a = parent[p];
+        while let Some(anc) = a {
+            if rng.random_bool(ancestor_edge_prob) {
+                b.add_edge(anc, v).expect("ancestor edges are valid");
+            }
+            a = parent[anc];
+        }
+    }
+    (b.build(), parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert!(g.is_tree());
+        assert_eq!(traversal::diameter(&g), Some(4));
+        assert_eq!(g.degree(0.into()), 1);
+        assert_eq!(g.degree(2.into()), 2);
+    }
+
+    #[test]
+    fn path_single_vertex() {
+        let g = path(1);
+        assert_eq!(g.num_nodes(), 1);
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(traversal::has_cycle(&g));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(5);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0.into()), 6);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(3, 2);
+        assert_eq!(g.num_nodes(), 7);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0.into()), 3);
+        assert_eq!(traversal::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let g = complete_kary_tree(2, 3);
+        assert_eq!(g.num_nodes(), 15);
+        assert!(g.is_tree());
+        assert_eq!(traversal::eccentricity(&g, 0.into()), Some(3));
+    }
+
+    #[test]
+    fn complete_kary_depth_zero() {
+        let g = complete_kary_tree(3, 0);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn prufer_known_decoding() {
+        // Classic example: sequence (3, 3, 3, 4) on 6 vertices gives a tree
+        // where 3 has degree 4 (neighbors 0, 1, 2, 4) and 4-5 is an edge.
+        let g = tree_from_prufer(6, &[3, 3, 3, 4]);
+        assert!(g.is_tree());
+        assert_eq!(g.degree(3.into()), 4);
+        assert!(g.has_edge(4.into(), 5.into()));
+    }
+
+    #[test]
+    fn prufer_n2() {
+        let g = tree_from_prufer(2, &[]);
+        assert!(g.is_tree());
+        assert!(g.has_edge(0.into(), 1.into()));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 10, 57] {
+            let g = random_tree(n, &mut rng);
+            assert!(g.is_tree(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (n, extra) in [(1usize, 0usize), (5, 3), (20, 40), (8, 1000)] {
+            let g = random_connected(n, extra, &mut rng);
+            assert!(g.is_connected(), "n = {n}");
+            assert!(g.num_edges() <= n * (n - 1) / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn random_bounded_depth_tree_respects_depth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (n, d) in [(10usize, 1usize), (50, 3), (100, 2)] {
+            let (g, parent, depth) = random_bounded_depth_tree(n, d, &mut rng);
+            assert!(g.is_tree());
+            assert_eq!(parent[0], None);
+            assert!(depth.iter().all(|&x| x <= d));
+        }
+        let (g, _, _) = random_bounded_depth_tree(1, 0, &mut rng);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn random_bounded_treedepth_is_connected_and_witnessed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (n, t) in [(1usize, 1usize), (10, 3), (40, 4), (40, 2)] {
+            let (g, parent) = random_bounded_treedepth(n, t, 0.5, &mut rng);
+            assert!(g.is_connected());
+            // Every graph edge joins an ancestor-descendant pair.
+            let ancestors = |mut v: usize| -> Vec<usize> {
+                let mut out = vec![v];
+                while let Some(p) = parent[v] {
+                    out.push(p);
+                    v = p;
+                }
+                out
+            };
+            for (u, v) in g.edges() {
+                let au = ancestors(u.0);
+                let av = ancestors(v.0);
+                assert!(
+                    au.contains(&v.0) || av.contains(&u.0),
+                    "edge {u}-{v} not ancestor-descendant"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Simple undirected graphs.
+//!
+//! [`Graph`] is the single graph type used across the workspace: simple
+//! (no parallel edges), loopless, undirected, with vertices indexed by
+//! [`NodeId`] in `0..n`. Construction goes through [`GraphBuilder`], which
+//! validates edges, or through the convenience constructor
+//! [`Graph::from_edges`].
+
+use crate::node::NodeId;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing an invalid graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint is `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// The number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// An edge joins a vertex to itself.
+    SelfLoop {
+        /// The vertex carrying the loop.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for {n} vertices")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at vertex {node}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A simple, undirected, loopless graph.
+///
+/// Vertices are `NodeId(0) .. NodeId(n-1)`. Adjacency lists are kept sorted
+/// and deduplicated, so iteration order is deterministic and
+/// [`Graph::has_edge`] is a binary search.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert!(g.has_edge(1.into(), 2.into()));
+/// assert!(!g.has_edge(0.into(), 3.into()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges are silently merged (the graph is simple).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge joins a vertex to itself.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Iterator over all vertices in increasing index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId)
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.0]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.0].len()
+    }
+
+    /// Whether the edge `{u, v}` is present. `O(log deg)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.adj[u.0].binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges `(u, v)` with `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| NodeId(u) < v)
+                .map(move |&v| (NodeId(u), v))
+        })
+    }
+
+    /// Whether the graph is connected. The empty graph is not connected
+    /// (the paper only considers non-empty connected graphs).
+    pub fn is_connected(&self) -> bool {
+        crate::traversal::is_connected(self)
+    }
+
+    /// Whether the graph is a tree (connected with `n - 1` edges).
+    pub fn is_tree(&self) -> bool {
+        self.num_nodes() >= 1
+            && self.num_edges() == self.num_nodes() - 1
+            && self.is_connected()
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping from new
+    /// indices to old indices.
+    ///
+    /// Vertices of the result are renumbered `0..keep.len()` following the
+    /// sorted order of `keep`; the returned vector maps each new [`NodeId`]
+    /// to its original one.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let sorted: BTreeSet<NodeId> = keep.iter().copied().collect();
+        let old_of_new: Vec<NodeId> = sorted.iter().copied().collect();
+        let mut new_of_old = vec![usize::MAX; self.num_nodes()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old.0] = new;
+        }
+        let mut b = GraphBuilder::new(old_of_new.len());
+        for &old_u in &old_of_new {
+            for &old_v in self.neighbors(old_u) {
+                if old_u < old_v && sorted.contains(&old_v) {
+                    b.add_edge(new_of_old[old_u.0], new_of_old[old_v.0])
+                        .expect("induced edges are valid by construction");
+                }
+            }
+        }
+        (b.build(), old_of_new)
+    }
+
+    /// Disjoint union of two graphs; vertices of `other` are shifted by
+    /// `self.num_nodes()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let off = self.num_nodes();
+        let mut b = GraphBuilder::new(off + other.num_nodes());
+        for (u, v) in self.edges() {
+            b.add_edge(u.0, v.0).expect("valid");
+        }
+        for (u, v) in other.edges() {
+            b.add_edge(u.0 + off, v.0 + off).expect("valid");
+        }
+        b.build()
+    }
+
+    /// Returns a copy of this graph with the additional `edges`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::from_edges`].
+    pub fn with_edges<I>(&self, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(self.num_nodes());
+        for (u, v) in self.edges() {
+            b.add_edge(u.0, v.0)?;
+        }
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+}
+
+/// Incremental, validating builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), locert_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adj: Vec<BTreeSet<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of vertices of the graph under construction.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`. Adding an existing edge is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.adj[u].insert(NodeId(v));
+        self.adj[v].insert(NodeId(u));
+        Ok(self)
+    }
+
+    /// Appends a fresh isolated vertex and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(BTreeSet::new());
+        NodeId(self.adj.len() - 1)
+    }
+
+    /// Finalizes the graph.
+    pub fn build(self) -> Graph {
+        let mut num_edges = 0;
+        let adj: Vec<Vec<NodeId>> = self
+            .adj
+            .into_iter()
+            .map(|s| {
+                num_edges += s.len();
+                s.into_iter().collect()
+            })
+            .collect();
+        Graph {
+            adj,
+            num_edges: num_edges / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(2, [(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(
+            Graph::from_edges(2, [(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(4, [(2, 0), (2, 3), (2, 1)]).unwrap();
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn edges_iterates_once_per_edge() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[0], (NodeId(0), NodeId(1)));
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn is_tree_recognizes_paths_and_rejects_cycles() {
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(path.is_tree());
+        let cycle = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(!cycle.is_tree());
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_tree());
+    }
+
+    #[test]
+    fn single_vertex_is_tree() {
+        let g = Graph::empty(1);
+        assert!(g.is_connected());
+        assert!(g.is_tree());
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        // Path 0-1-2-3, keep {0, 2, 3}: edge 2-3 survives as 1-2.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (h, map) = g.induced_subgraph(&[NodeId(3), NodeId(0), NodeId(2)]);
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(map, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        assert!(h.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let b = Graph::from_edges(3, [(0, 2)]).unwrap();
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.num_nodes(), 5);
+        assert_eq!(u.num_edges(), 2);
+        assert!(u.has_edge(NodeId(0), NodeId(1)));
+        assert!(u.has_edge(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn with_edges_extends() {
+        let a = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let b = a.with_edges([(1, 2)]).unwrap();
+        assert_eq!(b.num_edges(), 2);
+        assert!(b.is_tree());
+    }
+
+    #[test]
+    fn builder_add_node() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_node();
+        assert_eq!(v, NodeId(1));
+        b.add_edge(0, 1).unwrap();
+        assert!(b.build().is_tree());
+    }
+}

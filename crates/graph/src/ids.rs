@@ -1,0 +1,184 @@
+//! Network identifier assignments.
+//!
+//! The certification model (Section 3.3) equips vertices with unique
+//! identifiers from a polynomial range `[1, n^c]`. Certification must be
+//! correct for *every* such assignment, so the test suites exercise both
+//! the contiguous assignment and adversarial (random, gappy) ones.
+
+use crate::node::{Ident, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use std::collections::HashMap;
+
+/// An injective assignment of identifiers to the vertices `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::{IdAssignment, NodeId};
+///
+/// let ids = IdAssignment::contiguous(4);
+/// assert_eq!(ids.ident(NodeId(2)).value(), 3);
+/// assert_eq!(ids.node_of(3.into()), Some(NodeId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdAssignment {
+    ids: Vec<Ident>,
+    reverse: HashMap<Ident, NodeId>,
+}
+
+impl IdAssignment {
+    /// Builds an assignment from explicit identifiers.
+    ///
+    /// Returns `None` if the identifiers are not pairwise distinct.
+    pub fn new(ids: Vec<Ident>) -> Option<Self> {
+        let mut reverse = HashMap::with_capacity(ids.len());
+        for (v, &id) in ids.iter().enumerate() {
+            if reverse.insert(id, NodeId(v)).is_some() {
+                return None;
+            }
+        }
+        Some(IdAssignment { ids, reverse })
+    }
+
+    /// The canonical assignment `v ↦ v + 1`.
+    pub fn contiguous(n: usize) -> Self {
+        Self::new((1..=n as u64).map(Ident).collect()).expect("contiguous ids are distinct")
+    }
+
+    /// A uniformly random injective assignment into `[1, n^c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` (the range must contain at least `n` values) or
+    /// if `n^c` overflows `u64`.
+    pub fn random_polynomial<R: Rng + ?Sized>(n: usize, c: u32, rng: &mut R) -> Self {
+        assert!(c >= 1, "range exponent must be at least 1");
+        let max = (n as u64)
+            .checked_pow(c)
+            .expect("n^c must fit in u64")
+            .max(n as u64);
+        // Rejection-sample distinct values (fast when max >= 2n), else
+        // shuffle the full range.
+        if max >= 2 * n as u64 {
+            let mut chosen = std::collections::HashSet::with_capacity(n);
+            let mut ids = Vec::with_capacity(n);
+            while ids.len() < n {
+                let x = rng.random_range(1..=max);
+                if chosen.insert(x) {
+                    ids.push(Ident(x));
+                }
+            }
+            Self::new(ids).expect("sampled ids are distinct")
+        } else {
+            let mut all: Vec<u64> = (1..=max).collect();
+            all.shuffle(rng);
+            Self::new(all.into_iter().take(n).map(Ident).collect())
+                .expect("shuffled ids are distinct")
+        }
+    }
+
+    /// A random permutation of the contiguous identifiers `1..=n`.
+    pub fn shuffled<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut ids: Vec<u64> = (1..=n as u64).collect();
+        ids.shuffle(rng);
+        Self::new(ids.into_iter().map(Ident).collect()).expect("permutation is injective")
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the assignment covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The identifier of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn ident(&self, v: NodeId) -> Ident {
+        self.ids[v.0]
+    }
+
+    /// The vertex carrying identifier `id`, if any.
+    pub fn node_of(&self, id: Ident) -> Option<NodeId> {
+        self.reverse.get(&id).copied()
+    }
+
+    /// Maximum number of bits over all identifiers (0 for an empty
+    /// assignment).
+    pub fn max_bits(&self) -> u32 {
+        self.ids.iter().map(|i| i.bits()).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(vertex, identifier)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Ident)> + '_ {
+        self.ids.iter().enumerate().map(|(v, &id)| (NodeId(v), id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contiguous_roundtrip() {
+        let ids = IdAssignment::contiguous(5);
+        assert_eq!(ids.len(), 5);
+        for v in 0..5 {
+            let id = ids.ident(NodeId(v));
+            assert_eq!(ids.node_of(id), Some(NodeId(v)));
+        }
+        assert_eq!(ids.max_bits(), 3);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        assert!(IdAssignment::new(vec![Ident(1), Ident(1)]).is_none());
+    }
+
+    #[test]
+    fn random_polynomial_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ids = IdAssignment::random_polynomial(20, 3, &mut rng);
+        assert_eq!(ids.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for (_, id) in ids.iter() {
+            assert!(id.value() >= 1 && id.value() <= 8000);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn random_polynomial_tight_range() {
+        // c = 1 forces the full permutation path.
+        let mut rng = StdRng::seed_from_u64(8);
+        let ids = IdAssignment::random_polynomial(10, 1, &mut rng);
+        let mut values: Vec<u64> = ids.iter().map(|(_, id)| id.value()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids = IdAssignment::shuffled(8, &mut rng);
+        let mut values: Vec<u64> = ids.iter().map(|(_, id)| id.value()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let ids = IdAssignment::contiguous(0);
+        assert!(ids.is_empty());
+        assert_eq!(ids.max_bits(), 0);
+    }
+}

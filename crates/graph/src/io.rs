@@ -1,0 +1,161 @@
+//! Plain-text graph I/O.
+//!
+//! The edge-list format accepted by [`parse_edge_list`]:
+//!
+//! - blank lines and lines starting with `#` or `c` are comments;
+//! - an optional header `p <n>` pins the vertex count (otherwise it is
+//!   `max endpoint + 1`);
+//! - every other line is `u v` with 0-based endpoints.
+//!
+//! [`to_edge_list`] writes the same format back (with a header).
+
+use crate::graph::Graph;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced when parsing an edge list fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGraphError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseGraphError {}
+
+/// Parses the edge-list format described in the module docs.
+///
+/// # Errors
+///
+/// Returns a [`ParseGraphError`] on malformed lines, out-of-range
+/// endpoints (with a `p` header), or self-loops.
+pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_seen = 0usize;
+    let mut any_vertex = false;
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('c') {
+            continue;
+        }
+        let err = |message: String| ParseGraphError {
+            line: line_no,
+            message,
+        };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err("header `p` needs a vertex count".into()))?
+                    .parse()
+                    .map_err(|_| err("invalid vertex count".into()))?;
+                if declared_n.replace(n).is_some() {
+                    return Err(err("duplicate `p` header".into()));
+                }
+            }
+            Some(u_str) => {
+                let u: usize = u_str
+                    .parse()
+                    .map_err(|_| err(format!("invalid endpoint `{u_str}`")))?;
+                let v_str = parts
+                    .next()
+                    .ok_or_else(|| err("edge line needs two endpoints".into()))?;
+                let v: usize = v_str
+                    .parse()
+                    .map_err(|_| err(format!("invalid endpoint `{v_str}`")))?;
+                if parts.next().is_some() {
+                    return Err(err("trailing tokens on edge line".into()));
+                }
+                if u == v {
+                    return Err(err(format!("self-loop at {u}")));
+                }
+                max_seen = max_seen.max(u).max(v);
+                any_vertex = true;
+                edges.push((u, v));
+            }
+            None => unreachable!("non-empty line has a token"),
+        }
+    }
+    let n = declared_n.unwrap_or(if any_vertex { max_seen + 1 } else { 0 });
+    Graph::from_edges(n, edges).map_err(|e| ParseGraphError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Serializes a graph to the edge-list format (with a `p` header).
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p {}", g.num_nodes());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let g = generators::spider(3, 2);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "# a path\n\nc dimacs-style comment\n0 1\n1 2\n";
+        let g = parse_edge_list(src).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn header_pins_isolated_vertices() {
+        let g = parse_edge_list("p 5\n0 1\n").unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_edge_list("0 1\n2 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("self-loop"));
+        let e2 = parse_edge_list("0\n").unwrap_err();
+        assert_eq!(e2.line, 1);
+        let e3 = parse_edge_list("0 x\n").unwrap_err();
+        assert!(e3.message.contains('x'));
+        let e4 = parse_edge_list("0 1 2\n").unwrap_err();
+        assert!(e4.message.contains("trailing"));
+        let e5 = parse_edge_list("p 3\np 4\n").unwrap_err();
+        assert!(e5.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn out_of_range_with_header() {
+        let e = parse_edge_list("p 2\n0 5\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Path and cycle minors.
+//!
+//! Corollary 2.7 certifies `P_t`-minor-free and `C_t`-minor-free graphs.
+//! For these two families, minor containment collapses to subgraph
+//! containment:
+//!
+//! - `G` has a `P_t` minor **iff** `G` contains a path on `t` vertices
+//!   (contracting edges of a path model and picking connection points
+//!   yields an actual path of the same order);
+//! - `G` has a `C_t` minor **iff** `G` contains a cycle of length at least
+//!   `t` (contracting a cycle model yields a cycle, and any long cycle
+//!   contracts down to `C_t`).
+//!
+//! So the ground truths here are the *longest path* (order, i.e. number of
+//! vertices) and the *circumference* (length of a longest cycle), computed
+//! exactly by exponential search with memoization — intended for the
+//! small/medium instances of the test and experiment suites — plus a
+//! linear-time exact longest path for trees.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::traversal;
+
+/// Maximum number of vertices for the exact exponential searches.
+pub const EXACT_LIMIT: usize = 28;
+
+/// Order (vertex count) of a longest path in a tree: `diameter + 1`.
+///
+/// Returns `None` if `g` is not a tree.
+pub fn longest_path_in_tree(g: &Graph) -> Option<usize> {
+    if !g.is_tree() {
+        return None;
+    }
+    traversal::diameter(g).map(|d| d + 1)
+}
+
+/// Order (vertex count) of a longest simple path in `g`, exact.
+///
+/// Uses a DFS over (endpoint, visited-set) states with pruning. Exponential
+/// in the worst case; intended for `n <= `[`EXACT_LIMIT`].
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > EXACT_LIMIT`.
+pub fn longest_path_exact(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    assert!(n <= EXACT_LIMIT, "exact longest path limited to {EXACT_LIMIT} vertices");
+    if n == 0 {
+        return 0;
+    }
+    if g.is_tree() {
+        return longest_path_in_tree(g).expect("tree");
+    }
+    let mut best = 1usize;
+    let mut stack: Vec<(usize, u64, usize)> = Vec::new();
+    for s in 0..n {
+        stack.push((s, 1u64 << s, 1));
+    }
+    while let Some((u, visited, len)) = stack.pop() {
+        best = best.max(len);
+        if best == n {
+            return n;
+        }
+        for &v in g.neighbors(NodeId(u)) {
+            if visited & (1u64 << v.0) == 0 {
+                stack.push((v.0, visited | (1u64 << v.0), len + 1));
+            }
+        }
+    }
+    best
+}
+
+/// Length (edge count) of a longest cycle in `g` (the circumference),
+/// or 0 if `g` is acyclic. Exact, exponential; intended for
+/// `n <= `[`EXACT_LIMIT`].
+///
+/// # Panics
+///
+/// Panics if `g.num_nodes() > EXACT_LIMIT`.
+pub fn circumference_exact(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    assert!(n <= EXACT_LIMIT, "exact circumference limited to {EXACT_LIMIT} vertices");
+    if !traversal::has_cycle(g) {
+        return 0;
+    }
+    let mut best = 0usize;
+    // For each start vertex s (smallest vertex on the cycle), DFS over
+    // simple paths from s using only vertices >= s; closing back to s gives
+    // a cycle.
+    for s in 0..n {
+        let mut stack: Vec<(usize, u64, usize)> = vec![(s, 1u64 << s, 0)];
+        while let Some((u, visited, len)) = stack.pop() {
+            for &v in g.neighbors(NodeId(u)) {
+                if v.0 == s && len >= 2 {
+                    best = best.max(len + 1);
+                } else if v.0 > s && visited & (1u64 << v.0) == 0 {
+                    stack.push((v.0, visited | (1u64 << v.0), len + 1));
+                }
+            }
+        }
+        if best == n {
+            break;
+        }
+    }
+    best
+}
+
+/// Whether `g` contains a simple path on `t` vertices, by depth-bounded
+/// DFS. Exponential in `t` only (not in `n`), so usable on graphs beyond
+/// [`EXACT_LIMIT`] when `t` is small — e.g. deciding `P_t`-freeness of
+/// certified kernels.
+pub fn has_path_of_order(g: &Graph, t: usize) -> bool {
+    if t == 0 {
+        return true;
+    }
+    if t == 1 {
+        return g.num_nodes() >= 1;
+    }
+    let n = g.num_nodes();
+    let mut on_path = vec![false; n];
+    fn dfs(g: &Graph, u: usize, remaining: usize, on_path: &mut [bool]) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        for &v in g.neighbors(NodeId(u)) {
+            if !on_path[v.0] {
+                on_path[v.0] = true;
+                if dfs(g, v.0, remaining - 1, on_path) {
+                    return true;
+                }
+                on_path[v.0] = false;
+            }
+        }
+        false
+    }
+    for s in 0..n {
+        on_path[s] = true;
+        if dfs(g, s, t - 1, &mut on_path) {
+            return true;
+        }
+        on_path[s] = false;
+    }
+    false
+}
+
+/// Whether `g` contains a cycle of length in `[lo, cap]`, by DFS over
+/// simple paths of length ≤ `cap` (smallest-vertex anchoring, as in
+/// [`circumference_exact`]). Exponential in `cap` only, so usable beyond
+/// [`EXACT_LIMIT`] when `cap` is small.
+///
+/// # Panics
+///
+/// Panics if `lo < 3`.
+pub fn has_cycle_at_least(g: &Graph, lo: usize, cap: usize) -> bool {
+    assert!(lo >= 3, "cycles have length at least 3");
+    if cap < lo || !traversal::has_cycle(g) {
+        return false;
+    }
+    let n = g.num_nodes();
+    let mut on_path = vec![false; n];
+    // `len` = number of vertices on the current path (which starts at the
+    // anchor `s`, the smallest vertex of the cycle sought). Closing the
+    // edge back to `s` yields a cycle of length exactly `len`.
+    fn dfs(
+        g: &Graph,
+        s: usize,
+        u: usize,
+        len: usize,
+        lo: usize,
+        cap: usize,
+        on_path: &mut [bool],
+    ) -> bool {
+        for &v in g.neighbors(NodeId(u)) {
+            if v.0 == s && len >= 3 && len >= lo {
+                return true;
+            }
+            if v.0 > s && !on_path[v.0] && len < cap {
+                on_path[v.0] = true;
+                if dfs(g, s, v.0, len + 1, lo, cap, on_path) {
+                    return true;
+                }
+                on_path[v.0] = false;
+            }
+        }
+        false
+    }
+    for s in 0..n {
+        on_path[s] = true;
+        if dfs(g, s, s, 1, lo, cap, &mut on_path) {
+            return true;
+        }
+        on_path[s] = false;
+    }
+    false
+}
+
+/// Whether `g` has a `P_t` minor (a path on `t` vertices), exactly.
+///
+/// Uses the tree shortcut when `g` is a tree; otherwise the exact search
+/// (see [`longest_path_exact`] for the size limit).
+pub fn has_path_minor(g: &Graph, t: usize) -> bool {
+    if t <= 1 {
+        return g.num_nodes() >= t;
+    }
+    if let Some(lp) = longest_path_in_tree(g) {
+        return lp >= t;
+    }
+    longest_path_exact(g) >= t
+}
+
+/// Whether `g` has a `C_t` minor (a cycle of length at least `t`), exactly.
+///
+/// # Panics
+///
+/// Panics if `t < 3` (cycles have length at least 3) or `g` exceeds the
+/// exact-search size limit.
+pub fn has_cycle_minor(g: &Graph, t: usize) -> bool {
+    assert!(t >= 3, "C_t requires t >= 3");
+    if !traversal::has_cycle(g) {
+        return false;
+    }
+    circumference_exact(g) >= t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn longest_path_in_tree_matches_diameter() {
+        assert_eq!(longest_path_in_tree(&generators::path(7)), Some(7));
+        assert_eq!(longest_path_in_tree(&generators::star(5)), Some(3));
+        assert_eq!(longest_path_in_tree(&generators::spider(3, 2)), Some(5));
+        assert_eq!(longest_path_in_tree(&generators::cycle(4)), None);
+    }
+
+    #[test]
+    fn longest_path_exact_on_cycles_and_cliques() {
+        assert_eq!(longest_path_exact(&generators::cycle(6)), 6);
+        assert_eq!(longest_path_exact(&generators::clique(5)), 5);
+        assert_eq!(longest_path_exact(&generators::path(9)), 9);
+        assert_eq!(longest_path_exact(&Graph::empty(1)), 1);
+    }
+
+    #[test]
+    fn longest_path_exact_theta_graph() {
+        // Two vertices joined by three paths of lengths 2, 2, 4: the longest
+        // simple path chains the two longest branches.
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 2),
+                (2, 1), // path A: 0-2-1
+                (0, 3),
+                (3, 1), // path B: 0-3-1
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (6, 1), // path C: 0-4-5-6-1
+            ],
+        )
+        .unwrap();
+        // Longest simple path: 2-0-4-5-6-1-3 (7 vertices).
+        assert_eq!(longest_path_exact(&g), 7);
+    }
+
+    #[test]
+    fn circumference_basics() {
+        assert_eq!(circumference_exact(&generators::cycle(5)), 5);
+        assert_eq!(circumference_exact(&generators::path(5)), 0);
+        assert_eq!(circumference_exact(&generators::clique(5)), 5);
+    }
+
+    #[test]
+    fn circumference_two_triangles() {
+        // Two triangles sharing one vertex: circumference 3.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        assert_eq!(circumference_exact(&g), 3);
+        // Joining them with an extra edge creates a hexagon minus a chord.
+        let g2 = g.with_edges([(0, 3)]).unwrap();
+        assert_eq!(circumference_exact(&g2), 5);
+    }
+
+    #[test]
+    fn path_minor_thresholds() {
+        let g = generators::path(6);
+        assert!(has_path_minor(&g, 6));
+        assert!(!has_path_minor(&g, 7));
+        assert!(has_path_minor(&g, 1));
+        let s = generators::star(10);
+        assert!(has_path_minor(&s, 3));
+        assert!(!has_path_minor(&s, 4));
+    }
+
+    #[test]
+    fn cycle_minor_thresholds() {
+        let g = generators::cycle(8);
+        assert!(has_cycle_minor(&g, 3));
+        assert!(has_cycle_minor(&g, 8));
+        assert!(!has_cycle_minor(&g, 9));
+        assert!(!has_cycle_minor(&generators::path(8), 3));
+    }
+
+    #[test]
+    fn bounded_path_search_matches_exact() {
+        let graphs = [
+            generators::path(6),
+            generators::cycle(7),
+            generators::star(6),
+            generators::clique(4),
+            generators::spider(3, 2),
+        ];
+        for g in &graphs {
+            let lp = longest_path_exact(g);
+            for t in 1..=lp + 2 {
+                assert_eq!(has_path_of_order(g, t), t <= lp, "graph {g:?}, t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cycle_search_matches_circumference() {
+        let graphs = [
+            generators::cycle(5),
+            generators::cycle(8),
+            generators::clique(5),
+            generators::path(6),
+        ];
+        for g in &graphs {
+            let circ = circumference_exact(g);
+            for lo in 3..=8 {
+                assert_eq!(
+                    has_cycle_at_least(g, lo, 8),
+                    circ >= lo && circ <= 8,
+                    "graph {g:?}, lo = {lo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cycle_search_respects_cap() {
+        // C_8 has only the 8-cycle: with cap 7 nothing is found.
+        let g = generators::cycle(8);
+        assert!(!has_cycle_at_least(&g, 3, 7));
+        assert!(has_cycle_at_least(&g, 3, 8));
+        assert!(has_cycle_at_least(&g, 8, 8));
+        assert!(!has_cycle_at_least(&g, 9, 20));
+    }
+
+    #[test]
+    fn bounded_path_search_beyond_exact_limit() {
+        // Star on 100 vertices: longest path order 3, no 28-vertex cap.
+        let g = generators::star(100);
+        assert!(has_path_of_order(&g, 3));
+        assert!(!has_path_of_order(&g, 4));
+    }
+
+    #[test]
+    fn empty_graph_longest_path() {
+        assert_eq!(longest_path_exact(&Graph::empty(0)), 0);
+        assert!(has_path_minor(&Graph::empty(0), 0));
+        assert!(!has_path_minor(&Graph::empty(0), 1));
+    }
+}

@@ -1,0 +1,129 @@
+//! Node indices and network identifiers.
+//!
+//! The certification model distinguishes two notions of "name" for a vertex:
+//!
+//! - [`NodeId`] is an *internal index* into a [`Graph`](crate::Graph)
+//!   (contiguous, `0..n`); it is an artifact of the simulator and is never
+//!   visible to verification algorithms.
+//! - [`Ident`] is the *network identifier* of Section 3.3 of the paper: an
+//!   arbitrary unique value from a polynomial range `[1, n^c]`. Verifiers
+//!   see identifiers, never node indices.
+
+use std::fmt;
+
+/// Internal index of a vertex inside a [`Graph`](crate::Graph).
+///
+/// Indices are contiguous in `0..n`. They are a simulator artifact: local
+/// verification algorithms must only ever depend on [`Ident`]s.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::NodeId;
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// A network identifier, unique per vertex, drawn from a polynomial range.
+///
+/// The paper assumes identifiers fit in `O(log n)` bits (range `[1, n^c]`).
+/// [`Ident`] wraps a `u64`, which is ample for every experiment scale while
+/// keeping bit-size accounting honest via
+/// [`Ident::bits`].
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::Ident;
+/// assert_eq!(Ident(5).bits(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ident(pub u64);
+
+impl Ident {
+    /// Returns the raw identifier value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits needed to write this identifier (at least 1).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u64::BITS - self.0.leading_zeros().min(u64::BITS - 1)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for Ident {
+    fn from(v: u64) -> Self {
+        Ident(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::from(7usize);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+    }
+
+    #[test]
+    fn node_id_ordering_matches_indices() {
+        assert!(NodeId(2) < NodeId(10));
+        assert_eq!(NodeId(4), NodeId(4));
+    }
+
+    #[test]
+    fn ident_bits_small_values() {
+        assert_eq!(Ident(0).bits(), 1);
+        assert_eq!(Ident(1).bits(), 1);
+        assert_eq!(Ident(2).bits(), 2);
+        assert_eq!(Ident(3).bits(), 2);
+        assert_eq!(Ident(4).bits(), 3);
+        assert_eq!(Ident(255).bits(), 8);
+        assert_eq!(Ident(256).bits(), 9);
+    }
+
+    #[test]
+    fn ident_bits_large_values() {
+        assert_eq!(Ident(u64::MAX).bits(), 64);
+        assert_eq!(Ident(1 << 40).bits(), 41);
+    }
+
+    #[test]
+    fn ident_display() {
+        assert_eq!(Ident(42).to_string(), "#42");
+    }
+}

@@ -1,0 +1,152 @@
+//! Theorem 2.3: fixed-point-free automorphism needs `Ω̃(n)` bits, even on
+//! bounded-depth trees.
+//!
+//! The gadget (Appendix E.2): `V_α = {α}`, `V_β = {β}`, a path
+//! `a – α – β – b`, Alice hangs the tree `t(s_A)` rooted at `a`, Bob the
+//! tree `t(s_B)` rooted at `b`, where `t` is an injection from bit
+//! strings to non-isomorphic rooted trees of bounded depth. The whole
+//! graph is a tree of bounded depth, and it has a fixed-point-free
+//! automorphism **iff** the two hanging trees are isomorphic **iff**
+//! `s_A = s_B`.
+//!
+//! Injections provided by `locert-graph`: the depth-2 partition encoding
+//! (any scale, `n = Θ(ℓ²)`, matching the paper's `Ω(√n)` remark for
+//! depth 2) and the rank-based encoding over all bounded-depth trees
+//! (optimal rate, small `n`), whose counting behavior reproduces the
+//! Pach et al. `2^{Θ(n / log log n)}` growth \[42].
+
+use crate::framework::{GadgetFamily, Partition};
+use locert_graph::enumerate::{parent_vec_to_rooted, string_to_tree_depth2};
+use locert_graph::{automorphism, Graph, GraphBuilder, IdAssignment, Ident, NodeId, RootedTree};
+
+/// Builds the Theorem 2.3 gadget from two rooted trees (as parent
+/// arrays): `a – α – β – b` with the trees hanging at `a` and `b`.
+///
+/// Returns the graph and partition; vertex layout: `α = 0`, `β = 1`,
+/// Alice's tree occupies `2 .. 2 + |A|` (its root is `a = 2`), Bob's tree
+/// the rest.
+pub fn build_gadget(tree_a: &RootedTree, tree_b: &RootedTree) -> (Graph, Partition) {
+    let na = tree_a.num_nodes();
+    let nb = tree_b.num_nodes();
+    let mut b = GraphBuilder::new(2 + na + nb);
+    b.add_edge(0, 1).expect("valid"); // α – β
+    let a_off = 2;
+    let b_off = 2 + na;
+    b.add_edge(0, a_off + tree_a.root().0).expect("valid"); // α – a
+    b.add_edge(1, b_off + tree_b.root().0).expect("valid"); // β – b
+    for v in 0..na {
+        if let Some(p) = tree_a.parent(NodeId(v)) {
+            b.add_edge(a_off + v, a_off + p.0).expect("valid");
+        }
+    }
+    for v in 0..nb {
+        if let Some(p) = tree_b.parent(NodeId(v)) {
+            b.add_edge(b_off + v, b_off + p.0).expect("valid");
+        }
+    }
+    let part = Partition {
+        v_a: (a_off..a_off + na).map(NodeId).collect(),
+        v_alpha: vec![NodeId(0)],
+        v_beta: vec![NodeId(1)],
+        v_b: (b_off..b_off + nb).map(NodeId).collect(),
+    };
+    (b.build(), part)
+}
+
+/// The gadget family over the depth-2 injection, for strings of length
+/// `ℓ`.
+#[derive(Debug, Clone, Copy)]
+pub struct AutomorphismFamily {
+    /// Input length `ℓ`.
+    pub l: usize,
+}
+
+impl AutomorphismFamily {
+    /// The tree encoding a string.
+    pub fn tree_for(s: &[bool]) -> RootedTree {
+        parent_vec_to_rooted(&string_to_tree_depth2(s))
+    }
+}
+
+impl GadgetFamily for AutomorphismFamily {
+    fn build(&self, s_a: &[bool], s_b: &[bool]) -> (Graph, Partition, IdAssignment) {
+        assert_eq!(s_a.len(), self.l);
+        assert_eq!(s_b.len(), self.l);
+        let ta = Self::tree_for(s_a);
+        let tb = Self::tree_for(s_b);
+        let (g, part) = build_gadget(&ta, &tb);
+        // Interface ids 1..=2, privates arbitrary after.
+        let ids = IdAssignment::new(
+            (0..g.num_nodes() as u64).map(|v| Ident(v + 1)).collect(),
+        )
+        .expect("distinct");
+        (g, part, ids)
+    }
+
+    fn input_bits(&self) -> usize {
+        self.l
+    }
+}
+
+/// The Theorem 2.3 dichotomy: the gadget has a fixed-point-free
+/// automorphism iff the strings are equal.
+pub fn gadget_has_fpf(s_a: &[bool], s_b: &[bool]) -> bool {
+    let ta = AutomorphismFamily::tree_for(s_a);
+    let tb = AutomorphismFamily::tree_for(s_b);
+    let (g, _) = build_gadget(&ta, &tb);
+    automorphism::tree_has_fpf_automorphism(&g).expect("gadget is a tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::all_strings;
+    use locert_graph::traversal;
+
+    #[test]
+    fn gadget_is_bounded_depth_tree() {
+        let s: Vec<bool> = vec![true, false, true];
+        let ta = AutomorphismFamily::tree_for(&s);
+        let (g, part) = build_gadget(&ta, &ta);
+        assert!(g.is_tree());
+        assert!(part.validates(&g));
+        // Depth from the α–β edge: 1 (root edge) + 1 + 2 (tree depth) = 4.
+        let ecc = traversal::eccentricity(&g, NodeId(0)).unwrap();
+        assert!(ecc <= 4);
+    }
+
+    #[test]
+    fn dichotomy_exhaustive_small() {
+        for l in [1usize, 3] {
+            for s_a in all_strings(l) {
+                for s_b in all_strings(l) {
+                    assert_eq!(
+                        gadget_has_fpf(&s_a, &s_b),
+                        s_a == s_b,
+                        "l={l}, s_a={s_a:?}, s_b={s_b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_size_quadratic_in_l() {
+        // The depth-2 injection costs Θ(ℓ²) vertices — this is the √n
+        // regime of the paper's final remark.
+        let l = 10;
+        let s = vec![true; l];
+        let t = AutomorphismFamily::tree_for(&s);
+        let n = t.num_nodes();
+        assert!(n >= l * l && n <= 3 * l * l + 2 * l + 1, "n = {n}");
+    }
+
+    #[test]
+    fn family_builds_with_fixed_interface_ids() {
+        let fam = AutomorphismFamily { l: 2 };
+        let (g, part, ids) = fam.build(&[true, false], &[false, false]);
+        assert!(part.validates(&g));
+        assert_eq!(ids.ident(part.v_alpha[0]), Ident(1));
+        assert_eq!(ids.ident(part.v_beta[0]), Ident(2));
+    }
+}

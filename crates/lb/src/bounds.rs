@@ -1,0 +1,82 @@
+//! The `Ω(ℓ/r)` rate calculators of Proposition 7.2, instantiated for
+//! both constructions.
+//!
+//! These evaluate, for concrete gadget parameters, the certificate-size
+//! lower bound that the reduction yields: a local certification with
+//! `q`-bit certificates gives an EQUALITY protocol with `r·q` bits, and
+//! Theorem 7.1 forces `r·q ≥ ℓ`, i.e. `q ≥ ℓ/r`.
+
+use locert_graph::enumerate::count_trees_log2;
+
+/// Generic rate: `ℓ / r` (bits per interface vertex).
+pub fn rate(l: usize, r: usize) -> f64 {
+    l as f64 / r as f64
+}
+
+/// Theorem 2.5 instantiation: `ℓ = ⌊log₂ n!⌋`, `r = 4n + 1` interface
+/// vertices; the bound is `Θ(log n)` bits.
+pub fn treedepth_rate(n: usize) -> f64 {
+    let l = crate::treedepth_gadget::matching_bits(n);
+    let r = 4 * n + 1;
+    rate(l, r)
+}
+
+/// Theorem 2.3 instantiation with the *rank-based* injection: the gadget
+/// hangs trees with `n_tree` vertices of depth ≤ `depth`, so
+/// `ℓ = ⌊log₂ #trees⌋` while `r = 2`; the bound is `Ω̃(n)` bits.
+pub fn automorphism_rate(n_tree: usize, depth: usize) -> f64 {
+    let l = count_trees_log2(n_tree, depth).max(0.0).floor();
+    rate(l as usize, 2)
+}
+
+/// Theorem 2.3 with the depth-2 partition injection (`ℓ` bits cost
+/// `Θ(ℓ²)` tree vertices): the rate as a function of the *graph* size,
+/// `Ω(√n)`.
+pub fn automorphism_rate_depth2(l: usize) -> (usize, f64) {
+    // Tree size for an ℓ-bit string (worst case, all bits set):
+    // 1 + Σ_{i<ℓ} (1 + 2i + 3) = 1 + 4ℓ + ℓ(ℓ−1).
+    let n_tree = 1 + 4 * l + l * (l - 1);
+    let n_graph = 2 * n_tree + 2;
+    (n_graph, rate(l, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn treedepth_rate_grows_logarithmically() {
+        // q ≥ Θ(log n): the rate divided by log2 n converges to 1/4.
+        let r10 = treedepth_rate(10) / (10f64).log2();
+        let r100 = treedepth_rate(100) / (100f64).log2();
+        let r1000 = treedepth_rate(1000) / (1000f64).log2();
+        assert!(r100 > r10 * 0.8);
+        assert!((0.15..0.3).contains(&r1000), "rate/log n = {r1000}");
+    }
+
+    #[test]
+    fn automorphism_rate_near_linear() {
+        // ℓ/2 with ℓ = log2 #trees ≈ Θ(n / log log n): rate grows almost
+        // linearly in the tree size.
+        let r20 = automorphism_rate(20, 3);
+        let r40 = automorphism_rate(40, 3);
+        assert!(r40 > 1.7 * r20, "r20 = {r20}, r40 = {r40}");
+        assert!(r40 > 8.0);
+    }
+
+    #[test]
+    fn depth2_rate_is_sqrt_n() {
+        let (n, q) = automorphism_rate_depth2(20);
+        // q = ℓ/2 and n ≈ ℓ², so q ≈ √n / 2.
+        assert!((q - 10.0).abs() < 1e-9);
+        assert!(n >= 20 * 20);
+        let ratio = q / (n as f64).sqrt();
+        assert!((0.3..0.7).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rates_monotone() {
+        assert!(treedepth_rate(64) < treedepth_rate(256));
+        assert!(automorphism_rate(15, 3) < automorphism_rate(25, 3));
+    }
+}

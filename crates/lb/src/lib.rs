@@ -1,0 +1,25 @@
+//! Lower bounds via two-party nondeterministic communication complexity
+//! (Section 7 of the paper).
+//!
+//! The pipeline has three layers:
+//!
+//! 1. [`cc`]: the nondeterministic EQUALITY problem, the Theorem 7.1
+//!    bound (a protocol needs `Ω(ℓ)` certificate bits), and the
+//!    *fooling-set attack* that constructively breaks any too-short
+//!    protocol;
+//! 2. [`framework`]: the Section 7.1 reduction framework — gadget graphs
+//!    `G(s_A, s_B)` partitioned into `V_A ∪ V_α ∪ V_β ∪ V_B`, and the
+//!    Proposition 7.2 simulation turning any local verifier into an
+//!    EQUALITY protocol whose certificate holds only the `V_α ∪ V_β`
+//!    labels;
+//! 3. the two instantiations: [`automorphism`] (Theorem 2.3:
+//!    fixed-point-free automorphism needs `Ω̃(n)` bits on bounded-depth
+//!    trees) and [`treedepth_gadget`] (Theorem 2.5: treedepth ≤ 5 needs
+//!    `Ω(log n)` bits), plus the [`bounds`] calculators that evaluate the
+//!    `Ω(ℓ/r)` rates.
+
+pub mod automorphism;
+pub mod bounds;
+pub mod cc;
+pub mod framework;
+pub mod treedepth_gadget;

@@ -1,0 +1,382 @@
+//! The FO/MSO formula AST.
+//!
+//! A single [`Formula`] type covers both logics: a formula is first-order
+//! when it contains no set quantifier and no membership atom (checked by
+//! [`crate::depth::is_fo`]). Variables are plain integer handles ([`Var`],
+//! [`SetVar`]); binding discipline is by-name, as in the paper (a quantifier
+//! shadows outer bindings of the same variable).
+//!
+//! The constructors at the bottom of this module ([`eq`], [`adj`], [`and`],
+//! [`forall`], …) make formulas readable at the call site:
+//!
+//! ```
+//! use locert_logic::ast::*;
+//!
+//! let (x, y) = (Var(0), Var(1));
+//! // "some vertex dominates the graph"
+//! let phi = exists(x, forall(y, or(eq(x, y), adj(x, y))));
+//! assert_eq!(phi.to_string(), "∃x0. ∀x1. x0 = x1 ∨ x0 ~ x1");
+//! ```
+
+use std::fmt;
+
+/// A first-order variable (ranges over vertices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// A monadic second-order variable (ranges over vertex sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetVar(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for SetVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// An FO/MSO formula over the graph signature `{=, ~, ∈}`.
+///
+/// `Adj` is the adjacency predicate written `x - y` in the paper. All
+/// boolean connectives and both kinds of quantifiers are primitive so that
+/// quantifier-depth accounting matches the paper's conventions exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// Vertex equality `x = y`.
+    Eq(Var, Var),
+    /// Adjacency `x ~ y` (the paper's `x - y`).
+    Adj(Var, Var),
+    /// Set membership `x ∈ X`.
+    In(Var, SetVar),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication (sugar kept primitive for readable printing).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Universal vertex quantification.
+    Forall(Var, Box<Formula>),
+    /// Existential vertex quantification.
+    Exists(Var, Box<Formula>),
+    /// Universal set quantification (MSO).
+    ForallSet(SetVar, Box<Formula>),
+    /// Existential set quantification (MSO).
+    ExistsSet(SetVar, Box<Formula>),
+}
+
+impl Formula {
+    /// Number of AST nodes — a crude size measure used in tests and in the
+    /// `f(t, φ)` bookkeeping of Theorem 2.6.
+    pub fn size(&self) -> usize {
+        use Formula::*;
+        match self {
+            True | False | Eq(..) | Adj(..) | In(..) => 1,
+            Not(f) | Forall(_, f) | Exists(_, f) | ForallSet(_, f) | ExistsSet(_, f) => {
+                1 + f.size()
+            }
+            And(a, b) | Or(a, b) | Implies(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// The free first-order variables, in increasing order.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut Vec::new(), &mut out, &mut std::collections::BTreeSet::new());
+        out.into_iter().collect()
+    }
+
+    /// The free set variables, in increasing order.
+    pub fn free_set_vars(&self) -> Vec<SetVar> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut Vec::new(), &mut std::collections::BTreeSet::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_free(
+        &self,
+        bound: &mut Vec<Var>,
+        bound_sets: &mut Vec<SetVar>,
+        out: &mut std::collections::BTreeSet<Var>,
+        out_sets: &mut std::collections::BTreeSet<SetVar>,
+    ) {
+        use Formula::*;
+        match self {
+            True | False => {}
+            Eq(x, y) | Adj(x, y) => {
+                for v in [x, y] {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            In(x, s) => {
+                if !bound.contains(x) {
+                    out.insert(*x);
+                }
+                if !bound_sets.contains(s) {
+                    out_sets.insert(*s);
+                }
+            }
+            Not(f) => f.collect_free(bound, bound_sets, out, out_sets),
+            And(a, b) | Or(a, b) | Implies(a, b) => {
+                a.collect_free(bound, bound_sets, out, out_sets);
+                b.collect_free(bound, bound_sets, out, out_sets);
+            }
+            Forall(v, f) | Exists(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, bound_sets, out, out_sets);
+                bound.pop();
+            }
+            ForallSet(s, f) | ExistsSet(s, f) => {
+                bound_sets.push(*s);
+                f.collect_free(bound, bound_sets, out, out_sets);
+                bound_sets.pop();
+            }
+        }
+    }
+
+    /// Whether the formula is a *sentence* (no free variables of either
+    /// kind).
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty() && self.free_set_vars().is_empty()
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn needs_parens(f: &Formula) -> bool {
+            matches!(
+                f,
+                Formula::And(..)
+                    | Formula::Or(..)
+                    | Formula::Implies(..)
+                    | Formula::Forall(..)
+                    | Formula::Exists(..)
+                    | Formula::ForallSet(..)
+                    | Formula::ExistsSet(..)
+            )
+        }
+        fn wrap(f: &Formula, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if needs_parens(f) {
+                write!(out, "({f})")
+            } else {
+                write!(out, "{f}")
+            }
+        }
+        use Formula::*;
+        match self {
+            True => write!(f, "true"),
+            False => write!(f, "false"),
+            Eq(x, y) => write!(f, "{x} = {y}"),
+            Adj(x, y) => write!(f, "{x} ~ {y}"),
+            In(x, s) => write!(f, "{x} ∈ {s}"),
+            Not(g) => {
+                write!(f, "¬")?;
+                wrap(g, f)
+            }
+            And(a, b) => {
+                wrap(a, f)?;
+                write!(f, " ∧ ")?;
+                wrap(b, f)
+            }
+            Or(a, b) => {
+                wrap(a, f)?;
+                write!(f, " ∨ ")?;
+                wrap(b, f)
+            }
+            Implies(a, b) => {
+                wrap(a, f)?;
+                write!(f, " → ")?;
+                wrap(b, f)
+            }
+            Forall(v, g) => write!(f, "∀{v}. {g}"),
+            Exists(v, g) => write!(f, "∃{v}. {g}"),
+            ForallSet(s, g) => write!(f, "∀{s}. {g}"),
+            ExistsSet(s, g) => write!(f, "∃{s}. {g}"),
+        }
+    }
+}
+
+// --- ergonomic constructors -------------------------------------------------
+
+/// `x = y`.
+pub fn eq(x: Var, y: Var) -> Formula {
+    Formula::Eq(x, y)
+}
+
+/// `x ~ y` (adjacency).
+pub fn adj(x: Var, y: Var) -> Formula {
+    Formula::Adj(x, y)
+}
+
+/// `x ∈ X`.
+pub fn mem(x: Var, s: SetVar) -> Formula {
+    Formula::In(x, s)
+}
+
+/// `¬f`.
+pub fn not(f: Formula) -> Formula {
+    Formula::Not(Box::new(f))
+}
+
+/// `a ∧ b`.
+pub fn and(a: Formula, b: Formula) -> Formula {
+    Formula::And(Box::new(a), Box::new(b))
+}
+
+/// `a ∨ b`.
+pub fn or(a: Formula, b: Formula) -> Formula {
+    Formula::Or(Box::new(a), Box::new(b))
+}
+
+/// `a → b`.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::Implies(Box::new(a), Box::new(b))
+}
+
+/// `a ↔ b` (expanded to a conjunction of implications).
+pub fn iff(a: Formula, b: Formula) -> Formula {
+    and(implies(a.clone(), b.clone()), implies(b, a))
+}
+
+/// `∀x. f`.
+pub fn forall(x: Var, f: Formula) -> Formula {
+    Formula::Forall(x, Box::new(f))
+}
+
+/// `∃x. f`.
+pub fn exists(x: Var, f: Formula) -> Formula {
+    Formula::Exists(x, Box::new(f))
+}
+
+/// `∀X. f` (set quantification).
+pub fn forall_set(s: SetVar, f: Formula) -> Formula {
+    Formula::ForallSet(s, Box::new(f))
+}
+
+/// `∃X. f` (set quantification).
+pub fn exists_set(s: SetVar, f: Formula) -> Formula {
+    Formula::ExistsSet(s, Box::new(f))
+}
+
+/// Conjunction of a list (empty list = `true`).
+pub fn and_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+    fs.into_iter()
+        .reduce(and)
+        .unwrap_or(Formula::True)
+}
+
+/// Disjunction of a list (empty list = `false`).
+pub fn or_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
+    fs.into_iter()
+        .reduce(or)
+        .unwrap_or(Formula::False)
+}
+
+/// Nested existential quantification `∃x₁ … ∃xₖ. f`.
+pub fn exists_all<I>(vars: I, f: Formula) -> Formula
+where
+    I: IntoIterator<Item = Var>,
+    I::IntoIter: DoubleEndedIterator,
+{
+    vars.into_iter().rev().fold(f, |acc, v| exists(v, acc))
+}
+
+/// Nested universal quantification `∀x₁ … ∀xₖ. f`.
+pub fn forall_all<I>(vars: I, f: Formula) -> Formula
+where
+    I: IntoIterator<Item = Var>,
+    I::IntoIter: DoubleEndedIterator,
+{
+    vars.into_iter().rev().fold(f, |acc, v| forall(v, acc))
+}
+
+/// Pairwise-distinctness of a list of variables.
+pub fn pairwise_distinct(vars: &[Var]) -> Formula {
+    let mut clauses = Vec::new();
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            clauses.push(not(eq(vars[i], vars[j])));
+        }
+    }
+    and_all(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let (x, y) = (Var(0), Var(1));
+        let f = forall(x, exists(y, and(adj(x, y), not(eq(x, y)))));
+        assert_eq!(f.to_string(), "∀x0. ∃x1. x0 ~ x1 ∧ ¬x0 = x1");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let (x, y) = (Var(0), Var(1));
+        assert_eq!(eq(x, y).size(), 1);
+        assert_eq!(and(eq(x, y), adj(x, y)).size(), 3);
+        assert_eq!(forall(x, eq(x, x)).size(), 2);
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let (x, y) = (Var(0), Var(1));
+        let f = forall(x, adj(x, y));
+        assert_eq!(f.free_vars(), vec![y]);
+        assert!(!f.is_sentence());
+        let g = forall(y, f);
+        assert!(g.is_sentence());
+    }
+
+    #[test]
+    fn shadowing_is_by_name() {
+        let x = Var(0);
+        // ∃x. (x = x) has no free variables even with nested reuse.
+        let f = exists(x, and(eq(x, x), exists(x, eq(x, x))));
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn free_set_vars() {
+        let x = Var(0);
+        let s = SetVar(0);
+        let f = forall(x, mem(x, s));
+        assert_eq!(f.free_set_vars(), vec![s]);
+        assert!(exists_set(s, f).is_sentence());
+    }
+
+    #[test]
+    fn and_all_empty_is_true() {
+        assert_eq!(and_all([]), Formula::True);
+        assert_eq!(or_all([]), Formula::False);
+    }
+
+    #[test]
+    fn exists_all_order() {
+        let (x, y) = (Var(0), Var(1));
+        let f = exists_all([x, y], adj(x, y));
+        assert_eq!(f.to_string(), "∃x0. ∃x1. x0 ~ x1");
+    }
+
+    #[test]
+    fn pairwise_distinct_counts() {
+        let vars = [Var(0), Var(1), Var(2)];
+        let f = pairwise_distinct(&vars);
+        // 3 pairs, each ¬(a = b) (2 nodes), joined by 2 ∧ nodes.
+        assert_eq!(f.size(), 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Syntactic measures: quantifier depth, FO detection, fragments.
+//!
+//! The paper's results are parameterized by quantifier depth (`≃_k`,
+//! Lemma 2.1's depth-2 fragment) and by the shape of the quantifier prefix
+//! (existential FO). These checks are purely syntactic.
+
+use crate::ast::Formula;
+
+/// Quantifier depth (maximum number of nested quantifiers of either kind).
+///
+/// # Example
+///
+/// ```
+/// use locert_logic::ast::*;
+/// use locert_logic::depth::quantifier_depth;
+///
+/// let (x, y) = (Var(0), Var(1));
+/// let f = forall(x, exists(y, adj(x, y)));
+/// assert_eq!(quantifier_depth(&f), 2);
+/// ```
+pub fn quantifier_depth(f: &Formula) -> usize {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Adj(..) | In(..) => 0,
+        Not(g) => quantifier_depth(g),
+        And(a, b) | Or(a, b) | Implies(a, b) => quantifier_depth(a).max(quantifier_depth(b)),
+        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => {
+            1 + quantifier_depth(g)
+        }
+    }
+}
+
+/// Whether the formula is first-order (no set quantifier, no membership).
+pub fn is_fo(f: &Formula) -> bool {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Adj(..) => true,
+        In(..) | ForallSet(..) | ExistsSet(..) => false,
+        Not(g) => is_fo(g),
+        And(a, b) | Or(a, b) | Implies(a, b) => is_fo(a) && is_fo(b),
+        Forall(_, g) | Exists(_, g) => is_fo(g),
+    }
+}
+
+/// Whether the formula is an *existential FO* formula in prenex form:
+/// a (possibly empty) block of `∃` vertex quantifiers followed by a
+/// quantifier-free FO matrix.
+///
+/// This is the fragment of Lemma 2.1 / Lemma A.2, certifiable with
+/// `O(k log n)` bits.
+pub fn is_existential_prenex(f: &Formula) -> bool {
+    let mut cur = f;
+    while let Formula::Exists(_, g) = cur {
+        cur = g;
+    }
+    is_fo(cur) && quantifier_depth(cur) == 0
+}
+
+/// The existential prefix and matrix of an existential-prenex formula, or
+/// `None` if [`is_existential_prenex`] fails.
+pub fn existential_prefix(f: &Formula) -> Option<(Vec<crate::ast::Var>, &Formula)> {
+    let mut prefix = Vec::new();
+    let mut cur = f;
+    while let Formula::Exists(v, g) = cur {
+        prefix.push(*v);
+        cur = g;
+    }
+    if is_fo(cur) && quantifier_depth(cur) == 0 {
+        Some((prefix, cur))
+    } else {
+        None
+    }
+}
+
+/// Number of quantifier nodes (of either kind) in the formula.
+pub fn quantifier_count(f: &Formula) -> usize {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Adj(..) | In(..) => 0,
+        Not(g) => quantifier_count(g),
+        And(a, b) | Or(a, b) | Implies(a, b) => quantifier_count(a) + quantifier_count(b),
+        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => {
+            1 + quantifier_count(g)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn depth_of_atoms_is_zero() {
+        assert_eq!(quantifier_depth(&adj(Var(0), Var(1))), 0);
+        assert_eq!(quantifier_depth(&Formula::True), 0);
+    }
+
+    #[test]
+    fn depth_takes_max_over_branches() {
+        let (x, y) = (Var(0), Var(1));
+        let f = and(exists(x, eq(x, x)), forall(x, exists(y, adj(x, y))));
+        assert_eq!(quantifier_depth(&f), 2);
+    }
+
+    #[test]
+    fn depth_counts_set_quantifiers() {
+        let x = Var(0);
+        let s = SetVar(0);
+        let f = exists_set(s, forall(x, mem(x, s)));
+        assert_eq!(quantifier_depth(&f), 2);
+    }
+
+    #[test]
+    fn is_fo_detects_membership() {
+        let x = Var(0);
+        let s = SetVar(0);
+        assert!(is_fo(&forall(x, eq(x, x))));
+        assert!(!is_fo(&mem(x, s)));
+        assert!(!is_fo(&exists_set(s, Formula::True)));
+    }
+
+    #[test]
+    fn existential_prenex_accepted() {
+        let (x, y) = (Var(0), Var(1));
+        let f = exists_all([x, y], and(adj(x, y), not(eq(x, y))));
+        assert!(is_existential_prenex(&f));
+        let (prefix, matrix) = existential_prefix(&f).unwrap();
+        assert_eq!(prefix, vec![x, y]);
+        assert_eq!(quantifier_depth(matrix), 0);
+    }
+
+    #[test]
+    fn existential_prenex_rejects_universal() {
+        let (x, y) = (Var(0), Var(1));
+        assert!(!is_existential_prenex(&exists(x, forall(y, adj(x, y)))));
+        assert!(!is_existential_prenex(&forall(x, eq(x, x))));
+    }
+
+    #[test]
+    fn quantifier_free_is_existential_prenex() {
+        assert!(is_existential_prenex(&Formula::True));
+    }
+
+    #[test]
+    fn quantifier_count_sums() {
+        let (x, y) = (Var(0), Var(1));
+        let f = and(exists(x, eq(x, x)), forall(y, eq(y, y)));
+        assert_eq!(quantifier_count(&f), 2);
+        assert_eq!(quantifier_depth(&f), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Ehrenfeucht–Fraïssé games (Theorem 3.3).
+//!
+//! [`duplicator_wins`]`(g, h, k)` decides whether Duplicator has a winning
+//! strategy in the `k`-round EF game on `(G, H)`, which by Theorem 3.3 is
+//! equivalent to `G ≃_k H`: the two graphs satisfy the same FO sentences of
+//! quantifier depth at most `k`.
+//!
+//! This is the validation oracle for the kernelization of Section 6
+//! (Proposition 6.3 asserts `G ≃_k G'` for the k-reduced graph `G'`).
+//!
+//! The search is exact game-tree exploration with memoization on positions
+//! (pairs of pebble tuples, order-normalized), exponential in `k` — meant
+//! for the small instances of the test suite.
+
+use locert_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Decides whether Duplicator wins the `k`-round EF game on `(g, h)`,
+/// i.e. whether `g ≃_k h`.
+pub fn duplicator_wins(g: &Graph, h: &Graph, k: usize) -> bool {
+    let mut memo = HashMap::new();
+    wins(g, h, &mut Vec::new(), &mut Vec::new(), k, &mut memo)
+}
+
+/// Whether the pebble map `gs[i] ↦ hs[i]` is a partial isomorphism between
+/// the induced substructures (equality and adjacency patterns agree).
+pub fn is_partial_isomorphism(g: &Graph, h: &Graph, gs: &[NodeId], hs: &[NodeId]) -> bool {
+    debug_assert_eq!(gs.len(), hs.len());
+    for i in 0..gs.len() {
+        for j in (i + 1)..gs.len() {
+            if (gs[i] == gs[j]) != (hs[i] == hs[j]) {
+                return false;
+            }
+            if g.has_edge(gs[i], gs[j]) != h.has_edge(hs[i], hs[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+type Memo = HashMap<(Vec<NodeId>, Vec<NodeId>, usize), bool>;
+
+fn wins(
+    g: &Graph,
+    h: &Graph,
+    gs: &mut Vec<NodeId>,
+    hs: &mut Vec<NodeId>,
+    k: usize,
+    memo: &mut Memo,
+) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let key = (gs.clone(), hs.clone(), k);
+    if let Some(&hit) = memo.get(&key) {
+        return hit;
+    }
+    // Spoiler plays in g: Duplicator must answer in h (and vice versa).
+    let mut result = true;
+    'outer: for side in 0..2 {
+        let (spoiler_graph, dup_graph) = if side == 0 { (g, h) } else { (h, g) };
+        for sp in spoiler_graph.nodes() {
+            let mut answered = false;
+            // Heuristic: try same-degree answers first — on trees the
+            // mirror vertex almost always matches, short-circuiting the
+            // search.
+            let target_deg = spoiler_graph.degree(sp);
+            let mut candidates: Vec<NodeId> = dup_graph.nodes().collect();
+            candidates.sort_by_key(|&v| {
+                (dup_graph.degree(v) as i64 - target_deg as i64).abs()
+            });
+            for dp in candidates {
+                let (gv, hv) = if side == 0 { (sp, dp) } else { (dp, sp) };
+                gs.push(gv);
+                hs.push(hv);
+                let ok = is_partial_isomorphism(g, h, gs, hs)
+                    && wins(g, h, gs, hs, k - 1, memo);
+                gs.pop();
+                hs.pop();
+                if ok {
+                    answered = true;
+                    break;
+                }
+            }
+            if !answered {
+                result = false;
+                break 'outer;
+            }
+        }
+    }
+    memo.insert(key, result);
+    result
+}
+
+/// The pinned variant: decides whether Duplicator wins the `k`-round EF
+/// game *starting from* the pebble configuration `pins` (pairs already on
+/// the board). With `pins = [(r_g, r_h)]` this decides equivalence of
+/// *rooted* structures — the congruence behind the tree-automaton
+/// synthesis of Theorem 2.2.
+///
+/// Returns `false` immediately when the pinned configuration is not a
+/// partial isomorphism.
+pub fn duplicator_wins_pinned(
+    g: &Graph,
+    h: &Graph,
+    pins: &[(NodeId, NodeId)],
+    k: usize,
+) -> bool {
+    let mut gs: Vec<NodeId> = pins.iter().map(|&(a, _)| a).collect();
+    let mut hs: Vec<NodeId> = pins.iter().map(|&(_, b)| b).collect();
+    if !is_partial_isomorphism(g, h, &gs, &hs) {
+        return false;
+    }
+    let mut memo = HashMap::new();
+    wins(g, h, &mut gs, &mut hs, k, &mut memo)
+}
+
+/// The largest `k` (up to `max_k`) such that `g ≃_k h`; `None` if even
+/// `k = max_k` holds (i.e. the graphs are not separated up to `max_k`).
+///
+/// Useful for reporting how faithful a kernel is.
+pub fn separation_depth(g: &Graph, h: &Graph, max_k: usize) -> Option<usize> {
+    (0..=max_k).find(|&k| !duplicator_wins(g, h, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::depth::quantifier_depth;
+    use crate::eval::models;
+    use locert_graph::generators;
+
+    #[test]
+    fn identical_graphs_always_equivalent() {
+        let g = generators::cycle(5);
+        for k in 0..4 {
+            assert!(duplicator_wins(&g, &g, k));
+        }
+    }
+
+    #[test]
+    fn everything_is_zero_equivalent() {
+        assert!(duplicator_wins(
+            &generators::path(1),
+            &generators::clique(4),
+            0
+        ));
+    }
+
+    #[test]
+    fn k1_distinguishes_nothing_connected() {
+        // With one round, any two non-empty graphs are equivalent.
+        assert!(duplicator_wins(
+            &generators::path(3),
+            &generators::clique(3),
+            1
+        ));
+    }
+
+    #[test]
+    fn k2_separates_clique_from_path() {
+        // K_3 ⊨ ∀x∀y (x=y ∨ x~y), P_3 does not: depth 2 separates them.
+        assert!(!duplicator_wins(
+            &generators::path(3),
+            &generators::clique(3),
+            2
+        ));
+    }
+
+    #[test]
+    fn long_paths_equivalent_at_low_depth() {
+        // P_8 and P_9 are ≃_2: depth-2 FO cannot measure length that far.
+        assert!(duplicator_wins(
+            &generators::path(8),
+            &generators::path(9),
+            2
+        ));
+        // But P_1 and P_2 differ at depth 1 (edge existence needs 2 pebbles).
+        assert!(!duplicator_wins(
+            &generators::path(1),
+            &generators::path(2),
+            2
+        ));
+    }
+
+    #[test]
+    fn separation_depth_reports_first_failure() {
+        let p3 = generators::path(3);
+        let k3 = generators::clique(3);
+        assert_eq!(separation_depth(&p3, &k3, 4), Some(2));
+        assert_eq!(separation_depth(&p3, &p3, 3), None);
+    }
+
+    #[test]
+    fn path_equivalence_threshold() {
+        use locert_graph::generators;
+        // Classic: P_m ≃_k P_n whenever both are long enough relative to
+        // 2^k; and short paths of different lengths are separated.
+        for k in 1..=3usize {
+            let long = 1 << (k + 1); // 2^{k+1} ≥ 2^k − 1 with margin.
+            assert!(
+                duplicator_wins(
+                    &generators::path(long),
+                    &generators::path(long + 3),
+                    k
+                ),
+                "long paths separated at k = {k}"
+            );
+        }
+        // P_2 vs P_3 separated at depth 3 (endpoint degree pattern).
+        assert!(!duplicator_wins(
+            &generators::path(2),
+            &generators::path(3),
+            3
+        ));
+    }
+
+    /// The fundamental theorem (one direction, spot-checked): if
+    /// `G ≃_k H` then they agree on depth-k sentences from a pool.
+    #[test]
+    fn equivalence_implies_sentence_agreement() {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let sentences = vec![
+            exists(x, forall(y, or(eq(x, y), adj(x, y)))),
+            forall_all([x, y], or(eq(x, y), adj(x, y))),
+            exists_all([x, y], and(not(eq(x, y)), not(adj(x, y)))),
+            forall(x, exists(y, adj(x, y))),
+            exists_all([x, y, z], and_all([adj(x, y), adj(y, z), adj(x, z)])),
+            forall_all([x, y], implies(adj(x, y), exists(z, and(adj(x, z), adj(y, z))))),
+        ];
+        let graphs = vec![
+            generators::path(3),
+            generators::path(4),
+            generators::cycle(3),
+            generators::cycle(4),
+            generators::star(4),
+            generators::clique(4),
+        ];
+        for a in &graphs {
+            for b in &graphs {
+                for phi in &sentences {
+                    let k = quantifier_depth(phi);
+                    if duplicator_wins(a, b, k) {
+                        assert_eq!(
+                            models(a, phi),
+                            models(b, phi),
+                            "≃_{k} graphs disagree on {phi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Brute-force model checking.
+//!
+//! [`models`] decides `G ⊨ φ` by exhaustive quantifier expansion: vertex
+//! quantifiers iterate over all vertices, set quantifiers over all `2^n`
+//! subsets. This is exponential by design — it is the *ground truth* used
+//! to validate the certification schemes and automata, and the checker that
+//! Theorem 2.6's verifier runs on the constant-size kernel, where the
+//! exponential cost is a function of `t` and `φ` only, not of `n`.
+
+use crate::ast::{Formula, SetVar, Var};
+use locert_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Maximum vertex count for evaluating formulas with set quantifiers.
+pub const MSO_LIMIT: usize = 24;
+
+/// A variable assignment carried through evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    vars: HashMap<Var, NodeId>,
+    sets: HashMap<SetVar, u64>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a first-order variable.
+    pub fn bind(&mut self, v: Var, x: NodeId) -> Option<NodeId> {
+        self.vars.insert(v, x)
+    }
+
+    /// Looks up a first-order variable.
+    pub fn get(&self, v: Var) -> Option<NodeId> {
+        self.vars.get(&v).copied()
+    }
+}
+
+/// Decides `g ⊨ φ` for a sentence `φ`.
+///
+/// # Panics
+///
+/// Panics if `φ` is not a sentence, if a set quantifier is evaluated on a
+/// graph with more than [`MSO_LIMIT`] vertices, or (when debug assertions
+/// are on) if an unbound variable is encountered — impossible for
+/// sentences.
+pub fn models(g: &Graph, phi: &Formula) -> bool {
+    assert!(phi.is_sentence(), "model checking requires a sentence");
+    eval(g, phi, &mut Assignment::new())
+}
+
+/// Evaluates `φ` under a (possibly partial) assignment. Free variables of
+/// `φ` must be bound in `asg`.
+///
+/// # Panics
+///
+/// Panics on unbound variables and on set quantification beyond
+/// [`MSO_LIMIT`] vertices.
+pub fn eval(g: &Graph, phi: &Formula, asg: &mut Assignment) -> bool {
+    use Formula::*;
+    match phi {
+        True => true,
+        False => false,
+        Eq(x, y) => lookup(asg, *x) == lookup(asg, *y),
+        Adj(x, y) => g.has_edge(lookup(asg, *x), lookup(asg, *y)),
+        In(x, s) => {
+            let v = lookup(asg, *x);
+            let mask = *asg
+                .sets
+                .get(s)
+                .unwrap_or_else(|| panic!("unbound set variable {s}"));
+            mask & (1u64 << v.0) != 0
+        }
+        Not(f) => !eval(g, f, asg),
+        And(a, b) => eval(g, a, asg) && eval(g, b, asg),
+        Or(a, b) => eval(g, a, asg) || eval(g, b, asg),
+        Implies(a, b) => !eval(g, a, asg) || eval(g, b, asg),
+        Forall(v, f) => quantify_vertex(g, *v, f, asg, true),
+        Exists(v, f) => quantify_vertex(g, *v, f, asg, false),
+        ForallSet(s, f) => quantify_set(g, *s, f, asg, true),
+        ExistsSet(s, f) => quantify_set(g, *s, f, asg, false),
+    }
+}
+
+fn lookup(asg: &Assignment, v: Var) -> NodeId {
+    asg.get(v)
+        .unwrap_or_else(|| panic!("unbound variable {v}"))
+}
+
+fn quantify_vertex(
+    g: &Graph,
+    v: Var,
+    body: &Formula,
+    asg: &mut Assignment,
+    universal: bool,
+) -> bool {
+    let saved = asg.vars.get(&v).copied();
+    let mut result = universal;
+    for x in g.nodes() {
+        asg.vars.insert(v, x);
+        let holds = eval(g, body, asg);
+        if universal && !holds {
+            result = false;
+            break;
+        }
+        if !universal && holds {
+            result = true;
+            break;
+        }
+    }
+    restore(&mut asg.vars, v, saved);
+    result
+}
+
+fn quantify_set(
+    g: &Graph,
+    s: SetVar,
+    body: &Formula,
+    asg: &mut Assignment,
+    universal: bool,
+) -> bool {
+    let n = g.num_nodes();
+    assert!(
+        n <= MSO_LIMIT,
+        "set quantification limited to {MSO_LIMIT} vertices (got {n})"
+    );
+    let saved = asg.sets.get(&s).copied();
+    let mut result = universal;
+    for mask in 0..(1u64 << n) {
+        asg.sets.insert(s, mask);
+        let holds = eval(g, body, asg);
+        if universal && !holds {
+            result = false;
+            break;
+        }
+        if !universal && holds {
+            result = true;
+            break;
+        }
+    }
+    restore(&mut asg.sets, s, saved);
+    result
+}
+
+fn restore<K: std::hash::Hash + Eq, V>(map: &mut HashMap<K, V>, k: K, saved: Option<V>) {
+    match saved {
+        Some(v) => {
+            map.insert(k, v);
+        }
+        None => {
+            map.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use locert_graph::generators;
+
+    #[test]
+    fn constants() {
+        let g = generators::path(2);
+        assert!(models(&g, &Formula::True));
+        assert!(!models(&g, &Formula::False));
+    }
+
+    #[test]
+    fn dominating_vertex() {
+        let (x, y) = (Var(0), Var(1));
+        let dom = exists(x, forall(y, or(eq(x, y), adj(x, y))));
+        assert!(models(&generators::star(5), &dom));
+        assert!(models(&generators::clique(4), &dom));
+        assert!(!models(&generators::path(4), &dom));
+        assert!(models(&generators::path(3), &dom));
+    }
+
+    #[test]
+    fn diameter_two_sentence_from_paper() {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let diam2 = forall_all(
+            [x, y],
+            or_all([
+                eq(x, y),
+                adj(x, y),
+                exists(z, and(adj(x, z), adj(z, y))),
+            ]),
+        );
+        assert!(models(&generators::star(6), &diam2));
+        assert!(models(&generators::cycle(5), &diam2));
+        assert!(!models(&generators::cycle(6), &diam2));
+        assert!(!models(&generators::path(4), &diam2));
+    }
+
+    #[test]
+    fn bipartite_mso() {
+        let (u, v) = (Var(0), Var(1));
+        let s = SetVar(0);
+        let bip = exists_set(
+            s,
+            forall_all(
+                [u, v],
+                implies(adj(u, v), not(iff(mem(u, s), mem(v, s)))),
+            ),
+        );
+        assert!(models(&generators::cycle(6), &bip));
+        assert!(!models(&generators::cycle(5), &bip));
+        assert!(models(&generators::path(7), &bip));
+        assert!(!models(&generators::clique(3), &bip));
+    }
+
+    #[test]
+    fn shadowed_variable_evaluates_innermost() {
+        let x = Var(0);
+        // ∃x. (deg-1 x) ∧ ∃x. true — inner binding must not clobber outer
+        // permanently.
+        let g = generators::path(3);
+        let f = exists(x, and(exists(x, eq(x, x)), eq(x, x)));
+        assert!(models(&g, &f));
+    }
+
+    #[test]
+    fn eval_with_free_variable() {
+        let g = generators::star(4);
+        let (x, y) = (Var(0), Var(1));
+        let dominates = forall(y, or(eq(x, y), adj(x, y)));
+        let mut asg = Assignment::new();
+        asg.bind(x, NodeId(0));
+        assert!(eval(&g, &dominates, &mut asg));
+        asg.bind(x, NodeId(1));
+        assert!(!eval(&g, &dominates, &mut asg));
+    }
+
+    #[test]
+    #[should_panic(expected = "sentence")]
+    fn models_rejects_open_formulas() {
+        let g = generators::path(2);
+        models(&g, &adj(Var(0), Var(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "set quantification limited")]
+    fn mso_limit_enforced() {
+        let g = generators::path(MSO_LIMIT + 1);
+        let s = SetVar(0);
+        let x = Var(0);
+        models(&g, &exists_set(s, forall(x, mem(x, s))));
+    }
+
+    #[test]
+    fn connectivity_mso() {
+        // "for every proper non-empty set X there is an edge leaving X"
+        let (u, v, w) = (Var(0), Var(1), Var(2));
+        let s = SetVar(0);
+        let connected = forall_set(
+            s,
+            implies(
+                and(exists(u, mem(u, s)), exists(v, not(mem(v, s)))),
+                exists_all([u, w], and_all([mem(u, s), not(mem(w, s)), adj(u, w)])),
+            ),
+        );
+        assert!(models(&generators::path(5), &connected));
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!models(&disconnected, &connected));
+    }
+}

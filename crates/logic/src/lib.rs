@@ -1,0 +1,42 @@
+//! First-order and monadic second-order logic on graphs.
+//!
+//! This crate implements the logical substrate of the paper (Section 3.2):
+//!
+//! - [`ast`]: the formula AST shared by FO and MSO ([`Formula`]), with
+//!   ergonomic constructors and a pretty-printer;
+//! - [`parser`]: a small recursive-descent parser for the printed syntax;
+//! - [`eval`]: brute-force model checking `G ⊨ φ` — the ground truth the
+//!   certification schemes are validated against, and the checker run on
+//!   constant-size kernels by Theorem 2.6;
+//! - [`depth`]: quantifier depth, FO detection, existential-prenex
+//!   detection (the fragments of Lemma 2.1);
+//! - [`ef`]: the Ehrenfeucht–Fraïssé game of Theorem 3.3, deciding
+//!   `G ≃_k H`;
+//! - [`props`]: a library of named formulas used across the experiments
+//!   (diameter ≤ 2, triangle-freeness, domination, colorability, path
+//!   freeness, …).
+//!
+//! # Example
+//!
+//! ```
+//! use locert_logic::{eval, props};
+//! use locert_graph::generators;
+//!
+//! let triangle = generators::cycle(3);
+//! let square = generators::cycle(4);
+//! let phi = props::triangle_free();
+//! assert!(!eval::models(&triangle, &phi));
+//! assert!(eval::models(&square, &phi));
+//! ```
+
+pub mod ast;
+pub mod depth;
+pub mod ef;
+pub mod eval;
+pub mod parser;
+pub mod prenex;
+pub mod props;
+
+pub use ast::{Formula, SetVar, Var};
+pub use ef::duplicator_wins;
+pub use eval::models;

@@ -1,0 +1,426 @@
+//! A recursive-descent parser for the printed formula syntax.
+//!
+//! Grammar (precedence low → high: `->`, `|`, `&`, `!`, quantifiers bind
+//! their whole tail):
+//!
+//! ```text
+//! formula  := implies
+//! implies  := or ( "->" implies )?
+//! or       := and ( "|" and )*
+//! and      := unary ( "&" unary )*
+//! unary    := "!" unary | quant | atom
+//! quant    := ("forall" | "exists") var "." formula
+//! atom     := "true" | "false" | "(" formula ")"
+//!           | var ("=" | "~") var | var "in" Setvar
+//! var      := "x" digits      (first-order)
+//! Setvar   := "X" digits      (monadic second-order)
+//! ```
+//!
+//! ASCII aliases are accepted for the unicode output of `Formula`'s
+//! `Display` (`∀`/`∃`/`¬`/`∧`/`∨`/`→`/`∈`),
+//! so `parse(&f.to_string())` round-trips.
+
+use crate::ast::{self, Formula, SetVar, Var};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a formula fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormulaError {
+    /// Byte offset (into the token stream's source) of the failure.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFormulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseFormulaError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Var(u32),
+    SetVar(u32),
+    Forall,
+    Exists,
+    Not,
+    And,
+    Or,
+    Implies,
+    Eq,
+    Adj,
+    In,
+    Dot,
+    LParen,
+    RParen,
+    True,
+    False,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseFormulaError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let err = |pos: usize, msg: &str| ParseFormulaError {
+        position: pos,
+        message: msg.to_string(),
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push((start, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((start, Tok::RParen));
+                i += 1;
+            }
+            '.' => {
+                out.push((start, Tok::Dot));
+                i += 1;
+            }
+            '=' => {
+                out.push((start, Tok::Eq));
+                i += 1;
+            }
+            '~' => {
+                out.push((start, Tok::Adj));
+                i += 1;
+            }
+            '!' | '¬' => {
+                out.push((start, Tok::Not));
+                i += 1;
+            }
+            '&' | '∧' => {
+                out.push((start, Tok::And));
+                i += 1;
+            }
+            '|' | '∨' => {
+                out.push((start, Tok::Or));
+                i += 1;
+            }
+            '→' => {
+                out.push((start, Tok::Implies));
+                i += 1;
+            }
+            '∀' => {
+                out.push((start, Tok::Forall));
+                i += 1;
+            }
+            '∃' => {
+                out.push((start, Tok::Exists));
+                i += 1;
+            }
+            '∈' => {
+                out.push((start, Tok::In));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push((start, Tok::Implies));
+                    i += 2;
+                } else {
+                    return Err(err(start, "expected '->'"));
+                }
+            }
+            'x' | 'X' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(err(start, "variable needs an index, e.g. x0"));
+                }
+                let idx: u32 = bytes[i + 1..j]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|_| err(start, "variable index out of range"))?;
+                out.push((
+                    start,
+                    if c == 'x' {
+                        Tok::Var(idx)
+                    } else {
+                        Tok::SetVar(idx)
+                    },
+                ));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_alphabetic() {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                let tok = match word.as_str() {
+                    "forall" => Tok::Forall,
+                    "exists" => Tok::Exists,
+                    "in" => Tok::In,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    _ => return Err(err(start, &format!("unknown keyword '{word}'"))),
+                };
+                out.push((start, tok));
+                i = j;
+            }
+            other => return Err(err(start, &format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or(self.toks.last())
+            .map_or(0, |(p, _)| *p)
+    }
+
+    fn error(&self, msg: &str) -> ParseFormulaError {
+        ParseFormulaError {
+            position: self.here(),
+            message: msg.to_string(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseFormulaError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseFormulaError> {
+        let lhs = self.or_expr()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.pos += 1;
+            let rhs = self.formula()?;
+            Ok(ast::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = ast::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Formula, ParseFormulaError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = ast::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseFormulaError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(ast::not(self.unary()?))
+            }
+            Some(Tok::Forall) | Some(Tok::Exists) => {
+                let universal = self.peek() == Some(&Tok::Forall);
+                self.pos += 1;
+                match self.next() {
+                    Some(Tok::Var(i)) => {
+                        self.expect(Tok::Dot, "expected '.' after quantified variable")?;
+                        let body = self.formula()?;
+                        Ok(if universal {
+                            ast::forall(Var(i), body)
+                        } else {
+                            ast::exists(Var(i), body)
+                        })
+                    }
+                    Some(Tok::SetVar(i)) => {
+                        self.expect(Tok::Dot, "expected '.' after quantified set variable")?;
+                        let body = self.formula()?;
+                        Ok(if universal {
+                            ast::forall_set(SetVar(i), body)
+                        } else {
+                            ast::exists_set(SetVar(i), body)
+                        })
+                    }
+                    _ => Err(self.error("expected a variable after quantifier")),
+                }
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseFormulaError> {
+        match self.next() {
+            Some(Tok::True) => Ok(Formula::True),
+            Some(Tok::False) => Ok(Formula::False),
+            Some(Tok::LParen) => {
+                let f = self.formula()?;
+                self.expect(Tok::RParen, "expected ')'")?;
+                Ok(f)
+            }
+            Some(Tok::Var(i)) => {
+                let x = Var(i);
+                match self.next() {
+                    Some(Tok::Eq) => match self.next() {
+                        Some(Tok::Var(j)) => Ok(ast::eq(x, Var(j))),
+                        _ => Err(self.error("expected a variable after '='")),
+                    },
+                    Some(Tok::Adj) => match self.next() {
+                        Some(Tok::Var(j)) => Ok(ast::adj(x, Var(j))),
+                        _ => Err(self.error("expected a variable after '~'")),
+                    },
+                    Some(Tok::In) => match self.next() {
+                        Some(Tok::SetVar(j)) => Ok(ast::mem(x, SetVar(j))),
+                        _ => Err(self.error("expected a set variable after 'in'")),
+                    },
+                    _ => Err(self.error("expected '=', '~' or 'in' after variable")),
+                }
+            }
+            _ => Err(self.error("expected an atom")),
+        }
+    }
+}
+
+/// Parses a formula from its textual syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseFormulaError`] describing the first offending position.
+///
+/// # Example
+///
+/// ```
+/// use locert_logic::parser::parse;
+/// let f = parse("forall x0. exists x1. x0 ~ x1")?;
+/// assert_eq!(f.to_string(), "∀x0. ∃x1. x0 ~ x1");
+/// # Ok::<(), locert_logic::parser::ParseFormulaError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Formula, ParseFormulaError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(p.error("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(parse("true").unwrap(), Formula::True);
+        assert_eq!(parse("x0 = x1").unwrap(), eq(Var(0), Var(1)));
+        assert_eq!(parse("x0 ~ x2").unwrap(), adj(Var(0), Var(2)));
+        assert_eq!(parse("x0 in X1").unwrap(), mem(Var(0), SetVar(1)));
+    }
+
+    #[test]
+    fn parses_connectives_with_precedence() {
+        let f = parse("x0 = x0 | x1 = x1 & false").unwrap();
+        // & binds tighter than |.
+        assert_eq!(
+            f,
+            or(eq(Var(0), Var(0)), and(eq(Var(1), Var(1)), Formula::False))
+        );
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let f = parse("true -> false -> true").unwrap();
+        assert_eq!(
+            f,
+            implies(Formula::True, implies(Formula::False, Formula::True))
+        );
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        let f = parse("forall x0. exists x1. x0 ~ x1").unwrap();
+        assert_eq!(f, forall(Var(0), exists(Var(1), adj(Var(0), Var(1)))));
+        let g = parse("exists X0. forall x0. x0 in X0").unwrap();
+        assert_eq!(
+            g,
+            exists_set(SetVar(0), forall(Var(0), mem(Var(0), SetVar(0))))
+        );
+    }
+
+    #[test]
+    fn roundtrips_display_output() {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let formulas = vec![
+            forall_all(
+                [x, y],
+                or_all([eq(x, y), adj(x, y), exists(z, and(adj(x, z), adj(z, y)))]),
+            ),
+            exists_set(SetVar(0), forall(x, implies(mem(x, SetVar(0)), eq(x, x)))),
+            not(and(Formula::True, or(Formula::False, adj(x, y)))),
+        ];
+        for f in formulas {
+            let printed = f.to_string();
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(reparsed, f, "round-trip failed for {printed}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("x0 =").is_err());
+        assert!(parse("forall . true").is_err());
+        assert!(parse("x").is_err());
+        assert!(parse("(true").is_err());
+        assert!(parse("true )").is_err());
+        assert!(parse("hello x0").is_err());
+        assert!(parse("x0 in x1").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse("true @ false").unwrap_err();
+        assert_eq!(e.position, 5);
+        assert!(e.to_string().contains("unexpected character"));
+    }
+}

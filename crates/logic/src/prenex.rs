@@ -1,0 +1,251 @@
+//! Prenex normal form for FO formulas.
+//!
+//! Lemma 2.1 speaks of sentences "whose prenex normal form has only
+//! existential quantifiers"; this module computes that normal form:
+//! [`rename_apart`] makes every quantifier bind a fresh variable, and
+//! [`to_prenex`] pulls all quantifiers to the front with the standard
+//! rewrite rules (negation flips quantifiers, implication's antecedent
+//! flips too). The result is semantically equivalent and has the same
+//! quantifier count (depth may grow up to the count, as usual).
+
+use crate::ast::{self, Formula, Var};
+
+/// A quantifier kind in a prenex prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Universal.
+    Forall,
+    /// Existential.
+    Exists,
+}
+
+/// Renames bound variables so that every quantifier binds a distinct,
+/// fresh variable (also distinct from all free variables).
+///
+/// Only first-order structure is transformed; set quantifiers are renamed
+/// apart too (their variables live in a separate namespace and are left
+/// otherwise untouched).
+pub fn rename_apart(f: &Formula) -> Formula {
+    // Find the largest variable index in use.
+    fn max_var(f: &Formula) -> u32 {
+        use Formula::*;
+        match f {
+            True | False => 0,
+            Eq(x, y) | Adj(x, y) => x.0.max(y.0),
+            In(x, _) => x.0,
+            Not(g) => max_var(g),
+            And(a, b) | Or(a, b) | Implies(a, b) => max_var(a).max(max_var(b)),
+            Forall(v, g) | Exists(v, g) => v.0.max(max_var(g)),
+            ForallSet(_, g) | ExistsSet(_, g) => max_var(g),
+        }
+    }
+    fn walk(f: &Formula, env: &mut Vec<(Var, Var)>, next: &mut u32) -> Formula {
+        use Formula::*;
+        let lookup = |v: Var, env: &[(Var, Var)]| {
+            env.iter().rev().find(|(from, _)| *from == v).map_or(v, |(_, to)| *to)
+        };
+        match f {
+            True => True,
+            False => False,
+            Eq(x, y) => Eq(lookup(*x, env), lookup(*y, env)),
+            Adj(x, y) => Adj(lookup(*x, env), lookup(*y, env)),
+            In(x, s) => In(lookup(*x, env), *s),
+            Not(g) => ast::not(walk(g, env, next)),
+            And(a, b) => ast::and(walk(a, env, next), walk(b, env, next)),
+            Or(a, b) => ast::or(walk(a, env, next), walk(b, env, next)),
+            Implies(a, b) => ast::implies(walk(a, env, next), walk(b, env, next)),
+            Forall(v, g) => {
+                let fresh = Var(*next);
+                *next += 1;
+                env.push((*v, fresh));
+                let body = walk(g, env, next);
+                env.pop();
+                ast::forall(fresh, body)
+            }
+            Exists(v, g) => {
+                let fresh = Var(*next);
+                *next += 1;
+                env.push((*v, fresh));
+                let body = walk(g, env, next);
+                env.pop();
+                ast::exists(fresh, body)
+            }
+            ForallSet(s, g) => ast::forall_set(*s, walk(g, env, next)),
+            ExistsSet(s, g) => ast::exists_set(*s, walk(g, env, next)),
+        }
+    }
+    let mut next = max_var(f) + 1;
+    walk(f, &mut Vec::new(), &mut next)
+}
+
+/// Converts an FO formula to prenex normal form: a quantifier prefix over
+/// a quantifier-free matrix. Returns `None` if the formula is not FO
+/// (set quantifiers or membership atoms present).
+pub fn to_prenex(f: &Formula) -> Option<(Vec<(Quantifier, Var)>, Formula)> {
+    if !crate::depth::is_fo(f) {
+        return None;
+    }
+    let renamed = rename_apart(f);
+    Some(pull(&renamed, false))
+}
+
+/// Pulls quantifiers outward; `negated` tracks parity (flipping
+/// quantifier kinds under an odd number of negations).
+fn pull(f: &Formula, negated: bool) -> (Vec<(Quantifier, Var)>, Formula) {
+    use Formula::*;
+    match f {
+        True | False | Eq(..) | Adj(..) | In(..) => (
+            Vec::new(),
+            if negated { ast::not(f.clone()) } else { f.clone() },
+        ),
+        Not(g) => pull(g, !negated),
+        And(a, b) | Or(a, b) => {
+            let is_and = matches!(f, And(..)) != negated; // De Morgan.
+            let (mut pa, ma) = pull(a, negated);
+            let (pb, mb) = pull(b, negated);
+            pa.extend(pb);
+            let matrix = if is_and { ast::and(ma, mb) } else { ast::or(ma, mb) };
+            (pa, matrix)
+        }
+        Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b; under negation: a ∧ ¬b.
+            let (mut pa, ma) = pull(a, !negated);
+            let (pb, mb) = pull(b, negated);
+            pa.extend(pb);
+            let matrix = if negated {
+                ast::and(ma, mb)
+            } else {
+                ast::or(ma, mb)
+            };
+            (pa, matrix)
+        }
+        Forall(v, g) | Exists(v, g) => {
+            let is_forall = matches!(f, Forall(..)) != negated;
+            let (mut prefix, matrix) = pull(g, negated);
+            prefix.insert(
+                0,
+                (
+                    if is_forall {
+                        Quantifier::Forall
+                    } else {
+                        Quantifier::Exists
+                    },
+                    *v,
+                ),
+            );
+            (prefix, matrix)
+        }
+        ForallSet(..) | ExistsSet(..) => {
+            unreachable!("to_prenex rejects non-FO formulas before pulling")
+        }
+    }
+}
+
+/// Rebuilds the formula from a prefix and matrix.
+pub fn from_prenex(prefix: &[(Quantifier, Var)], matrix: Formula) -> Formula {
+    prefix.iter().rev().fold(matrix, |acc, &(q, v)| match q {
+        Quantifier::Forall => ast::forall(v, acc),
+        Quantifier::Exists => ast::exists(v, acc),
+    })
+}
+
+/// Whether the prenex normal form of `f` is purely existential (the
+/// Lemma 2.1 fragment). Returns the prenexed formula when it is.
+pub fn existential_normal_form(f: &Formula) -> Option<Formula> {
+    let (prefix, matrix) = to_prenex(f)?;
+    if prefix.iter().all(|&(q, _)| q == Quantifier::Exists) {
+        Some(from_prenex(&prefix, matrix))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::depth::{is_existential_prenex, quantifier_count};
+    use crate::eval::models;
+    use locert_graph::generators;
+
+    fn equivalent_on_zoo(a: &Formula, b: &Formula) {
+        for g in [
+            generators::path(4),
+            generators::cycle(4),
+            generators::star(4),
+            generators::clique(3),
+        ] {
+            assert_eq!(models(&g, a), models(&g, b), "{a}  vs  {b} on {g:?}");
+        }
+    }
+
+    #[test]
+    fn rename_apart_removes_shadowing() {
+        let x = Var(0);
+        let f = exists(x, and(eq(x, x), exists(x, eq(x, x))));
+        let r = rename_apart(&f);
+        // Two distinct bound variables now.
+        let printed = r.to_string();
+        assert!(printed.contains("x1") && printed.contains("x2"), "{printed}");
+        equivalent_on_zoo(&f, &r);
+    }
+
+    #[test]
+    fn prenex_preserves_semantics() {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let formulas = vec![
+            not(exists(x, forall(y, adj(x, y)))),
+            implies(exists(x, adj(x, x)), forall(y, eq(y, y))),
+            and(forall(x, exists(y, adj(x, y))), not(forall(z, eq(z, z)))),
+            or(not(forall(x, eq(x, x))), exists(y, not(adj(y, y)))),
+        ];
+        for f in &formulas {
+            let (prefix, matrix) = to_prenex(f).expect("FO");
+            assert_eq!(crate::depth::quantifier_depth(&matrix), 0);
+            let rebuilt = from_prenex(&prefix, matrix);
+            equivalent_on_zoo(f, &rebuilt);
+            assert_eq!(quantifier_count(&rebuilt), quantifier_count(f));
+        }
+    }
+
+    #[test]
+    fn negation_flips_quantifiers() {
+        let x = Var(0);
+        let f = not(forall(x, adj(x, x)));
+        let (prefix, _) = to_prenex(&f).unwrap();
+        assert_eq!(prefix.len(), 1);
+        assert_eq!(prefix[0].0, Quantifier::Exists);
+    }
+
+    #[test]
+    fn existential_normal_form_detects_the_fragment() {
+        let (x, y) = (Var(0), Var(1));
+        // ¬∀x.¬∃y. x~y is existential in prenex form.
+        let f = not(forall(x, not(exists(y, adj(x, y)))));
+        let e = existential_normal_form(&f).expect("existential");
+        assert!(is_existential_prenex(&e));
+        equivalent_on_zoo(&f, &e);
+        // A genuine ∀ stays.
+        let g = forall(x, exists(y, adj(x, y)));
+        assert!(existential_normal_form(&g).is_none());
+    }
+
+    #[test]
+    fn rejects_mso() {
+        let x = Var(0);
+        let s = SetVar(0);
+        assert!(to_prenex(&exists_set(s, forall(x, mem(x, s)))).is_none());
+    }
+
+    #[test]
+    fn implication_antecedent_flips() {
+        let (x, y) = (Var(0), Var(1));
+        // (∀x φ) → ψ pulls out as ∃x (φ → ψ)-shaped.
+        let f = implies(forall(x, adj(x, x)), exists(y, eq(y, y)));
+        let (prefix, _) = to_prenex(&f).unwrap();
+        assert_eq!(prefix[0].0, Quantifier::Exists);
+        assert_eq!(prefix[1].0, Quantifier::Exists);
+        let rebuilt = from_prenex(&prefix, to_prenex(&f).unwrap().1);
+        equivalent_on_zoo(&f, &rebuilt);
+    }
+}

@@ -1,0 +1,420 @@
+//! A library of named FO/MSO graph properties.
+//!
+//! Every sentence that appears in the paper's narrative — diameter ≤ 2
+//! (Section 2.2), triangle-freeness, the depth-2 fragment's dominating
+//! vertex / clique / single-vertex properties (Lemma A.3), `P_t`-freeness
+//! (Corollary 2.7) — plus standard MSO properties (bipartiteness,
+//! 3-colorability, connectivity) used as workloads for the MSO
+//! certification experiments.
+
+use crate::ast::{self, Formula, SetVar, Var};
+
+fn vars(k: usize) -> Vec<Var> {
+    (0..k as u32).map(Var).collect()
+}
+
+/// "The graph has diameter at most 2" — the sentence of Section 2.2:
+/// `∀x∀y (x = y ∨ x ~ y ∨ ∃z (x ~ z ∧ z ~ y))`.
+pub fn diameter_at_most_2() -> Formula {
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    ast::forall_all(
+        [x, y],
+        ast::or_all([
+            ast::eq(x, y),
+            ast::adj(x, y),
+            ast::exists(z, ast::and(ast::adj(x, z), ast::adj(z, y))),
+        ]),
+    )
+}
+
+/// "The graph is triangle-free" — `∀x∀y∀z ¬(x~y ∧ y~z ∧ x~z)`.
+pub fn triangle_free() -> Formula {
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    ast::forall_all(
+        [x, y, z],
+        ast::not(ast::and_all([
+            ast::adj(x, y),
+            ast::adj(y, z),
+            ast::adj(x, z),
+        ])),
+    )
+}
+
+/// "Some vertex is adjacent to every other vertex" (Lemma A.3, property 3).
+pub fn has_dominating_vertex() -> Formula {
+    let (x, y) = (Var(0), Var(1));
+    ast::exists(x, ast::forall(y, ast::or(ast::eq(x, y), ast::adj(x, y))))
+}
+
+/// "The graph is a clique" (Lemma A.3, property 2).
+pub fn is_clique() -> Formula {
+    let (x, y) = (Var(0), Var(1));
+    ast::forall_all([x, y], ast::or(ast::eq(x, y), ast::adj(x, y)))
+}
+
+/// "The graph has at most one vertex" (Lemma A.3, property 1).
+pub fn at_most_one_vertex() -> Formula {
+    let (x, y) = (Var(0), Var(1));
+    ast::forall_all([x, y], ast::eq(x, y))
+}
+
+/// "The graph contains a clique on `k` vertices" (existential FO,
+/// Lemma A.2 workload).
+pub fn has_clique(k: usize) -> Formula {
+    let vs = vars(k);
+    let mut clauses = vec![ast::pairwise_distinct(&vs)];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            clauses.push(ast::adj(vs[i], vs[j]));
+        }
+    }
+    ast::exists_all(vs, ast::and_all(clauses))
+}
+
+/// "The graph contains an independent set of size `k`" (existential FO).
+pub fn has_independent_set(k: usize) -> Formula {
+    let vs = vars(k);
+    let mut clauses = vec![ast::pairwise_distinct(&vs)];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            clauses.push(ast::not(ast::adj(vs[i], vs[j])));
+        }
+    }
+    ast::exists_all(vs, ast::and_all(clauses))
+}
+
+/// "The graph contains a path on `t` vertices (as a subgraph)".
+///
+/// For paths, subgraph containment coincides with minor containment, so
+/// the negation is exactly `P_t`-minor-freeness (Corollary 2.7).
+pub fn has_path(t: usize) -> Formula {
+    let vs = vars(t);
+    let mut clauses = vec![ast::pairwise_distinct(&vs)];
+    for w in vs.windows(2) {
+        clauses.push(ast::adj(w[0], w[1]));
+    }
+    ast::exists_all(vs, ast::and_all(clauses))
+}
+
+/// "The graph is `P_t`-minor-free": no path on `t` vertices.
+pub fn path_minor_free(t: usize) -> Formula {
+    ast::not(has_path(t))
+}
+
+/// "The graph contains a cycle of length exactly `l`" (`l ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `l < 3`.
+pub fn has_cycle_of_length(l: usize) -> Formula {
+    assert!(l >= 3, "cycles have length at least 3");
+    let vs = vars(l);
+    let mut clauses = vec![ast::pairwise_distinct(&vs)];
+    for w in vs.windows(2) {
+        clauses.push(ast::adj(w[0], w[1]));
+    }
+    clauses.push(ast::adj(vs[l - 1], vs[0]));
+    ast::exists_all(vs, ast::and_all(clauses))
+}
+
+/// "The graph is `C_t`-minor-free, given that it is `P_{max_len}`-free":
+/// no path on `max_len` vertices **and** no cycle of length in
+/// `[t, max_len]`. On graphs without `P_{max_len}`, every cycle has
+/// length ≤ `max_len`, so this conjunction is exactly `C_t`-minor-freeness
+/// (used per block by Corollary 2.7 with `max_len = t²`).
+///
+/// # Panics
+///
+/// Panics if `t < 3` or `max_len < t`.
+pub fn ct_minor_free_bounded(t: usize, max_len: usize) -> Formula {
+    assert!(t >= 3 && max_len >= t, "need 3 <= t <= max_len");
+    let cycles = ast::or_all((t..=max_len).map(has_cycle_of_length));
+    ast::and(path_minor_free(max_len + 1), ast::not(cycles))
+}
+
+/// "Every vertex has degree at least 1" (no isolated vertex).
+pub fn min_degree_1() -> Formula {
+    let (x, y) = (Var(0), Var(1));
+    ast::forall(x, ast::exists(y, ast::adj(x, y)))
+}
+
+/// "Maximum degree at most `d`": no vertex with `d + 1` distinct neighbors.
+pub fn max_degree_at_most(d: usize) -> Formula {
+    let x = Var(0);
+    let nbrs: Vec<Var> = (1..=(d + 1) as u32).map(Var).collect();
+    let mut clauses = vec![ast::pairwise_distinct(&nbrs)];
+    for &y in &nbrs {
+        clauses.push(ast::adj(x, y));
+    }
+    ast::not(ast::exists(
+        x,
+        ast::exists_all(nbrs.clone(), ast::and_all(clauses)),
+    ))
+}
+
+/// MSO: "the graph is bipartite (2-colorable)".
+pub fn bipartite() -> Formula {
+    let (u, v) = (Var(0), Var(1));
+    let s = SetVar(0);
+    ast::exists_set(
+        s,
+        ast::forall_all(
+            [u, v],
+            ast::implies(
+                ast::adj(u, v),
+                ast::not(ast::iff(ast::mem(u, s), ast::mem(v, s))),
+            ),
+        ),
+    )
+}
+
+/// MSO: "the graph is 3-colorable".
+pub fn three_colorable() -> Formula {
+    let (u, v) = (Var(0), Var(1));
+    let (a, b) = (SetVar(0), SetVar(1));
+    // Colors: A, B \ A, rest. An edge must not have both endpoints of the
+    // same color.
+    let same_color = |x: Var, y: Var| {
+        ast::or_all([
+            ast::and(ast::mem(x, a), ast::mem(y, a)),
+            ast::and_all([
+                ast::not(ast::mem(x, a)),
+                ast::mem(x, b),
+                ast::not(ast::mem(y, a)),
+                ast::mem(y, b),
+            ]),
+            ast::and_all([
+                ast::not(ast::mem(x, a)),
+                ast::not(ast::mem(x, b)),
+                ast::not(ast::mem(y, a)),
+                ast::not(ast::mem(y, b)),
+            ]),
+        ])
+    };
+    ast::exists_set(
+        a,
+        ast::exists_set(
+            b,
+            ast::forall_all(
+                [u, v],
+                ast::implies(ast::adj(u, v), ast::not(same_color(u, v))),
+            ),
+        ),
+    )
+}
+
+/// MSO: "the graph is connected" — every proper non-empty vertex set has an
+/// outgoing edge.
+pub fn connected() -> Formula {
+    let (u, v, w) = (Var(0), Var(1), Var(2));
+    let s = SetVar(0);
+    ast::forall_set(
+        s,
+        ast::implies(
+            ast::and(
+                ast::exists(u, ast::mem(u, s)),
+                ast::exists(v, ast::not(ast::mem(v, s))),
+            ),
+            ast::exists_all(
+                [u, w],
+                ast::and_all([ast::mem(u, s), ast::not(ast::mem(w, s)), ast::adj(u, w)]),
+            ),
+        ),
+    )
+}
+
+/// MSO: "the graph has a dominating set of size… no — an *independent
+/// dominating set*": a set that is independent and dominates every vertex.
+/// (A maximal-independent-set witness; a classic LCL-flavored property.)
+pub fn has_independent_dominating_set() -> Formula {
+    let (u, v) = (Var(0), Var(1));
+    let s = SetVar(0);
+    let independent = ast::forall_all(
+        [u, v],
+        ast::implies(
+            ast::and(ast::mem(u, s), ast::mem(v, s)),
+            ast::not(ast::adj(u, v)),
+        ),
+    );
+    let dominating = ast::forall(
+        u,
+        ast::or(
+            ast::mem(u, s),
+            ast::exists(v, ast::and(ast::mem(v, s), ast::adj(u, v))),
+        ),
+    );
+    ast::exists_set(s, ast::and(independent, dominating))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::{is_existential_prenex, is_fo, quantifier_depth};
+    use crate::eval::models;
+    use locert_graph::{generators, Graph};
+
+    #[test]
+    fn diameter_2_matches_bfs() {
+        use locert_graph::traversal::diameter;
+        let graphs = [
+            generators::path(3),
+            generators::path(4),
+            generators::cycle(4),
+            generators::cycle(6),
+            generators::star(7),
+            generators::clique(5),
+        ];
+        let phi = diameter_at_most_2();
+        assert_eq!(quantifier_depth(&phi), 3);
+        for g in &graphs {
+            assert_eq!(
+                models(g, &phi),
+                diameter(g).unwrap() <= 2,
+                "disagreement on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_free_matches() {
+        assert!(models(&generators::cycle(5), &triangle_free()));
+        assert!(!models(&generators::clique(3), &triangle_free()));
+        assert!(!models(&generators::clique(5), &triangle_free()));
+        assert!(models(&generators::path(10), &triangle_free()));
+    }
+
+    #[test]
+    fn depth2_fragment_properties() {
+        assert!(models(&generators::clique(4), &is_clique()));
+        assert!(!models(&generators::path(3), &is_clique()));
+        assert!(models(&generators::star(5), &has_dominating_vertex()));
+        assert!(!models(&generators::path(5), &has_dominating_vertex()));
+        assert!(models(&Graph::empty(1), &at_most_one_vertex()));
+        assert!(!models(&generators::path(2), &at_most_one_vertex()));
+        for f in [is_clique(), has_dominating_vertex(), at_most_one_vertex()] {
+            assert!(quantifier_depth(&f) <= 2);
+            assert!(is_fo(&f));
+        }
+    }
+
+    #[test]
+    fn clique_and_independent_set_existential() {
+        assert!(is_existential_prenex(&has_clique(3)));
+        assert!(is_existential_prenex(&has_independent_set(3)));
+        assert!(models(&generators::clique(4), &has_clique(3)));
+        assert!(!models(&generators::cycle(4), &has_clique(3)));
+        assert!(models(&generators::cycle(6), &has_independent_set(3)));
+        assert!(!models(&generators::clique(4), &has_independent_set(2)));
+    }
+
+    #[test]
+    fn path_property_matches_minors_module() {
+        use locert_graph::minors;
+        let graphs = [
+            generators::path(5),
+            generators::star(5),
+            generators::cycle(5),
+            generators::spider(3, 2),
+        ];
+        for g in &graphs {
+            for t in 2..=5 {
+                assert_eq!(
+                    models(g, &has_path(t)),
+                    minors::has_path_minor(g, t),
+                    "graph {g:?}, t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_bounds() {
+        assert!(models(&generators::path(5), &max_degree_at_most(2)));
+        assert!(!models(&generators::star(5), &max_degree_at_most(2)));
+        assert!(models(&generators::star(5), &max_degree_at_most(4)));
+        assert!(models(&generators::path(2), &min_degree_1()));
+        let isolated = Graph::empty(2);
+        assert!(!models(&isolated, &min_degree_1()));
+    }
+
+    #[test]
+    fn bipartite_matches_cycles() {
+        for n in 3..9 {
+            assert_eq!(models(&generators::cycle(n), &bipartite()), n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn three_colorable_examples() {
+        assert!(models(&generators::cycle(5), &three_colorable()));
+        assert!(models(&generators::clique(3), &three_colorable()));
+        assert!(!models(&generators::clique(4), &three_colorable()));
+        assert!(models(&generators::path(6), &three_colorable()));
+    }
+
+    #[test]
+    fn connected_matches() {
+        assert!(models(&generators::path(6), &connected()));
+        let two = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!models(&two, &connected()));
+    }
+
+    #[test]
+    fn cycle_length_formula_matches_search() {
+        use locert_graph::minors;
+        let graphs = [
+            generators::cycle(4),
+            generators::cycle(6),
+            generators::clique(4),
+            generators::path(5),
+        ];
+        for g in &graphs {
+            for l in 3..=6 {
+                let expected = minors::has_cycle_at_least(g, l, l);
+                assert_eq!(
+                    models(g, &has_cycle_of_length(l)),
+                    expected,
+                    "graph {g:?}, l = {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ct_minor_free_bounded_matches_exact() {
+        use locert_graph::minors;
+        let graphs = [
+            generators::cycle(3),
+            generators::cycle(5),
+            generators::path(6),
+            generators::star(5),
+        ];
+        for g in &graphs {
+            // With max_len = 6 every graph here is P_7-free, so the
+            // conjunction is exactly C_t-freeness.
+            for t in 3..=5 {
+                assert_eq!(
+                    models(g, &ct_minor_free_bounded(t, 6)),
+                    !minors::has_cycle_minor(g, t),
+                    "graph {g:?}, t = {t}"
+                );
+            }
+        }
+        // A long path violates only the path conjunct.
+        let long = generators::path(8);
+        assert!(!models(&long, &ct_minor_free_bounded(3, 6)));
+    }
+
+    #[test]
+    fn independent_dominating_set_exists_in_small_graphs() {
+        // Every graph has a maximal independent set, so this holds
+        // universally; the point is exercising nested MSO + FO structure.
+        for g in [
+            generators::path(5),
+            generators::cycle(6),
+            generators::clique(4),
+        ] {
+            assert!(models(&g, &has_independent_dominating_set()));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Closed-form treedepth values and explicit optimal models.
+//!
+//! These give the experiment suite exact expectations at scales far beyond
+//! the exact solver, and [`path_elimination_tree`] reproduces Figure 1's
+//! binary elimination tree of a path at any size.
+
+use crate::elimination::EliminationTree;
+use locert_graph::{generators, Graph};
+
+/// `⌈log₂(x + 1)⌉`, i.e. the number of bits of `x` (with `bits(0) = 0`).
+fn bits(x: usize) -> usize {
+    (usize::BITS - x.leading_zeros()) as usize
+}
+
+/// `td(P_n) = ⌈log₂(n + 1)⌉` (vertex-count convention).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn treedepth_of_path(n: usize) -> usize {
+    assert!(n > 0, "path must be non-empty");
+    bits(n)
+}
+
+/// `td(C_n) = ⌈log₂ n⌉ + 1 = ⌊log₂(n − 1)⌋ + 2`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn treedepth_of_cycle(n: usize) -> usize {
+    assert!(n >= 3, "cycle needs at least three vertices");
+    bits(n - 1) + 1
+}
+
+/// `td(K_n) = n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn treedepth_of_clique(n: usize) -> usize {
+    assert!(n > 0, "clique must be non-empty");
+    n
+}
+
+/// `td(K_{1,n-1}) = min(n, 2)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn treedepth_of_star(n: usize) -> usize {
+    assert!(n > 0, "star must be non-empty");
+    n.min(2)
+}
+
+/// The optimal (binary-splitting) elimination tree of `P_n` — the
+/// construction illustrated by Figure 1 for `P_7`. Roots the model at the
+/// middle vertex of each segment, recursively.
+///
+/// The resulting model is coherent and has height exactly
+/// [`treedepth_of_path`]`(n)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path_elimination_tree(n: usize) -> (Graph, EliminationTree) {
+    assert!(n > 0, "path must be non-empty");
+    let g = generators::path(n);
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    // Recursive middle split on the interval [lo, hi].
+    let mut stack = vec![(0usize, n - 1, None::<usize>)];
+    while let Some((lo, hi, above)) = stack.pop() {
+        let mid = lo + (hi - lo) / 2;
+        parent[mid] = above;
+        if mid > lo {
+            stack.push((lo, mid - 1, Some(mid)));
+        }
+        if mid < hi {
+            stack.push((mid + 1, hi, Some(mid)));
+        }
+    }
+    let t = EliminationTree::new(&g, &parent).expect("binary split is a model of the path");
+    (g, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::treedepth_exact;
+    use locert_graph::generators;
+
+    #[test]
+    fn path_formula_matches_exact() {
+        for n in 1..=20 {
+            assert_eq!(
+                treedepth_of_path(n),
+                treedepth_exact(&generators::path(n)),
+                "P_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_formula_matches_exact() {
+        for n in 3..=18 {
+            assert_eq!(
+                treedepth_of_cycle(n),
+                treedepth_exact(&generators::cycle(n)),
+                "C_{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_and_star_formulas() {
+        for n in 1..=6 {
+            assert_eq!(treedepth_of_clique(n), treedepth_exact(&generators::clique(n)));
+        }
+        for n in 1..=7 {
+            assert_eq!(treedepth_of_star(n), treedepth_exact(&generators::star(n)));
+        }
+    }
+
+    #[test]
+    fn figure1_path7() {
+        // The Figure 1 reproduction: P_{2^k - 1} has treedepth k.
+        for k in 1..=10usize {
+            let n = (1 << k) - 1;
+            assert_eq!(treedepth_of_path(n), k, "P_{n}");
+        }
+        let (g, t) = path_elimination_tree(7);
+        assert_eq!(t.height(), 3);
+        assert!(t.is_coherent(&g));
+    }
+
+    #[test]
+    fn binary_split_is_optimal_at_all_sizes() {
+        for n in 1..=64 {
+            let (g, t) = path_elimination_tree(n);
+            assert_eq!(t.height(), treedepth_of_path(n), "P_{n}");
+            assert!(t.is_coherent(&g), "P_{n}");
+        }
+    }
+
+    #[test]
+    fn binary_split_large_path() {
+        let (_, t) = path_elimination_tree(4095);
+        assert_eq!(t.height(), 12);
+        let (_, t) = path_elimination_tree(4096);
+        assert_eq!(t.height(), 13);
+    }
+}

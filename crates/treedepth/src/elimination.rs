@@ -1,0 +1,317 @@
+//! Validated elimination trees (treedepth models).
+//!
+//! An [`EliminationTree`] is a rooted tree on the vertex set of a connected
+//! graph `G` such that every edge of `G` joins an ancestor–descendant pair
+//! — a *model* of `G` in the paper's terminology (Section 3.1). A model is
+//! *coherent* when every subtree induces a connected subgraph of `G`;
+//! Lemma B.1 shows a coherent model of the same height always exists, and
+//! [`EliminationTree::make_coherent`] implements that repair.
+
+use locert_graph::{Graph, NodeId, RootedTree};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a parent array fails to be a model of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The parent array is not a valid rooted tree over `0..n`.
+    NotATree,
+    /// The array length disagrees with the vertex count.
+    WrongSize {
+        /// Vertices in the graph.
+        graph: usize,
+        /// Entries in the parent array.
+        array: usize,
+    },
+    /// A graph edge joins two tree-incomparable vertices.
+    IncomparableEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotATree => write!(f, "parent array is not a rooted tree"),
+            ModelError::WrongSize { graph, array } => write!(
+                f,
+                "parent array has {array} entries for a graph on {graph} vertices"
+            ),
+            ModelError::IncomparableEdge { u, v } => write!(
+                f,
+                "edge {u}-{v} joins vertices that are not in ancestor-descendant relation"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// An elimination tree (treedepth model) of a connected graph.
+///
+/// # Example
+///
+/// ```
+/// use locert_graph::generators;
+/// use locert_treedepth::EliminationTree;
+///
+/// // P_3 = 0 - 1 - 2, eliminated by its middle vertex.
+/// let g = generators::path(3);
+/// let t = EliminationTree::new(&g, &[Some(1), None, Some(1)])?;
+/// assert_eq!(t.height(), 2);
+/// # Ok::<(), locert_treedepth::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationTree {
+    tree: RootedTree,
+}
+
+impl EliminationTree {
+    /// Validates `parent` as a model of `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if the array is not a rooted tree over the
+    /// vertex set or some graph edge joins incomparable vertices.
+    pub fn new(g: &Graph, parent: &[Option<usize>]) -> Result<Self, ModelError> {
+        if parent.len() != g.num_nodes() {
+            return Err(ModelError::WrongSize {
+                graph: g.num_nodes(),
+                array: parent.len(),
+            });
+        }
+        let tree = RootedTree::from_parent_array(parent).ok_or(ModelError::NotATree)?;
+        for (u, v) in g.edges() {
+            if !tree.is_ancestor(u, v) && !tree.is_ancestor(v, u) {
+                return Err(ModelError::IncomparableEdge { u, v });
+            }
+        }
+        Ok(EliminationTree { tree })
+    }
+
+    /// The underlying rooted tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// Height in the vertex-count convention: `1 + max depth`, i.e. the
+    /// number of vertices on the longest root-to-leaf path. This is the
+    /// quantity treedepth minimizes.
+    pub fn height(&self) -> usize {
+        self.tree.height() + 1
+    }
+
+    /// 0-based depth of `v` in the model (the root has depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.tree.depth(v)
+    }
+
+    /// The root of the model.
+    pub fn root(&self) -> NodeId {
+        self.tree.root()
+    }
+
+    /// Ancestors of `v` from `v` up to the root, inclusive.
+    pub fn ancestors(&self, v: NodeId) -> Vec<NodeId> {
+        self.tree.ancestors(v)
+    }
+
+    /// Whether the model is *coherent*: for every vertex `v`, the vertices
+    /// of the subtree rooted at `v` induce a connected subgraph of `g`
+    /// (equivalently, every child subtree of `v` contains a neighbor of
+    /// `v` — an *exit vertex*).
+    pub fn is_coherent(&self, g: &Graph) -> bool {
+        for v in g.nodes() {
+            for &c in self.tree.children(v) {
+                if self.exit_vertex(g, v, c).is_none() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// An *exit vertex* of the subtree rooted at `child` with respect to
+    /// its parent `parent`: a vertex of the subtree adjacent to `parent`
+    /// in `g`. Exists for every child in a coherent model.
+    pub fn exit_vertex(&self, g: &Graph, parent: NodeId, child: NodeId) -> Option<NodeId> {
+        self.tree
+            .subtree(child)
+            .into_iter()
+            .find(|&x| g.has_edge(x, parent))
+    }
+
+    /// Lemma B.1: rebuilds the model into a *coherent* one of the same (or
+    /// smaller) height, by repeatedly re-attaching a subtree whose root has
+    /// no connection to its parent's subtree onto its lowest connected
+    /// ancestor.
+    pub fn make_coherent(&self, g: &Graph) -> EliminationTree {
+        let n = g.num_nodes();
+        let mut parent: Vec<Option<usize>> = (0..n)
+            .map(|v| self.tree.parent(NodeId(v)).map(|p| p.0))
+            .collect();
+        loop {
+            let tree = RootedTree::from_parent_array(&parent).expect("rebuild stays a tree");
+            // Find a violating (parent v, child w): no vertex of subtree(w)
+            // adjacent to v.
+            let mut fixed = true;
+            'scan: for v in g.nodes() {
+                for &w in tree.children(v) {
+                    let sub = tree.subtree(w);
+                    if sub.iter().any(|&x| g.has_edge(x, v)) {
+                        continue;
+                    }
+                    // Re-attach w to the lowest strict ancestor of v that is
+                    // adjacent to some vertex of subtree(w). One exists
+                    // because g is connected and all edges from subtree(w)
+                    // go to ancestors of w.
+                    let mut anc = tree.parent(v);
+                    while let Some(a) = anc {
+                        if sub.iter().any(|&x| g.has_edge(x, a)) {
+                            parent[w.0] = Some(a.0);
+                            fixed = false;
+                            break 'scan;
+                        }
+                        anc = tree.parent(a);
+                    }
+                    unreachable!("connected graph: some ancestor is adjacent to the subtree");
+                }
+            }
+            if fixed {
+                let result = EliminationTree::new(g, &parent)
+                    .expect("re-attachment preserves the model property");
+                debug_assert!(result.height() <= self.height());
+                return result;
+            }
+        }
+    }
+
+    /// The parent array of the model.
+    pub fn parent_array(&self) -> Vec<Option<usize>> {
+        (0..self.tree.num_nodes())
+            .map(|v| self.tree.parent(NodeId(v)).map(|p| p.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_graph::generators;
+
+    fn p7_model() -> Vec<Option<usize>> {
+        // Figure 1: path 0-1-2-3-4-5-6, eliminated as root 3,
+        // children 1 and 5, grandchildren 0, 2, 4, 6.
+        vec![
+            Some(1),
+            Some(3),
+            Some(1),
+            None,
+            Some(5),
+            Some(3),
+            Some(5),
+        ]
+    }
+
+    #[test]
+    fn figure1_model_is_valid_height_3() {
+        let g = generators::path(7);
+        let t = EliminationTree::new(&g, &p7_model()).unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.root(), NodeId(3));
+        assert_eq!(t.depth(NodeId(0)), 2);
+        assert!(t.is_coherent(&g));
+    }
+
+    #[test]
+    fn wrong_size_rejected() {
+        let g = generators::path(3);
+        assert_eq!(
+            EliminationTree::new(&g, &[None, Some(0)]),
+            Err(ModelError::WrongSize { graph: 3, array: 2 })
+        );
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        let g = generators::path(2);
+        assert_eq!(
+            EliminationTree::new(&g, &[Some(1), Some(0)]),
+            Err(ModelError::NotATree)
+        );
+    }
+
+    #[test]
+    fn incomparable_edge_rejected() {
+        // Path 0-1-2 with model root 0, children 1 and 2: edge 1-2 joins
+        // siblings.
+        let g = generators::path(3);
+        let err = EliminationTree::new(&g, &[None, Some(0), Some(0)]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::IncomparableEdge {
+                u: NodeId(1),
+                v: NodeId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn clique_chain_model() {
+        let g = generators::clique(4);
+        // Any chain is a model of a clique.
+        let t = EliminationTree::new(&g, &[None, Some(0), Some(1), Some(2)]).unwrap();
+        assert_eq!(t.height(), 4);
+        assert!(t.is_coherent(&g));
+    }
+
+    #[test]
+    fn exit_vertices_found() {
+        let g = generators::path(7);
+        let t = EliminationTree::new(&g, &p7_model()).unwrap();
+        // Child 1 of root 3: subtree {1, 0, 2}; vertex 2 is adjacent to 3.
+        assert_eq!(t.exit_vertex(&g, NodeId(3), NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.exit_vertex(&g, NodeId(1), NodeId(0)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn incoherent_model_detected_and_repaired() {
+        // Path 0-1-2-3 with chain model 1 -> 0 -> 2 -> 3 (root 1):
+        // vertex 2's parent is 0, but subtree {2, 3} has no neighbor of 0
+        // — wait, 2 is not adjacent to 0. Build a genuinely incoherent
+        // model: root 1, child 0, grandchild 2, great-grandchild 3.
+        // Subtree of 2 = {2, 3}: adjacent to 1 (edge 1-2) but NOT to its
+        // parent 0. Incoherent at (0, 2).
+        let g = generators::path(4);
+        let t = EliminationTree::new(&g, &[Some(1), None, Some(0), Some(2)]).unwrap();
+        assert!(!t.is_coherent(&g));
+        let c = t.make_coherent(&g);
+        assert!(c.is_coherent(&g));
+        assert!(c.height() <= t.height());
+    }
+
+    #[test]
+    fn coherent_subtrees_are_connected() {
+        use locert_graph::traversal;
+        let g = generators::path(7);
+        let t = EliminationTree::new(&g, &p7_model()).unwrap();
+        // Remark 1: every subtree of a coherent model induces a connected
+        // subgraph.
+        for v in g.nodes() {
+            let sub = t.tree().subtree(v);
+            let (h, _) = g.induced_subgraph(&sub);
+            assert!(traversal::is_connected(&h), "subtree of {v}");
+        }
+    }
+
+    #[test]
+    fn parent_array_roundtrip() {
+        let g = generators::path(7);
+        let pa = p7_model();
+        let t = EliminationTree::new(&g, &pa).unwrap();
+        assert_eq!(t.parent_array(), pa);
+    }
+}

@@ -1,0 +1,35 @@
+//! Treedepth: elimination trees, exact computation, and the cops-and-robber
+//! characterization.
+//!
+//! Treedepth (Definition 3.1 of the paper, after Nešetřil–Ossona de Mendez)
+//! is the minimum *height* of a rooted forest `F` on the vertex set of `G`
+//! such that every edge of `G` joins an ancestor–descendant pair in `F`.
+//! Throughout this crate we use the **vertex-count convention**: the height
+//! of a forest is the maximum number of vertices on a root-to-leaf path, so
+//! `td(K_n) = n`, `td(P_n) = ⌈log₂(n+1)⌉`, and a single vertex has
+//! treedepth 1. (The paper's figures use 0-based depth; its Section 7
+//! numbers — "treedepth 5 versus at least 6" — are in the vertex-count
+//! convention, which is what we match.)
+//!
+//! Contents:
+//!
+//! - [`elimination`]: validated elimination trees ([`EliminationTree`]),
+//!   coherence (Section 3.1) and the Lemma B.1 coherence repair;
+//! - [`exact`]: exact treedepth by memoized branch-and-bound over vertex
+//!   subsets, plus reconstruction of an optimal elimination tree;
+//! - [`bounds`]: closed forms for paths/cycles/cliques/stars and the
+//!   explicit binary elimination tree of a path (Figure 1);
+//! - [`cops`]: the cops-and-robber game whose cop number equals treedepth
+//!   (used by Lemma 7.3), as a playable game plus an optimal solver;
+//! - [`heuristic`]: fast elimination-tree upper bounds (DFS, separator
+//!   greedy) used by provers at scales where the exact solver is out of
+//!   reach.
+
+pub mod bounds;
+pub mod cops;
+pub mod elimination;
+pub mod exact;
+pub mod heuristic;
+
+pub use elimination::{EliminationTree, ModelError};
+pub use exact::{treedepth_exact, optimal_elimination_tree};

@@ -1,0 +1,60 @@
+//! Quickstart: certify a spanning tree and a treedepth bound, watch a
+//! corrupted certificate get caught.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use locert::cert::schemes::common::id_bits_for;
+use locert::cert::schemes::spanning_tree::SpanningTreeScheme;
+use locert::cert::schemes::treedepth::TreedepthScheme;
+use locert::cert::{run_scheme, run_verification, Instance, Prover};
+use locert::graph::{generators, IdAssignment, NodeId};
+
+fn main() {
+    // A path on 15 vertices: treedepth ⌈log₂ 16⌉ = 4.
+    let n = 15;
+    let g = generators::path(n);
+    let ids = IdAssignment::contiguous(n);
+    let instance = Instance::new(&g, &ids);
+    println!("graph: P_{n} ({} edges)", g.num_edges());
+
+    // 1. Certify a spanning tree (Proposition 3.4).
+    let st = SpanningTreeScheme::new(id_bits_for(&instance));
+    let outcome = run_scheme(&st, &instance).expect("connected graph");
+    println!(
+        "spanning tree certified: accepted = {}, certificate size = {} bits",
+        outcome.accepted(),
+        outcome.max_bits()
+    );
+
+    // 2. Certify treedepth ≤ 4 (Theorem 2.4).
+    let td = TreedepthScheme::new(id_bits_for(&instance), 4);
+    let outcome = run_scheme(&td, &instance).expect("td(P_15) = 4");
+    println!(
+        "treedepth <= 4 certified: accepted = {}, certificate size = {} bits (t·log2 n = {:.1})",
+        outcome.accepted(),
+        outcome.max_bits(),
+        4.0 * (n as f64).log2()
+    );
+
+    // 3. Treedepth ≤ 3 is false — the prover refuses.
+    let td3 = TreedepthScheme::new(id_bits_for(&instance), 3);
+    println!(
+        "treedepth <= 3: prover says {:?}",
+        run_scheme(&td3, &instance).expect_err("no-instance")
+    );
+
+    // 4. Corrupt an honest certificate: some vertex rejects.
+    let honest = td.assign(&instance).expect("yes-instance");
+    let mut forged = honest.clone();
+    let victim = NodeId(7);
+    let cert = forged.cert(victim).clone();
+    *forged.cert_mut(victim) = cert.with_bit_flipped(3);
+    let outcome = run_verification(&td, &instance, &forged);
+    println!(
+        "after flipping one bit of vertex {victim}: accepted = {}, rejecting vertices = {:?}",
+        outcome.accepted(),
+        outcome.rejecting()
+    );
+}

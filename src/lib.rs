@@ -1,0 +1,44 @@
+//! # locert — compact local certification of MSO properties
+//!
+//! Umbrella crate for the `locert` workspace, a full reproduction of
+//! *"What can be certified compactly? Compact local certification of MSO
+//! properties in tree-like graphs"* (Bousquet, Feuilloley, Pierron —
+//! PODC 2022).
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! short module name:
+//!
+//! - [`graph`]: graphs, rooted trees, canonical forms, generators;
+//! - [`logic`]: FO/MSO formulas, model checking, Ehrenfeucht–Fraïssé games;
+//! - [`automata`]: word automata and unranked–unordered tree automata;
+//! - [`treedepth`]: elimination trees, exact treedepth, cops-and-robber;
+//! - [`kernel`]: the Section 6 kernelization (k-reduced graphs);
+//! - [`cert`]: the local-certification framework and every scheme in the
+//!   paper;
+//! - [`lb`]: the Section 7 communication-complexity lower bounds.
+//!
+//! # Quickstart
+//!
+//! Certify that a path has treedepth at most 3 and verify it locally:
+//!
+//! ```
+//! use locert::cert::schemes::common::id_bits_for;
+//! use locert::cert::schemes::treedepth::TreedepthScheme;
+//! use locert::cert::{run_scheme, Instance};
+//! use locert::graph::{generators, IdAssignment};
+//!
+//! let g = generators::path(7); // treedepth 3
+//! let ids = IdAssignment::contiguous(7);
+//! let instance = Instance::new(&g, &ids);
+//! let scheme = TreedepthScheme::new(id_bits_for(&instance), 3);
+//! let outcome = run_scheme(&scheme, &instance).expect("prover succeeds");
+//! assert!(outcome.accepted());
+//! ```
+
+pub use locert_automata as automata;
+pub use locert_core as cert;
+pub use locert_graph as graph;
+pub use locert_kernel as kernel;
+pub use locert_lb as lb;
+pub use locert_logic as logic;
+pub use locert_treedepth as treedepth;

@@ -1,0 +1,171 @@
+//! Integration tests: full certification pipelines across crates, with
+//! adversarial identifier assignments and cross-instance replay attacks.
+
+use locert::automata::library;
+use locert::cert::schemes::common::id_bits_for;
+use locert::cert::schemes::kernel_mso::KernelMsoScheme;
+use locert::cert::schemes::minor_free::PathMinorFreeScheme;
+use locert::cert::schemes::mso_tree::MsoTreeScheme;
+use locert::cert::schemes::spanning_tree::{SpanningTreeScheme, VertexCountScheme};
+use locert::cert::schemes::treedepth::{ModelStrategy, TreedepthScheme};
+use locert::cert::{run_scheme, run_verification, Instance, Prover, ProverError, Scheme};
+use locert::graph::{generators, IdAssignment};
+use locert::logic::props;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every scheme must be correct under arbitrary (shuffled, gappy)
+/// identifier assignments — certification quantifies over all of them.
+#[test]
+fn schemes_survive_adversarial_identifiers() {
+    let mut rng = StdRng::seed_from_u64(2022);
+    for trial in 0..5 {
+        let n = 20;
+        let (g, parents) = generators::random_bounded_treedepth(n, 3, 0.4, &mut rng);
+        for ids in [
+            IdAssignment::contiguous(n),
+            IdAssignment::shuffled(n, &mut rng),
+            IdAssignment::random_polynomial(n, 3, &mut rng),
+        ] {
+            let inst = Instance::new(&g, &ids);
+            let b = id_bits_for(&inst);
+            let schemes: Vec<Box<dyn Scheme>> = vec![
+                Box::new(SpanningTreeScheme::new(b)),
+                Box::new(VertexCountScheme::new(b, n as u64)),
+                Box::new(
+                    TreedepthScheme::new(b, 3)
+                        .with_strategy(ModelStrategy::Explicit(parents.clone())),
+                ),
+            ];
+            for scheme in schemes {
+                let out = run_scheme(scheme.as_ref(), &inst)
+                    .unwrap_or_else(|e| panic!("{} failed: {e} (trial {trial})", scheme.name()));
+                assert!(out.accepted(), "{} rejected honest prover", scheme.name());
+            }
+        }
+    }
+}
+
+/// Honest certificates for one instance replayed on a different instance
+/// (same size, same ids) must be rejected whenever the property fails
+/// there.
+#[test]
+fn cross_instance_replay_rejected() {
+    let n = 12;
+    let ids = IdAssignment::contiguous(n);
+    let star = generators::star(n);
+    let path = generators::path(n);
+    let inst_star = Instance::new(&star, &ids);
+    let inst_path = Instance::new(&path, &ids);
+    let b = id_bits_for(&inst_star);
+
+    // Treedepth 2 holds for the star, fails for the path.
+    let td = TreedepthScheme::new(b, 2);
+    let honest = td.assign(&inst_star).expect("star has treedepth 2");
+    assert!(run_verification(&td, &inst_star, &honest).accepted());
+    assert!(!run_verification(&td, &inst_path, &honest).accepted());
+
+    // Perfect matching holds for P_12 rooted anywhere, fails for the star
+    // (11 leaves).
+    let pm = MsoTreeScheme::new(library::has_perfect_matching());
+    let honest_pm = pm.assign(&inst_path).expect("P_12 has a PM");
+    assert!(run_verification(&pm, &inst_path, &honest_pm).accepted());
+    assert!(!run_verification(&pm, &inst_star, &honest_pm).accepted());
+}
+
+/// The kernel-MSO scheme decision agrees with brute-force model checking
+/// across a randomized workload (the full Theorem 2.6 pipeline).
+#[test]
+fn kernel_mso_agrees_with_model_checking() {
+    let mut rng = StdRng::seed_from_u64(64);
+    let phi = props::triangle_free();
+    let mut yes = 0;
+    let mut no = 0;
+    for _ in 0..8 {
+        let (g, parents) = generators::random_bounded_treedepth(13, 3, 0.5, &mut rng);
+        let ids = IdAssignment::shuffled(13, &mut rng);
+        let inst = Instance::new(&g, &ids);
+        let scheme = KernelMsoScheme::new(id_bits_for(&inst), 3, phi.clone())
+            .expect("FO")
+            .with_strategy(ModelStrategy::Explicit(parents));
+        let expected = locert::logic::eval::models(&g, &phi);
+        match run_scheme(&scheme, &inst) {
+            Ok(out) => {
+                assert!(out.accepted());
+                assert!(expected, "accepted a graph with a triangle");
+                yes += 1;
+            }
+            Err(ProverError::NotAYesInstance) => {
+                assert!(!expected, "refused a triangle-free graph");
+                no += 1;
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert!(yes + no == 8);
+}
+
+/// P_t-minor-freeness certified sizes stay logarithmic while the
+/// ground-truth decision matches the exact minor check.
+#[test]
+fn minor_freeness_pipeline() {
+    let mut rng = StdRng::seed_from_u64(65);
+    for _ in 0..6 {
+        let g = generators::random_tree(14, &mut rng);
+        let ids = IdAssignment::contiguous(14);
+        let inst = Instance::new(&g, &ids);
+        for t in 4..=6 {
+            let scheme = PathMinorFreeScheme::new(id_bits_for(&inst), t);
+            let expected = !locert::graph::minors::has_path_minor(&g, t);
+            match run_scheme(&scheme, &inst) {
+                Ok(out) => {
+                    assert!(out.accepted());
+                    assert!(expected);
+                }
+                Err(ProverError::NotAYesInstance) => assert!(!expected),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+}
+
+/// Certificates must parse bit-exactly: appending a spare bit to a
+/// certificate is caught by the exhaustion check.
+#[test]
+fn trailing_garbage_rejected() {
+    use locert::cert::bits::BitWriter;
+    let n = 8;
+    let g = generators::path(n); // td(P_8) = 4.
+    let ids = IdAssignment::contiguous(n);
+    let inst = Instance::new(&g, &ids);
+    let scheme = TreedepthScheme::new(id_bits_for(&inst), 4);
+    let honest = scheme.assign(&inst).expect("td(P_8) = 4");
+    assert!(run_verification(&scheme, &inst, &honest).accepted());
+    let mut padded = honest.clone();
+    let victim = locert::graph::NodeId(3);
+    let mut w = BitWriter::new();
+    w.write_cert(padded.cert(victim));
+    w.write_bit(true);
+    *padded.cert_mut(victim) = w.finish();
+    assert!(!run_verification(&scheme, &inst, &padded).accepted());
+}
+
+/// Scheme composition sanity: a scheme accepted on one graph class keeps
+/// rejecting on another after honest-certificate mutations.
+#[test]
+fn mutation_storm() {
+    use locert::cert::attacks::mutation_attacks;
+    let mut rng = StdRng::seed_from_u64(66);
+    let n = 10;
+    let even_path = generators::path(n); // PM exists.
+    let star = generators::star(n); // no PM.
+    let ids = IdAssignment::contiguous(n);
+    let inst_yes = Instance::new(&even_path, &ids);
+    let inst_no = Instance::new(&star, &ids);
+    let scheme = MsoTreeScheme::new(library::has_perfect_matching());
+    let base = scheme.assign(&inst_yes).expect("yes");
+    assert!(
+        mutation_attacks(&scheme, &inst_no, &base, &mut rng, 600).is_none(),
+        "a mutated perfect-matching certificate fooled the verifier on a star"
+    );
+}
