@@ -124,11 +124,7 @@ fn all_sets_containing(num_states: usize, must: usize) -> Vec<BTreeSet<usize>> {
         if mask & (1 << must) == 0 {
             continue;
         }
-        out.push(
-            (0..num_states)
-                .filter(|&q| mask & (1 << q) != 0)
-                .collect(),
-        );
+        out.push((0..num_states).filter(|&q| mask & (1 << q) != 0).collect());
     }
     out
 }

@@ -50,10 +50,7 @@ impl LclProblem {
         let q = self.num_states();
         self.guards.len() == q
             && self.root_allowed.len() == q
-            && self
-                .state_output
-                .iter()
-                .all(|&o| o < self.num_outputs)
+            && self.state_output.iter().all(|&o| o < self.num_outputs)
             && (1..=64).contains(&q)
     }
 
@@ -91,12 +88,8 @@ impl LclProblem {
     ///
     /// Panics if `outputs` has the wrong length or an out-of-range label.
     pub fn is_valid_solution(&self, tree: &LabeledTree, outputs: &[usize]) -> bool {
-        let labeled = LabeledTree::new(
-            tree.tree().clone(),
-            outputs.to_vec(),
-            self.num_outputs,
-        )
-        .expect("outputs must label every node");
+        let labeled = LabeledTree::new(tree.tree().clone(), outputs.to_vec(), self.num_outputs)
+            .expect("outputs must label every node");
         self.solution_automaton().accepts(&labeled)
     }
 
@@ -231,9 +224,8 @@ mod tests {
                 return false;
             }
         }
-        g.nodes().all(|v| {
-            in_set[v.0] || g.neighbors(v).iter().any(|&u| in_set[u.0])
-        })
+        g.nodes()
+            .all(|v| in_set[v.0] || g.neighbors(v).iter().any(|&u| in_set[u.0]))
     }
 
     #[test]

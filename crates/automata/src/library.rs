@@ -210,10 +210,7 @@ pub fn some_leaf_at_depth(c: usize) -> TreeAutomaton {
     for i in 1..=c {
         let below = mask(&[i]); // state carrying On_{i-1}.
         let others = on_states & !below;
-        guards.push(vec![and(
-            Guard::exactly(below, 1),
-            at_most(others, 0),
-        )]);
+        guards.push(vec![and(Guard::exactly(below, 1), at_most(others, 0))]);
     }
     let mut accepting = vec![false; num_states];
     accepting[c + 1] = true;
@@ -238,11 +235,7 @@ mod tests {
         let tree = t.tree();
         let mut state = vec![false; tree.num_nodes()]; // true = unmatched (U)
         for v in tree.postorder() {
-            let unmatched_children = tree
-                .children(v)
-                .iter()
-                .filter(|c| state[c.0])
-                .count();
+            let unmatched_children = tree.children(v).iter().filter(|c| state[c.0]).count();
             match unmatched_children {
                 0 => state[v.0] = true,
                 1 => state[v.0] = false,
@@ -256,7 +249,10 @@ mod tests {
     fn height_automaton_matches_tree_height() {
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..20 {
-            let g = generators::random_tree(1 + rand::RngExt::random_range(&mut rng, 0..12usize), &mut rng);
+            let g = generators::random_tree(
+                1 + rand::RngExt::random_range(&mut rng, 0..12usize),
+                &mut rng,
+            );
             let t = unlabeled(&g, 0);
             let h = t.tree().height() + 1;
             for c in 1..=6 {
@@ -294,7 +290,10 @@ mod tests {
                 seen_both.1 = true;
             }
         }
-        assert!(seen_both.0 && seen_both.1, "workload should cover both answers");
+        assert!(
+            seen_both.0 && seen_both.1,
+            "workload should cover both answers"
+        );
     }
 
     #[test]
@@ -339,8 +338,8 @@ mod tests {
         assert!(a.accepts(&spider));
         let p4 = unlabeled(&generators::path(4), 0);
         assert!(!a.accepts(&p4)); // only leaf at depth 3.
-        // Mixed: root 0 with leaves 1, 5 (depth 1) and chain 2-3-4 whose
-        // leaf 4 sits at depth 3 — no leaf at depth 2.
+                                  // Mixed: root 0 with leaves 1, 5 (depth 1) and chain 2-3-4 whose
+                                  // leaf 4 sits at depth 3 — no leaf at depth 2.
         let g = Graph::from_edges(6, [(0, 1), (0, 2), (2, 3), (3, 4), (0, 5)]).unwrap();
         let t = unlabeled(&g, 0);
         assert!(!some_leaf_at_depth(1).is_deterministic());
@@ -429,8 +428,7 @@ mod tests {
                 .filter(|&v| tree.children(v).is_empty())
                 .map(|v| tree.depth(v))
                 .collect();
-            let expected = depths.len() == 1 && *depths.iter().next().unwrap() < 6
-                || (n == 1);
+            let expected = depths.len() == 1 && *depths.iter().next().unwrap() < 6 || (n == 1);
             assert_eq!(a.accepts(&t), expected, "tree {g:?}");
         }
     }

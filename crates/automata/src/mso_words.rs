@@ -160,12 +160,8 @@ impl WordFormula {
             match f {
                 True | False | Less(..) | Succ(..) | PosEq(..) | Letter(..) | InSet(..) => true,
                 Not(g) => walk(g, seen_pos, seen_set),
-                And(a, b) | Or(a, b) => {
-                    walk(a, seen_pos, seen_set) && walk(b, seen_pos, seen_set)
-                }
-                Exists(x, g) | Forall(x, g) => {
-                    seen_pos.insert(*x) && walk(g, seen_pos, seen_set)
-                }
+                And(a, b) | Or(a, b) => walk(a, seen_pos, seen_set) && walk(b, seen_pos, seen_set),
+                Exists(x, g) | Forall(x, g) => seen_pos.insert(*x) && walk(g, seen_pos, seen_set),
                 ExistsSet(s, g) | ForallSet(s, g) => {
                     seen_set.insert(*s) && walk(g, seen_pos, seen_set)
                 }
@@ -316,14 +312,7 @@ impl Compiler {
                 SymbolClass::Both => {}
             }
         }
-        Nfa::new(
-            3,
-            sigma,
-            BTreeSet::from([0]),
-            vec![false, false, true],
-            t,
-        )
-        .expect("valid")
+        Nfa::new(3, sigma, BTreeSet::from([0]), vec![false, false, true], t).expect("valid")
     }
 
     fn compile(&self, f: &WordFormula) -> Result<Nfa, CompileError> {
@@ -382,8 +371,7 @@ impl Compiler {
                         _ => {}
                     }
                 }
-                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t)
-                    .expect("valid")
+                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t).expect("valid")
             }
             Letter(x, a) => {
                 if *a >= self.alphabet {
@@ -406,8 +394,7 @@ impl Compiler {
                         t[1][s] = BTreeSet::from([1]);
                     }
                 }
-                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t)
-                    .expect("valid")
+                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t).expect("valid")
             }
             InSet(x, set) => {
                 let tx = self.track_index(Track::Pos(*x));
@@ -424,8 +411,7 @@ impl Compiler {
                         t[1][s] = BTreeSet::from([1]);
                     }
                 }
-                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t)
-                    .expect("valid")
+                Nfa::new(2, sigma, BTreeSet::from([0]), vec![false, true], t).expect("valid")
             }
             Not(g) => {
                 let inner = self.compile(g)?;
@@ -434,9 +420,7 @@ impl Compiler {
                 let mut free = BTreeSet::new();
                 g.free_pos_vars(&mut Vec::new(), &mut free);
                 for x in free {
-                    result = result.intersect(&Nfa::from_dfa(
-                        &self.exactly_one(x).determinize(),
-                    ));
+                    result = result.intersect(&Nfa::from_dfa(&self.exactly_one(x).determinize()));
                     // Keep sizes in check.
                     result = Nfa::from_dfa(&result.determinize().minimize());
                 }
@@ -456,9 +440,7 @@ impl Compiler {
                 // Enforce the track's validity explicitly: atoms only
                 // enforce "exactly one mark" for variables they mention,
                 // so ∃x.φ with x not occurring in φ still needs it.
-                let inner = self
-                    .compile(g)?
-                    .intersect(&self.exactly_one(*x));
+                let inner = self.compile(g)?.intersect(&self.exactly_one(*x));
                 self.erase_track(&inner, self.track_index(Track::Pos(*x)))
             }
             ExistsSet(s, g) => {
@@ -470,8 +452,7 @@ impl Compiler {
                 self.compile(&rewritten)?
             }
             ForallSet(s, g) => {
-                let rewritten =
-                    Not(Box::new(ExistsSet(*s, Box::new(Not(g.clone())))));
+                let rewritten = Not(Box::new(ExistsSet(*s, Box::new(Not(g.clone())))));
                 self.compile(&rewritten)?
             }
         })
@@ -634,10 +615,7 @@ mod tests {
     }
 
     fn iff(a: WordFormula, b: WordFormula) -> WordFormula {
-        or(
-            and(a.clone(), b.clone()),
-            and(not(a), not(b)),
-        )
+        or(and(a.clone(), b.clone()), and(not(a), not(b)))
     }
 
     fn exists(v: PosVar, f: WordFormula) -> WordFormula {
@@ -706,10 +684,7 @@ mod tests {
             x(0),
             exists(
                 x(1),
-                and(
-                    Less(x(0), x(1)),
-                    and(Letter(x(0), 1), Letter(x(1), 1)),
-                ),
+                and(Less(x(0), x(1)), and(Letter(x(0), 1), Letter(x(1), 1))),
             ),
         );
         check(&f, 6);
@@ -744,10 +719,7 @@ mod tests {
                 not(InSet(x(4), set(0))),
             ),
         );
-        let f = ExistsSet(
-            set(0),
-            Box::new(and(first_in, and(alternate, last_out))),
-        );
+        let f = ExistsSet(set(0), Box::new(and(first_in, and(alternate, last_out))));
         let nfa = compile(&f, 2).expect("compiles");
         for len in 0..=7 {
             let word = vec![0usize; len];

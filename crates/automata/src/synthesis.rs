@@ -201,15 +201,12 @@ impl TrainedAutomaton {
                             Some(s) => s,
                             None => {
                                 if reps.len() >= budget {
-                                    return Err(SynthesisError::TooManyTypes {
-                                        cap: budget,
-                                    });
+                                    return Err(SynthesisError::TooManyTypes { cap: budget });
                                 }
                                 reps.push(rep.minimized(k, 7));
                                 // Pad existing transition keys to the new
                                 // state count.
-                                let old: Vec<(Vec<usize>, usize)> =
-                                    transitions.drain().collect();
+                                let old: Vec<(Vec<usize>, usize)> = transitions.drain().collect();
                                 for (mut kk, vv) in old {
                                     kk.resize(reps.len(), 0);
                                     transitions.insert(kk, vv);
@@ -350,8 +347,7 @@ pub fn fo_tree_automaton(
 /// Pairs the compiler with the acceptance check on a tree (sound always,
 /// complete when [`TrainedAutomaton::covers`] holds).
 pub fn accepts(t: &TrainedAutomaton, tree: &RootedTree) -> bool {
-    t.automaton()
-        .accepts(&LabeledTree::unlabeled(tree.clone()))
+    t.automaton().accepts(&LabeledTree::unlabeled(tree.clone()))
 }
 
 #[cfg(test)]
@@ -415,8 +411,7 @@ mod tests {
 
     #[test]
     fn compiled_automaton_is_certifiable() {
-        let compiled =
-            fo_tree_automaton(&props::has_dominating_vertex(), 8, 63).unwrap();
+        let compiled = fo_tree_automaton(&props::has_dominating_vertex(), 8, 63).unwrap();
         // Runs extract for the Theorem 2.2 certificates.
         let star = rooted(&generators::star(12));
         let t = LabeledTree::unlabeled(star.clone());
@@ -442,11 +437,7 @@ mod tests {
         let x = Var(0);
         let s = locert_logic::ast::SetVar(0);
         assert!(matches!(
-            TrainedAutomaton::train(
-                &ast::exists_set(s, ast::forall(x, ast::mem(x, s))),
-                &[],
-                63
-            ),
+            TrainedAutomaton::train(&ast::exists_set(s, ast::forall(x, ast::mem(x, s))), &[], 63),
             Err(SynthesisError::NotAnFoSentence)
         ));
         assert!(matches!(

@@ -121,14 +121,8 @@ impl Guard {
                 count: a.count,
             }),
             Guard::Not(g) => Guard::Not(Box::new(g.map_states(f))),
-            Guard::And(a, b) => Guard::And(
-                Box::new(a.map_states(f)),
-                Box::new(b.map_states(f)),
-            ),
-            Guard::Or(a, b) => Guard::Or(
-                Box::new(a.map_states(f)),
-                Box::new(b.map_states(f)),
-            ),
+            Guard::And(a, b) => Guard::And(Box::new(a.map_states(f)), Box::new(b.map_states(f))),
+            Guard::Or(a, b) => Guard::Or(Box::new(a.map_states(f)), Box::new(b.map_states(f))),
         }
     }
 }
@@ -342,8 +336,7 @@ impl TreeAutomaton {
     ) -> Vec<Vec<u8>> {
         let mut set: Vec<Vec<u8>> = vec![vec![0u8; self.num_states]];
         for &c in kids {
-            let mut next: std::collections::HashSet<Vec<u8>> =
-                std::collections::HashSet::new();
+            let mut next: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
             for vec in &set {
                 for q in 0..self.num_states {
                     if feasible[c.0] & (1u64 << q) != 0 {
@@ -365,8 +358,7 @@ impl TreeAutomaton {
     pub fn accepts(&self, t: &LabeledTree) -> bool {
         let feasible = self.feasible_states(t);
         let root = t.tree().root();
-        (0..self.num_states)
-            .any(|q| feasible[root.0] & (1u64 << q) != 0 && self.accepting[q])
+        (0..self.num_states).any(|q| feasible[root.0] & (1u64 << q) != 0 && self.accepting[q])
     }
 
     /// An accepting run (state per node), if one exists. This is exactly
@@ -429,9 +421,7 @@ impl TreeAutomaton {
             current = layer.keys().cloned().collect();
             layers.push(layer);
         }
-        let target = current
-            .into_iter()
-            .find(|vec| guard.eval(&to_usize(vec)))?;
+        let target = current.into_iter().find(|vec| guard.eval(&to_usize(vec)))?;
         // Walk back the layers.
         let mut choice = vec![usize::MAX; kids.len()];
         let mut cur = target;
@@ -448,7 +438,11 @@ impl TreeAutomaton {
     /// # Panics
     ///
     /// Panics if label counts differ or the product exceeds 64 states.
-    pub fn product(&self, other: &TreeAutomaton, combine: impl Fn(bool, bool) -> bool) -> TreeAutomaton {
+    pub fn product(
+        &self,
+        other: &TreeAutomaton,
+        combine: impl Fn(bool, bool) -> bool,
+    ) -> TreeAutomaton {
         assert_eq!(self.num_labels, other.num_labels, "label alphabet mismatch");
         let n = self.num_states * other.num_states;
         assert!(n <= 64, "product exceeds 64 states");
@@ -613,7 +607,10 @@ mod tests {
         assert!(TreeAutomaton::new(
             1,
             1,
-            vec![vec![Guard::AtLeast(CountAtom { states: 1 << 5, count: 1 })]],
+            vec![vec![Guard::AtLeast(CountAtom {
+                states: 1 << 5,
+                count: 1
+            })]],
             vec![true]
         )
         .is_none());
@@ -665,8 +662,14 @@ mod tests {
         assert!(!g.eval(&[1, 0]));
         assert!(!g.eval(&[3, 0]));
         let h = Guard::Or(
-            Box::new(Guard::AtLeast(CountAtom { states: 0b10, count: 1 })),
-            Box::new(Guard::AtMost(CountAtom { states: 0b11, count: 0 })),
+            Box::new(Guard::AtLeast(CountAtom {
+                states: 0b10,
+                count: 1,
+            })),
+            Box::new(Guard::AtMost(CountAtom {
+                states: 0b11,
+                count: 0,
+            })),
         );
         assert!(h.eval(&[0, 1]));
         assert!(h.eval(&[0, 0]));
@@ -704,18 +707,27 @@ mod tests {
             // Off: all children Off or On-chains not ending here — children
             // must all be Off (the marked path is unique and goes through
             // one chain).
-            vec![Guard::AtMost(CountAtom { states: 0b1110, count: 0 })],
+            vec![Guard::AtMost(CountAtom {
+                states: 0b1110,
+                count: 0,
+            })],
             // On0: a leaf.
             vec![Guard::leaf(4)],
             // On1: exactly one On0 child, no other On.
             vec![Guard::And(
                 Box::new(Guard::exactly(0b0010, 1)),
-                Box::new(Guard::AtMost(CountAtom { states: 0b1100, count: 0 })),
+                Box::new(Guard::AtMost(CountAtom {
+                    states: 0b1100,
+                    count: 0,
+                })),
             )],
             // On2: exactly one On1 child, no other On.
             vec![Guard::And(
                 Box::new(Guard::exactly(0b0100, 1)),
-                Box::new(Guard::AtMost(CountAtom { states: 0b1010, count: 0 })),
+                Box::new(Guard::AtMost(CountAtom {
+                    states: 0b1010,
+                    count: 0,
+                })),
             )],
         ];
         let a = TreeAutomaton::new(4, 1, guards, vec![false, false, false, true]).unwrap();
@@ -763,14 +775,12 @@ mod tests {
     fn cap_saturation_is_sound() {
         // Guard "at least 3 children in state 0" on a node with many
         // children: capped counting must still fire.
-        let g = Guard::AtLeast(CountAtom { states: 0b1, count: 3 });
-        let a = TreeAutomaton::new(
-            2,
-            1,
-            vec![vec![Guard::leaf(2)], vec![g]],
-            vec![false, true],
-        )
-        .unwrap();
+        let g = Guard::AtLeast(CountAtom {
+            states: 0b1,
+            count: 3,
+        });
+        let a = TreeAutomaton::new(2, 1, vec![vec![Guard::leaf(2)], vec![g]], vec![false, true])
+            .unwrap();
         let big_star = LabeledTree::unlabeled(rooted(&generators::star(10), 0));
         assert!(a.accepts(&big_star));
         let small_star = LabeledTree::unlabeled(rooted(&generators::star(3), 0));

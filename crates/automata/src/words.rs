@@ -46,10 +46,7 @@ impl Dfa {
         accepting: Vec<bool>,
         transitions: Vec<Vec<usize>>,
     ) -> Option<Self> {
-        if start >= num_states
-            || accepting.len() != num_states
-            || transitions.len() != num_states
-        {
+        if start >= num_states || accepting.len() != num_states || transitions.len() != num_states {
             return None;
         }
         for row in &transitions {
@@ -324,9 +321,7 @@ impl Nfa {
             return None;
         }
         for row in &transitions {
-            if row.len() != alphabet
-                || row.iter().any(|set| set.iter().any(|&t| t >= num_states))
-            {
+            if row.len() != alphabet || row.iter().any(|set| set.iter().any(|&t| t >= num_states)) {
                 return None;
             }
         }
@@ -524,7 +519,11 @@ impl Nfa {
             "pullback source symbol out of range"
         );
         let transitions = (0..self.num_states)
-            .map(|q| map.iter().map(|&m| self.transitions[q][m].clone()).collect())
+            .map(|q| {
+                map.iter()
+                    .map(|&m| self.transitions[q][m].clone())
+                    .collect()
+            })
             .collect();
         Nfa {
             num_states: self.num_states,
@@ -546,12 +545,14 @@ impl Nfa {
     /// range.
     pub fn project(&self, new_alphabet: usize, map: &[usize]) -> Nfa {
         assert_eq!(map.len(), self.alphabet, "projection map length mismatch");
-        assert!(map.iter().all(|&m| m < new_alphabet), "projection target out of range");
+        assert!(
+            map.iter().all(|&m| m < new_alphabet),
+            "projection target out of range"
+        );
         let mut transitions = vec![vec![BTreeSet::new(); new_alphabet]; self.num_states];
         for q in 0..self.num_states {
             for (old, &new) in map.iter().enumerate() {
-                let targets: Vec<usize> =
-                    self.transitions[q][old].iter().copied().collect();
+                let targets: Vec<usize> = self.transitions[q][old].iter().copied().collect();
                 transitions[q][new].extend(targets);
             }
         }

@@ -128,8 +128,8 @@ fn bench_prover_vs_verifier(c: &mut Criterion) {
     let (g, parents) = generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
     let ids = IdAssignment::contiguous(n);
     let inst = Instance::new(&g, &ids);
-    let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
-        .with_strategy(ModelStrategy::Explicit(parents));
+    let scheme =
+        TreedepthScheme::new(id_bits_for(&inst), t).with_strategy(ModelStrategy::Explicit(parents));
     group.bench_function("treedepth_prover", |b| {
         b.iter(|| black_box(scheme.assign(&inst).unwrap().max_bits()));
     });

@@ -37,8 +37,7 @@ pub fn run(ns: &[usize]) -> Table {
         let inst = Instance::new(&g, &ids);
         // Radius 3, empty certificates.
         let empty = Assignment::empty(n);
-        let rejected =
-            run_radius_verification(&DiameterTwoAtRadiusThree, &inst, &empty);
+        let rejected = run_radius_verification(&DiameterTwoAtRadiusThree, &inst, &empty);
         let verdict = rejected.is_empty();
         assert!(verdict, "radius-3 rejected a diameter-2 graph");
         // Radius 1: broadcast the graph.
@@ -82,7 +81,6 @@ mod tests {
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
         let empty = Assignment::empty(6);
-        assert!(!run_radius_verification(&DiameterTwoAtRadiusThree, &inst, &empty)
-            .is_empty());
+        assert!(!run_radius_verification(&DiameterTwoAtRadiusThree, &inst, &empty).is_empty());
     }
 }

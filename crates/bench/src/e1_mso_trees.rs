@@ -100,13 +100,12 @@ pub fn run_compiled(sizes: &[usize]) -> Table {
         "sizes constant in n; all workload instances covered",
         &["n", "φ = has dominating vertex [bits]", "#types", "covered"],
     );
-    let compiled = fo_tree_automaton(&props::has_dominating_vertex(), 9, 63)
-        .expect("rank-2 compilation");
+    let compiled =
+        fo_tree_automaton(&props::has_dominating_vertex(), 9, 63).expect("rank-2 compilation");
     let scheme = MsoTreeScheme::new(compiled.automaton().clone());
     for &n in sizes {
         let g = generators::star(n);
-        let rooted =
-            locert_graph::RootedTree::from_tree(&g, locert_graph::NodeId(0)).unwrap();
+        let rooted = locert_graph::RootedTree::from_tree(&g, locert_graph::NodeId(0)).unwrap();
         let covered = compiled.covers(&rooted);
         let ids = IdAssignment::contiguous(n);
         let inst = Instance::new(&g, &ids);

@@ -63,7 +63,12 @@ pub fn run_depth2(lengths: &[usize]) -> Table {
         "For depth-2 trees the count is 2^Θ(√n) (integer partitions), giving an \
          Ω(√n) bound — the paper's k = 2 extension.",
         "rate ≈ √n/2 (ratio column ≈ 0.5)",
-        &["ℓ (bits)", "n (gadget size)", "rate [bits/vertex]", "rate/√n"],
+        &[
+            "ℓ (bits)",
+            "n (gadget size)",
+            "rate [bits/vertex]",
+            "rate/√n",
+        ],
     );
     for &l in lengths {
         let (n, q) = automorphism_rate_depth2(l);
@@ -113,9 +118,7 @@ pub fn run_upper_vs_lower(lengths: &[usize]) -> Table {
         let n = g.num_nodes();
         let ids = locert_graph::IdAssignment::contiguous(n);
         let inst = Instance::new(&g, &ids);
-        let scheme = fpf_automorphism_scheme(
-            locert_core::schemes::common::id_bits_for(&inst),
-        );
+        let scheme = fpf_automorphism_scheme(locert_core::schemes::common::id_bits_for(&inst));
         let out = run_scheme(&scheme, &inst).expect("mirrored gadget has an FPF");
         assert!(out.accepted());
         let _ = fam.input_bits();

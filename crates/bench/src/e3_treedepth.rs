@@ -19,13 +19,21 @@ pub fn run(ts: &[usize], ns: &[usize], seed: u64) -> Table {
         "Treedepth certification via ancestor lists (Theorem 2.4)",
         "We can certify that a graph has treedepth at most t with O(t log n) bits.",
         "measured bits / (t·log₂ n) stays bounded by a small constant across the grid",
-        &["t", "n", "max cert [bits]", "t·log2(n)", "ratio", "prover [ms]", "verify [µs/vertex]", "corruption rejected"],
+        &[
+            "t",
+            "n",
+            "max cert [bits]",
+            "t·log2(n)",
+            "ratio",
+            "prover [ms]",
+            "verify [µs/vertex]",
+            "corruption rejected",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(seed);
     for &t in ts {
         for &n in ns {
-            let (g, parents) =
-                generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
+            let (g, parents) = generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
             let ids = IdAssignment::shuffled(n, &mut rng);
             let inst = Instance::new(&g, &ids);
             let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
@@ -71,8 +79,8 @@ pub fn bench_once(n: usize, t: usize, seed: u64) -> usize {
     let (g, parents) = generators::random_bounded_treedepth(n, t, 0.3, &mut rng);
     let ids = IdAssignment::contiguous(n);
     let inst = Instance::new(&g, &ids);
-    let scheme = TreedepthScheme::new(id_bits_for(&inst), t)
-        .with_strategy(ModelStrategy::Explicit(parents));
+    let scheme =
+        TreedepthScheme::new(id_bits_for(&inst), t).with_strategy(ModelStrategy::Explicit(parents));
     run_scheme(&scheme, &inst).expect("yes").max_bits()
 }
 

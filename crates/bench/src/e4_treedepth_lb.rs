@@ -18,7 +18,13 @@ pub fn run_dichotomy() -> Table {
         "Matching-gadget dichotomy (Lemma 7.3)",
         "If the matchings are equal the gadget has treedepth 5; otherwise at least 6.",
         "every equal pair measures exactly 5 (both solvers agree), every unequal pair ≥ 6",
-        &["s_A", "s_B", "matchings equal", "treedepth (exact)", "cop number"],
+        &[
+            "s_A",
+            "s_B",
+            "matchings equal",
+            "treedepth (exact)",
+            "cop number",
+        ],
     );
     let n = 2;
     let l = matching_bits(n);
@@ -52,7 +58,14 @@ pub fn run_rates(ns: &[usize]) -> Table {
         "Certifying treedepth ≤ 5 requires Ω(log n)-bit certificates: \
          ℓ = ⌊log₂ n!⌋ input bits against r = 4n + 1 interface vertices.",
         "rate / log₂ n approaches 1/4 from below as n grows",
-        &["n (matching size)", "gadget vertices", "ℓ = ⌊log2 n!⌋", "r", "rate [bits]", "rate / log2 n"],
+        &[
+            "n (matching size)",
+            "gadget vertices",
+            "ℓ = ⌊log2 n!⌋",
+            "r",
+            "rate [bits]",
+            "rate / log2 n",
+        ],
     );
     for &n in ns {
         let l = matching_bits(n);

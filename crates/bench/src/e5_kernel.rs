@@ -45,9 +45,8 @@ pub fn run(ns: &[usize], seed: u64) -> Table {
         let g = generators::star(n);
         let ids = IdAssignment::contiguous(n);
         let inst = Instance::new(&g, &ids);
-        let scheme =
-            KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex())
-                .expect("FO sentence");
+        let scheme = KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex())
+            .expect("FO sentence");
         let out = run_scheme(&scheme, &inst).expect("star is dominated");
         assert!(out.accepted());
         // Kernel metrics straight from the reduction.
@@ -69,10 +68,9 @@ pub fn run(ns: &[usize], seed: u64) -> Table {
         let (g2, parents2) = generators::random_bounded_treedepth(n, 3, 0.0, &mut rng);
         let ids2 = IdAssignment::contiguous(n);
         let inst2 = Instance::new(&g2, &ids2);
-        let scheme2 =
-            KernelMsoScheme::new(id_bits_for(&inst2), 3, props::triangle_free())
-                .expect("FO sentence")
-                .with_strategy(ModelStrategy::Explicit(parents2.clone()));
+        let scheme2 = KernelMsoScheme::new(id_bits_for(&inst2), 3, props::triangle_free())
+            .expect("FO sentence")
+            .with_strategy(ModelStrategy::Explicit(parents2.clone()));
         let model2 = EliminationTree::new(&g2, &parents2)
             .unwrap()
             .make_coherent(&g2);
@@ -118,18 +116,21 @@ pub fn run_global_split(ns: &[usize]) -> Table {
          global, leaving O(t log n) bits per vertex.",
         "local column tracks t·log n; global column flat in n; \
          local+global = the local-only size of E5a",
-        &["n", "local-only [bits]", "split local [bits]", "split global [bits]"],
+        &[
+            "n",
+            "local-only [bits]",
+            "split local [bits]",
+            "split global [bits]",
+        ],
     );
     let phi = props::has_dominating_vertex();
     for &n in ns {
         let g = generators::star(n);
         let ids = IdAssignment::contiguous(n);
         let inst = Instance::new(&g, &ids);
-        let local_only =
-            KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).expect("FO");
+        let local_only = KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).expect("FO");
         let full = run_scheme(&local_only, &inst).expect("yes");
-        let split =
-            KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi.clone()).expect("FO");
+        let split = KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi.clone()).expect("FO");
         let out = split.run(&inst).expect("yes");
         assert!(out.accepted);
         table.push([
@@ -181,8 +182,7 @@ pub fn bench_once(n: usize) -> usize {
     let ids = IdAssignment::contiguous(n);
     let inst = Instance::new(&g, &ids);
     let scheme =
-        KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex())
-            .expect("FO");
+        KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex()).expect("FO");
     run_scheme(&scheme, &inst).expect("yes").max_bits()
 }
 
@@ -194,11 +194,8 @@ mod tests {
     fn kernel_sizes_flat() {
         let t = run(&[32, 128], 11);
         // Star rows: kernel size identical across n.
-        let star_rows: Vec<&Vec<String>> = t
-            .rows
-            .iter()
-            .filter(|r| r[0].starts_with("star"))
-            .collect();
+        let star_rows: Vec<&Vec<String>> =
+            t.rows.iter().filter(|r| r[0].starts_with("star")).collect();
         assert_eq!(star_rows[0][2], star_rows[1][2]);
         assert_eq!(star_rows[0][3], star_rows[1][3]);
     }

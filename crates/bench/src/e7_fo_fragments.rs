@@ -38,8 +38,8 @@ pub fn run_existential(ns: &[usize]) -> Table {
             let actual_n = g.num_nodes();
             let ids = IdAssignment::contiguous(actual_n);
             let inst = Instance::new(&g, &ids);
-            let scheme = ExistentialFoScheme::new(id_bits_for(&inst), &phi)
-                .expect("existential prenex");
+            let scheme =
+                ExistentialFoScheme::new(id_bits_for(&inst), &phi).expect("existential prenex");
             let out = run_scheme(&scheme, &inst).expect("yes-instance");
             assert!(out.accepted());
             let reference = k as f64 * (actual_n as f64).log2();
@@ -64,11 +64,21 @@ pub fn run_depth2(ns: &[usize]) -> Table {
          (they reduce to boolean combinations of: single vertex, clique, \
          dominating vertex).",
         "bits / log₂ n bounded by a small constant",
-        &["sentence", "instance", "n", "max cert [bits]", "bits / log2 n"],
+        &[
+            "sentence",
+            "instance",
+            "n",
+            "max cert [bits]",
+            "bits / log2 n",
+        ],
     );
     for &n in ns {
         let cases = [
-            ("is_clique", props::is_clique(), generators::clique(n.min(64))),
+            (
+                "is_clique",
+                props::is_clique(),
+                generators::clique(n.min(64)),
+            ),
             (
                 "has_dominating_vertex",
                 props::has_dominating_vertex(),
@@ -84,8 +94,7 @@ pub fn run_depth2(ns: &[usize]) -> Table {
             let actual_n = g.num_nodes();
             let ids = IdAssignment::contiguous(actual_n);
             let inst = Instance::new(&g, &ids);
-            let scheme =
-                Depth2FoScheme::from_formula(id_bits_for(&inst), &phi).expect("depth 2");
+            let scheme = Depth2FoScheme::from_formula(id_bits_for(&inst), &phi).expect("depth 2");
             let out = run_scheme(&scheme, &inst).expect("yes-instance");
             assert!(out.accepted());
             table.push([
@@ -105,9 +114,8 @@ pub fn bench_once(n: usize) -> usize {
     let g = generators::star(n);
     let ids = IdAssignment::contiguous(n);
     let inst = Instance::new(&g, &ids);
-    let scheme =
-        Depth2FoScheme::from_formula(id_bits_for(&inst), &props::has_dominating_vertex())
-            .expect("depth 2");
+    let scheme = Depth2FoScheme::from_formula(id_bits_for(&inst), &props::has_dominating_vertex())
+        .expect("depth 2");
     run_scheme(&scheme, &inst).expect("yes").max_bits()
 }
 

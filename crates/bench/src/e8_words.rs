@@ -32,7 +32,10 @@ pub fn one_then_zero_nfa() -> Nfa {
     let f = WordFormula::Forall(
         PosVar(0),
         Box::new(WordFormula::Or(
-            Box::new(WordFormula::Not(Box::new(WordFormula::Letter(PosVar(0), 1)))),
+            Box::new(WordFormula::Not(Box::new(WordFormula::Letter(
+                PosVar(0),
+                1,
+            )))),
             Box::new(WordFormula::Exists(
                 PosVar(1),
                 Box::new(WordFormula::And(

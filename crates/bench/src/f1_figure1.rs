@@ -14,7 +14,14 @@ pub fn run(max_k: usize) -> Table {
          the binary middle-split construction is optimal and coherent.",
         "constructed height = closed form = exact solver (where applicable), \
          coherent at every size",
-        &["k", "n = 2^k − 1", "constructed height", "closed form", "exact", "coherent"],
+        &[
+            "k",
+            "n = 2^k − 1",
+            "constructed height",
+            "closed form",
+            "exact",
+            "coherent",
+        ],
     );
     for k in 1..=max_k {
         let n = (1usize << k) - 1;

@@ -8,9 +8,9 @@
 //! optimal play needs 6.
 
 use crate::report::Table;
+use locert_graph::NodeId;
 use locert_lb::treedepth_gadget::build_gadget;
 use locert_treedepth::cops::{best_escape_robber, cop_number, play_optimal_cops};
-use locert_graph::NodeId;
 
 /// Replays optimal cop play on equal/unequal gadgets.
 pub fn run() -> Table {
@@ -21,7 +21,11 @@ pub fn run() -> Table {
          opposite cycle vertices, binary search; the 16-cycle of unequal \
          matchings needs a 6th cop.",
         "cops used by optimal play = game value = treedepth, 5 vs 6",
-        &["matchings", "game value", "cops used (optimal vs best escape)"],
+        &[
+            "matchings",
+            "game value",
+            "cops used (optimal vs best escape)",
+        ],
     );
     for (label, m_a, m_b) in [
         ("equal", vec![0usize, 1], vec![0usize, 1]),

@@ -34,5 +34,6 @@ pub mod f1_figure1;
 pub mod f4_cops;
 pub mod p34_spanning_tree;
 pub mod s1_soundness;
+pub mod s2_faults;
 
 pub use report::Table;

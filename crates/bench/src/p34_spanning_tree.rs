@@ -17,7 +17,12 @@ pub fn run(ns: &[usize], seed: u64) -> Table {
         "One can locally encode and certify a spanning tree with O(log n) bits; \
          the number of vertices can also be certified with O(log n) bits.",
         "bits / log₂ n bounded by small constants (3 for the tree, 5 with counts)",
-        &["n", "spanning tree [bits]", "vertex count [bits]", "tree bits / log2 n"],
+        &[
+            "n",
+            "spanning tree [bits]",
+            "vertex count [bits]",
+            "tree bits / log2 n",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(seed);
     for &n in ns {

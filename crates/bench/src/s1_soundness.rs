@@ -66,7 +66,11 @@ fn campaigns(b: u32, n: usize) -> Vec<Campaign> {
         Campaign {
             scheme: Box::new(MsoTreeScheme::new(library::has_perfect_matching())),
             no_instance: generators::star(n),
-            yes_instance: Some(generators::path(if n % 2 == 0 { n } else { n + 1 })),
+            yes_instance: Some(generators::path(if n.is_multiple_of(2) {
+                n
+            } else {
+                n + 1
+            })),
         },
         Campaign {
             scheme: Box::new(
@@ -77,8 +81,7 @@ fn campaigns(b: u32, n: usize) -> Vec<Campaign> {
         },
         Campaign {
             scheme: Box::new(
-                Depth2FoScheme::from_formula(b, &props::has_dominating_vertex())
-                    .expect("depth 2"),
+                Depth2FoScheme::from_formula(b, &props::has_dominating_vertex()).expect("depth 2"),
             ),
             no_instance: generators::cycle(n.max(5)),
             yes_instance: Some(generators::star(n.max(5))),
@@ -131,14 +134,12 @@ pub fn run(n: usize, rounds: usize, seed: u64) -> Table {
             None => (4 * b as usize, None),
         };
         let mut fooled = 0usize;
-        if random_assignments(c.scheme.as_ref(), &inst, width, &mut rng, rounds).is_some()
-        {
+        if random_assignments(c.scheme.as_ref(), &inst, width, &mut rng, rounds).is_some() {
             fooled += 1;
         }
         let mutations = if let Some(base) = base {
             if base.len() == g.num_nodes()
-                && mutation_attacks(c.scheme.as_ref(), &inst, &base, &mut rng, rounds)
-                    .is_some()
+                && mutation_attacks(c.scheme.as_ref(), &inst, &base, &mut rng, rounds).is_some()
             {
                 fooled += 1;
             }

@@ -12,23 +12,65 @@ use crate::bits::{BitWriter, Certificate};
 use crate::framework::{run_verification, Assignment, Instance, Verifier};
 use locert_graph::NodeId;
 use rand::{Rng, RngExt};
+use std::error::Error;
+use std::fmt;
+
+/// How an exhaustive soundness check can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoundnessError {
+    /// A certificate assignment fooled every vertex on the no-instance —
+    /// the scheme is unsound; the witness is attached.
+    Fooled(Box<Assignment>),
+    /// The assignment space exceeds the caller's budget; `space` is `None`
+    /// when the count itself overflows `u64`.
+    BudgetExceeded {
+        /// Number of assignments the sweep would have to check.
+        space: Option<u64>,
+        /// The caller-supplied cap.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SoundnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoundnessError::Fooled(asg) => {
+                write!(
+                    f,
+                    "soundness violated: fooling assignment of {} bits",
+                    asg.max_bits()
+                )
+            }
+            SoundnessError::BudgetExceeded { space, budget } => match space {
+                Some(s) => write!(
+                    f,
+                    "exhaustive space of {s} assignments exceeds budget {budget}"
+                ),
+                None => write!(f, "exhaustive space overflows u64 (budget {budget})"),
+            },
+        }
+    }
+}
+
+impl Error for SoundnessError {}
 
 /// Exhaustively checks that **no** assignment with per-vertex certificates
 /// of at most `max_bits` bits is accepted on `instance`.
 ///
-/// Returns `Ok(checked)` with the number of assignments tried, or
-/// `Err(assignment)` with a fooling assignment if soundness fails.
+/// Returns `Ok(checked)` with the number of assignments tried.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the search space exceeds `budget` assignments — keep
-/// `(2^{max_bits+1} - 1)^n` small.
+/// [`SoundnessError::Fooled`] with the fooling assignment if soundness
+/// fails, or [`SoundnessError::BudgetExceeded`] when the search space
+/// `(2^{max_bits+1} - 1)^n` exceeds `budget` — a typed error instead of a
+/// panic, so campaign drivers can skip oversized sweeps gracefully.
 pub fn exhaustive_soundness(
     verifier: &dyn Verifier,
     instance: &Instance<'_>,
     max_bits: usize,
     budget: u64,
-) -> Result<u64, Box<Assignment>> {
+) -> Result<u64, SoundnessError> {
     let n = instance.graph().num_nodes();
     // All bit strings of length 0..=max_bits.
     let mut space: Vec<Certificate> = Vec::new();
@@ -40,17 +82,19 @@ pub fn exhaustive_soundness(
         }
     }
     let total = (space.len() as u64).checked_pow(n as u32);
-    assert!(
-        total.is_some_and(|t| t <= budget),
-        "exhaustive space too large (> {budget})"
-    );
+    if total.is_none_or(|t| t > budget) {
+        return Err(SoundnessError::BudgetExceeded {
+            space: total,
+            budget,
+        });
+    }
     let mut indices = vec![0usize; n];
     let mut checked = 0u64;
     loop {
         let asg = Assignment::new(indices.iter().map(|&i| space[i].clone()).collect());
         checked += 1;
         if run_verification(verifier, instance, &asg).accepted() {
-            return Err(Box::new(asg));
+            return Err(SoundnessError::Fooled(Box::new(asg)));
         }
         // Increment mixed-radix counter.
         let mut i = 0;
@@ -192,12 +236,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn exhaustive_budget_guard() {
+    fn exhaustive_budget_guard_is_typed() {
         let g = generators::cycle(8);
         let ids = IdAssignment::contiguous(8);
         let inst = Instance::new(&g, &ids);
-        let _ = exhaustive_soundness(&TokenVerifier, &inst, 8, 1000);
+        let res = exhaustive_soundness(&TokenVerifier, &inst, 8, 1000);
+        match res {
+            Err(SoundnessError::BudgetExceeded { space, budget }) => {
+                assert_eq!(budget, 1000);
+                assert!(space.is_none_or(|s| s > 1000));
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // A space too large even to count overflows into `space: None`.
+        let g2 = generators::cycle(64);
+        let ids2 = IdAssignment::contiguous(64);
+        let inst2 = Instance::new(&g2, &ids2);
+        match exhaustive_soundness(&TokenVerifier, &inst2, 8, u64::MAX) {
+            Err(SoundnessError::BudgetExceeded { space: None, .. }) => {}
+            other => panic!("expected overflowing BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fooling_assignment_is_typed() {
+        let g = generators::cycle(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        match exhaustive_soundness(&TokenVerifier, &inst, 1, 1_000_000) {
+            Err(SoundnessError::Fooled(asg)) => assert_eq!(asg.max_bits(), 1),
+            other => panic!("expected Fooled, got {other:?}"),
+        }
     }
 
     #[test]

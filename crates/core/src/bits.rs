@@ -36,6 +36,15 @@ impl Certificate {
         Certificate::default()
     }
 
+    /// The empty certificate as a `const` (usable in `static` items, e.g.
+    /// the total fallback of `Assignment::cert`).
+    pub const fn const_empty() -> Self {
+        Certificate {
+            bytes: Vec::new(),
+            len_bits: 0,
+        }
+    }
+
     /// Length in bits.
     pub fn len_bits(&self) -> usize {
         self.len_bits
@@ -46,26 +55,32 @@ impl Certificate {
         self.len_bits == 0
     }
 
-    /// The bit at `index` (MSB-first within each byte).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len_bits`.
-    pub fn bit(&self, index: usize) -> bool {
-        assert!(index < self.len_bits, "bit index out of range");
+    /// The bit at `index` (MSB-first within each byte), or `None` past the
+    /// end.
+    pub fn try_bit(&self, index: usize) -> Option<bool> {
+        if index >= self.len_bits {
+            return None;
+        }
         let byte = self.bytes[index / 8];
-        (byte >> (7 - index % 8)) & 1 == 1
+        Some((byte >> (7 - index % 8)) & 1 == 1)
     }
 
-    /// A copy with the bit at `index` flipped (for mutation attacks).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len_bits`.
+    /// The bit at `index` (MSB-first within each byte). Total: out-of-range
+    /// indices read as `0`, so adversarially malformed certificates can
+    /// never panic a verification path — use [`Certificate::try_bit`] to
+    /// distinguish padding from absence.
+    pub fn bit(&self, index: usize) -> bool {
+        self.try_bit(index).unwrap_or(false)
+    }
+
+    /// A copy with the bit at `index` flipped (for mutation attacks and
+    /// fault injection). Total: an out-of-range `index` returns an
+    /// unchanged copy.
     pub fn with_bit_flipped(&self, index: usize) -> Certificate {
-        assert!(index < self.len_bits, "bit index out of range");
         let mut c = self.clone();
-        c.bytes[index / 8] ^= 1 << (7 - index % 8);
+        if index < self.len_bits {
+            c.bytes[index / 8] ^= 1 << (7 - index % 8);
+        }
         c
     }
 
@@ -302,6 +317,24 @@ mod tests {
         let c = w.finish().with_bit_flipped(1);
         let mut r = BitReader::new(&c);
         assert_eq!(r.read(4), Some(0b1110));
+    }
+
+    #[test]
+    fn adversarial_indices_are_total() {
+        let mut w = BitWriter::new();
+        w.write(0b11, 2);
+        let c = w.finish();
+        // Out-of-range reads are 0, not panics.
+        assert!(!c.bit(2));
+        assert!(!c.bit(usize::MAX));
+        assert_eq!(c.try_bit(1), Some(true));
+        assert_eq!(c.try_bit(2), None);
+        // Out-of-range flips are no-ops.
+        assert_eq!(c.with_bit_flipped(17), c);
+        assert_eq!(
+            Certificate::empty().with_bit_flipped(0),
+            Certificate::empty()
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!
 //! The framework ([`framework`]) provides bit-exact certificates
 //! ([`bits`]), the prover/verifier traits, the network simulator, and a
-//! soundness-attack harness ([`attacks`]). The [`schemes`] module
+//! soundness-attack harness ([`attacks`]) together with a fault-injection
+//! subsystem ([`faults`]) that measures detection rates and rejection
+//! locality under adversarial fault models. The [`schemes`] module
 //! implements each certification from the paper:
 //!
 //! | scheme | paper result | size |
@@ -33,6 +35,7 @@
 
 pub mod attacks;
 pub mod bits;
+pub mod faults;
 pub mod framework;
 pub mod radius;
 pub mod schemes;

@@ -59,11 +59,8 @@ pub fn ball_view(
     }
     let mut members: Vec<usize> = dist_of.keys().copied().collect();
     members.sort_unstable();
-    let index_of: HashMap<usize, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| (m, i))
-        .collect();
+    let index_of: HashMap<usize, usize> =
+        members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
     let mut edges = Vec::new();
     for &m in &members {
         for &w in g.neighbors(NodeId(m)) {
@@ -77,7 +74,10 @@ pub fn ball_view(
     let ball = Graph::from_edges(members.len(), edges).expect("induced ball is simple");
     BallView {
         center: index_of[&v.0],
-        ids: members.iter().map(|&m| instance.ids().ident(NodeId(m))).collect(),
+        ids: members
+            .iter()
+            .map(|&m| instance.ids().ident(NodeId(m)))
+            .collect(),
         inputs: members.iter().map(|&m| instance.input(NodeId(m))).collect(),
         certs: members
             .iter()
@@ -105,9 +105,7 @@ pub fn run_radius_verification(
     instance
         .graph()
         .nodes()
-        .filter(|&v| {
-            !verifier.verify(&ball_view(instance, assignment, v, verifier.radius()))
-        })
+        .filter(|&v| !verifier.verify(&ball_view(instance, assignment, v, verifier.radius())))
         .map(|v| instance.ids().ident(v))
         .collect()
 }
@@ -137,8 +135,8 @@ impl RadiusVerifier for DiameterTwoAtRadiusThree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locert_graph::{generators, IdAssignment};
     use locert_graph::traversal;
+    use locert_graph::{generators, IdAssignment};
 
     fn check(g: &Graph) -> bool {
         let ids = IdAssignment::contiguous(g.num_nodes());

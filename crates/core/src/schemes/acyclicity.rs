@@ -10,10 +10,8 @@
 //! acyclicity requires `Ω(log n)` bits [31, 37], so this is tight).
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
-use crate::schemes::spanning_tree::{honest_tree_fields, TreeFields, verify_tree_position};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::NodeId;
 
 /// Certifies that the graph is a tree.
@@ -183,8 +181,6 @@ mod tests {
         let scheme = AcyclicityScheme::new(id_bits_for(&inst_tree));
         let base = scheme.assign(&inst_tree).unwrap();
         let inst_bad = Instance::new(&g, &ids);
-        assert!(
-            attacks::mutation_attacks(&scheme, &inst_bad, &base, &mut rng, 400).is_none()
-        );
+        assert!(attacks::mutation_attacks(&scheme, &inst_bad, &base, &mut rng, 400).is_none());
     }
 }

@@ -8,9 +8,7 @@
 //! with its neighbors'.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use locert_graph::NodeId;
 
 /// Both sub-properties hold: certificates are concatenated with a length
@@ -208,11 +206,7 @@ mod tests {
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
         let b = id_bits_for(&inst);
-        let scheme = AndScheme::new(
-            AcyclicityScheme::new(b),
-            TreeDiameterScheme::new(b, 2),
-            10,
-        );
+        let scheme = AndScheme::new(AcyclicityScheme::new(b), TreeDiameterScheme::new(b, 2), 10);
         let out = run_scheme(&scheme, &inst).unwrap();
         assert!(out.accepted());
         // A long path fails the second conjunct.
@@ -237,16 +231,11 @@ mod tests {
         let ids = IdAssignment::contiguous(4);
         let inst = Instance::new(&g, &ids);
         let b = id_bits_for(&inst);
-        let scheme = OrScheme::new(
-            TreeDiameterScheme::new(b, 1),
-            TreeDiameterScheme::new(b, 4),
-        );
+        let scheme = OrScheme::new(TreeDiameterScheme::new(b, 1), TreeDiameterScheme::new(b, 4));
         assert!(run_scheme(&scheme, &inst).unwrap().accepted());
         // Neither disjunct: diameter ≤ 1 OR ≤ 2 on P_4.
-        let scheme_bad = OrScheme::new(
-            TreeDiameterScheme::new(b, 1),
-            TreeDiameterScheme::new(b, 2),
-        );
+        let scheme_bad =
+            OrScheme::new(TreeDiameterScheme::new(b, 1), TreeDiameterScheme::new(b, 2));
         assert_eq!(
             run_scheme(&scheme_bad, &inst).unwrap_err(),
             ProverError::NotAYesInstance
@@ -260,10 +249,7 @@ mod tests {
         let ids = IdAssignment::contiguous(3);
         let inst = Instance::new(&g, &ids);
         let b = id_bits_for(&inst);
-        let scheme = OrScheme::new(
-            TreeDiameterScheme::new(b, 2),
-            TreeDiameterScheme::new(b, 5),
-        );
+        let scheme = OrScheme::new(TreeDiameterScheme::new(b, 2), TreeDiameterScheme::new(b, 5));
         let mut asg = scheme.assign(&inst).unwrap();
         // Flip vertex 1's selector bit.
         let c = asg.cert(locert_graph::NodeId(1)).clone();
@@ -284,9 +270,6 @@ mod tests {
         let asg_d = d.assign(&inst).unwrap();
         let combo = AndScheme::new(a, d, 10);
         let asg = combo.assign(&inst).unwrap();
-        assert_eq!(
-            asg.max_bits(),
-            asg_a.max_bits() + asg_d.max_bits() + 10
-        );
+        assert_eq!(asg.max_bits(), asg_a.max_bits() + asg_d.max_bits() + 10);
     }
 }

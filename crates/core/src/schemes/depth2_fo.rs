@@ -23,9 +23,7 @@
 //! - `Neither`: certified vertex count + everyone checks degree `< n−1`.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::spanning_tree::{
     honest_count_fields, honest_tree_fields, verify_count_fields, verify_tree_position,
     CountFields, TreeFields,
@@ -104,10 +102,10 @@ impl Depth2FoScheme {
             return None;
         }
         let representatives = [
-            Graph::empty(1),        // Single
-            generators::clique(3),  // Clique
-            generators::star(4),    // DomOnly
-            generators::path(4),    // Neither
+            Graph::empty(1),       // Single
+            generators::clique(3), // Clique
+            generators::star(4),   // DomOnly
+            generators::path(4),   // Neither
         ];
         let mut truth = [false; 4];
         for (i, g) in representatives.iter().enumerate() {
@@ -335,8 +333,7 @@ mod tests {
             for g in &graphs {
                 let ids = IdAssignment::contiguous(g.num_nodes());
                 let inst = Instance::new(g, &ids);
-                let scheme =
-                    Depth2FoScheme::from_formula(id_bits_for(&inst), phi).unwrap();
+                let scheme = Depth2FoScheme::from_formula(id_bits_for(&inst), phi).unwrap();
                 let expected = models(g, phi);
                 match run_scheme(&scheme, &inst) {
                     Ok(out) => {
@@ -346,7 +343,9 @@ mod tests {
                     Err(ProverError::NotAYesInstance) => {
                         assert!(!expected, "refused a yes-instance: {phi} on {g:?}");
                     }
-                    Err(e) => panic!("unexpected prover error {e}"),
+                    Err(e) => {
+                        panic!("prover error for {} ({phi} on {g:?}): {e}", scheme.name())
+                    }
                 }
             }
         }
@@ -358,7 +357,8 @@ mod tests {
         let g = generators::star(5);
         let ids = IdAssignment::contiguous(5);
         let inst = Instance::new(&g, &ids);
-        let scheme = Depth2FoScheme::from_truth_table(id_bits_for(&inst), [false, true, false, false]);
+        let scheme =
+            Depth2FoScheme::from_truth_table(id_bits_for(&inst), [false, true, false, false]);
         // Prover refuses (star is DomOnly)…
         assert_eq!(
             run_scheme(&scheme, &inst).unwrap_err(),
@@ -377,10 +377,8 @@ mod tests {
         let g = generators::path(5);
         let ids = IdAssignment::contiguous(5);
         let inst = Instance::new(&g, &ids);
-        let scheme = Depth2FoScheme::from_truth_table(
-            id_bits_for(&inst),
-            [false, false, true, false],
-        );
+        let scheme =
+            Depth2FoScheme::from_truth_table(id_bits_for(&inst), [false, false, true, false]);
         let mut rng = StdRng::seed_from_u64(112);
         let bits = 2 + 8 * id_bits_for(&inst) as usize;
         assert!(attacks::random_assignments(&scheme, &inst, bits, &mut rng, 400).is_none());

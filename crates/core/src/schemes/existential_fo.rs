@@ -15,9 +15,7 @@
 //! satisfies `φ`.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::common::{read_ident, write_ident};
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{Ident, NodeId};
@@ -144,8 +142,7 @@ impl Prover for ExistentialFoScheme {
         // Brute-force witness search (n^k; experiment workloads keep k small).
         let mut choice = vec![0usize; k];
         let found = 'search: loop {
-            let witnesses: Vec<Ident> =
-                choice.iter().map(|&i| ids.ident(NodeId(i))).collect();
+            let witnesses: Vec<Ident> = choice.iter().map(|&i| ids.ident(NodeId(i))).collect();
             let matrix: Vec<bool> = (0..k)
                 .flat_map(|i| {
                     let choice = choice.clone();
@@ -298,8 +295,7 @@ mod tests {
         let g = generators::path(4);
         let ids = IdAssignment::contiguous(4);
         let inst = Instance::new(&g, &ids);
-        let scheme =
-            ExistentialFoScheme::from_any_fo(id_bits_for(&inst), &f).expect("existential");
+        let scheme = ExistentialFoScheme::from_any_fo(id_bits_for(&inst), &f).expect("existential");
         assert_eq!(scheme.arity(), 2);
         assert!(run_scheme(&scheme, &inst).unwrap().accepted());
         // A genuinely universal sentence is rejected by the constructor.
@@ -376,10 +372,7 @@ mod tests {
         let out = run_verification(&scheme, &inst, &asg);
         assert!(!out.accepted());
         // Specifically a witness must be among the rejectors.
-        assert!(out
-            .rejecting()
-            .iter()
-            .any(|id| witness_ids.contains(id)));
+        assert!(out.rejecting().iter().any(|id| witness_ids.contains(id)));
     }
 
     #[test]

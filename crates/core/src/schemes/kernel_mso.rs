@@ -24,13 +24,13 @@
 //! by `G ≃_k H` (Proposition 6.3) decides `G ⊨ φ`.
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::schemes::treedepth::{
+    honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert,
 };
-use crate::schemes::treedepth::{honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert};
-use locert_graph::{Graph, GraphBuilder};
 #[cfg(test)]
 use locert_graph::NodeId;
+use locert_graph::{Graph, GraphBuilder};
 use locert_kernel::{k_reduce, TypeId};
 use locert_logic::depth::{is_fo, quantifier_depth};
 use locert_logic::eval::models;
@@ -261,10 +261,7 @@ impl KernelMsoScheme {
 
     /// Installs a fast kernel evaluator equivalent to `φ` (see the field
     /// docs; the caller owns the equivalence proof).
-    pub fn with_evaluator(
-        mut self,
-        evaluator: impl Fn(&Graph) -> bool + 'static,
-    ) -> Self {
+    pub fn with_evaluator(mut self, evaluator: impl Fn(&Graph) -> bool + 'static) -> Self {
         self.evaluator = Some(Box::new(evaluator));
         self
     }
@@ -314,15 +311,13 @@ impl KernelMsoScheme {
         if let Some(&hit) = self.phi_cache.borrow().get(&key) {
             return hit;
         }
-        let result = table
-            .expand(root, KERNEL_EXPANSION_CAP)
-            .is_some_and(|h| {
-                h.num_nodes() > 0
-                    && match &self.evaluator {
-                        Some(f) => f(&h),
-                        None => models(&h, &self.formula),
-                    }
-            });
+        let result = table.expand(root, KERNEL_EXPANSION_CAP).is_some_and(|h| {
+            h.num_nodes() > 0
+                && match &self.evaluator {
+                    Some(f) => f(&h),
+                    None => models(&h, &self.formula),
+                }
+        });
         self.phi_cache.borrow_mut().insert(key, result);
         result
     }
@@ -387,8 +382,7 @@ impl Prover for KernelMsoScheme {
 impl Verifier for KernelMsoScheme {
     fn verify(&self, view: &LocalView<'_>) -> bool {
         // 1. Treedepth layer.
-        let Some(td) = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td))
-        else {
+        let Some(td) = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td)) else {
             return false;
         };
         let Some(mine) = self.parse(view.cert) else {
@@ -470,8 +464,7 @@ impl Verifier for KernelMsoScheme {
                 *kept_counts.entry(*ty).or_insert(0) += 1;
             }
         }
-        let declared: HashMap<u32, usize> =
-            my_type.children.iter().copied().collect();
+        let declared: HashMap<u32, usize> = my_type.children.iter().copied().collect();
         if kept_counts != declared {
             return false;
         }
@@ -570,9 +563,7 @@ impl KernelMsoGlobalScheme {
         let full = self.inner.assign(instance)?;
         let n = instance.graph().num_nodes();
         let first = full.cert(locert_graph::NodeId(0));
-        let tbits = self
-            .table_bits(first)
-            .expect("honest certificates parse");
+        let tbits = self.table_bits(first).expect("honest certificates parse");
         let global = Self::slice(first, first.len_bits() - tbits, first.len_bits());
         let locals = Assignment::new(
             (0..n)
@@ -595,11 +586,7 @@ impl KernelMsoGlobalScheme {
             w.finish()
         };
         let own = glue(view.cert);
-        let nbr_certs: Vec<Certificate> = view
-            .neighbors
-            .iter()
-            .map(|(_, _, c)| glue(c))
-            .collect();
+        let nbr_certs: Vec<Certificate> = view.neighbors.iter().map(|(_, _, c)| glue(c)).collect();
         let full_view = LocalView {
             id: view.id,
             input: view.input,
@@ -643,12 +630,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn check_matches_ground_truth(
-        g: &Graph,
-        t: usize,
-        phi: &Formula,
-        strategy: ModelStrategy,
-    ) {
+    fn check_matches_ground_truth(g: &Graph, t: usize, phi: &Formula, strategy: ModelStrategy) {
         let ids = IdAssignment::contiguous(g.num_nodes());
         let inst = Instance::new(g, &ids);
         let scheme = KernelMsoScheme::new(id_bits_for(&inst), t, phi.clone())
@@ -657,13 +639,16 @@ mod tests {
         let expected = models(g, phi);
         match run_scheme(&scheme, &inst) {
             Ok(out) => {
-                assert!(out.accepted(), "verifier rejected honest prover: {phi} on {g:?}");
+                assert!(
+                    out.accepted(),
+                    "verifier rejected honest prover: {phi} on {g:?}"
+                );
                 assert!(expected, "accepted a no-instance: {phi} on {g:?}");
             }
             Err(ProverError::NotAYesInstance) => {
                 assert!(!expected, "refused a yes-instance: {phi} on {g:?}");
             }
-            Err(e) => panic!("unexpected {e}"),
+            Err(e) => panic!("prover error for {} ({phi} on {g:?}): {e}", scheme.name()),
         }
     }
 
@@ -726,8 +711,7 @@ mod tests {
             let g = generators::star(n);
             let ids = IdAssignment::contiguous(n);
             let inst = Instance::new(&g, &ids);
-            let scheme =
-                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let scheme = KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
             let out = run_scheme(&scheme, &inst).unwrap();
             assert!(out.accepted());
             sizes.push(out.max_bits());
@@ -742,12 +726,8 @@ mod tests {
         let g = generators::star(6);
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
-        let scheme = KernelMsoScheme::new(
-            id_bits_for(&inst),
-            2,
-            props::has_dominating_vertex(),
-        )
-        .unwrap();
+        let scheme =
+            KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex()).unwrap();
         let asg = scheme.assign(&inst).unwrap();
         // Flip each bit of one leaf's certificate in turn; all must be
         // rejected (no single-bit forgery survives).
@@ -770,12 +750,9 @@ mod tests {
         let ids = IdAssignment::contiguous(6);
         let inst_star = Instance::new(&star, &ids);
         let inst_path = Instance::new(&path, &ids);
-        let scheme = KernelMsoScheme::new(
-            id_bits_for(&inst_star),
-            3,
-            props::has_dominating_vertex(),
-        )
-        .unwrap();
+        let scheme =
+            KernelMsoScheme::new(id_bits_for(&inst_star), 3, props::has_dominating_vertex())
+                .unwrap();
         let honest = scheme.assign(&inst_star).unwrap();
         assert!(!run_verification(&scheme, &inst_path, &honest).accepted());
     }
@@ -789,8 +766,7 @@ mod tests {
             let g = generators::star(n);
             let ids = IdAssignment::contiguous(n);
             let inst = Instance::new(&g, &ids);
-            let scheme =
-                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let scheme = KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
             let asg = scheme.assign(&inst).unwrap();
             let parsed = scheme.parse(asg.cert(NodeId(0))).unwrap();
             table_sizes.push(parsed.table.types.len());
@@ -821,12 +797,8 @@ mod tests {
         let g = generators::star(4);
         let ids = IdAssignment::contiguous(4);
         let inst = Instance::new(&g, &ids);
-        let scheme = KernelMsoScheme::new(
-            id_bits_for(&inst),
-            2,
-            props::has_dominating_vertex(),
-        )
-        .unwrap();
+        let scheme =
+            KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex()).unwrap();
         // A table whose child multiplicity exceeds k is rejected by
         // well_formed.
         let bad = SerTable {
@@ -901,10 +873,8 @@ mod tests {
             let g = generators::star(n);
             let ids = IdAssignment::contiguous(n);
             let inst = Instance::new(&g, &ids);
-            let local_only =
-                KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
-            let split =
-                KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let local_only = KernelMsoScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
+            let split = KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, phi.clone()).unwrap();
             let full = run_scheme(&local_only, &inst).unwrap();
             assert!(full.accepted());
             let out = split.run(&inst).unwrap();
@@ -958,7 +928,10 @@ mod tests {
                 assert!(expected);
             }
             Err(ProverError::NotAYesInstance) => assert!(!expected),
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!(
+                "prover error for {} on 60-vertex bounded-treedepth instance: {e}",
+                scheme.name()
+            ),
         }
     }
 }

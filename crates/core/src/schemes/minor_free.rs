@@ -21,9 +21,7 @@
 //! the block-restricted view.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::kernel_mso::KernelMsoScheme;
 use crate::schemes::treedepth::ModelStrategy;
 use locert_graph::bcc::biconnected_components;
@@ -169,8 +167,7 @@ impl Prover for CtMinorFreeScheme {
             let sub_inst = Instance::new(&sub, &sub_ids);
             let sub_asg = self.inner.assign(&sub_inst)?;
             for (local, &global) in map.iter().enumerate() {
-                per_vertex[global.0]
-                    .push((block_id, sub_asg.cert(NodeId(local)).clone()));
+                per_vertex[global.0].push((block_id, sub_asg.cert(NodeId(local)).clone()));
             }
         }
         let certs = per_vertex
@@ -274,12 +271,13 @@ mod tests {
         let spider = generators::spider(3, 2);
         let ids7 = IdAssignment::contiguous(7);
         let inst7 = Instance::new(&spider, &ids7);
-        assert!(run_scheme(&PathMinorFreeScheme::new(id_bits_for(&inst7), 6), &inst7)
-            .unwrap()
-            .accepted());
+        assert!(
+            run_scheme(&PathMinorFreeScheme::new(id_bits_for(&inst7), 6), &inst7)
+                .unwrap()
+                .accepted()
+        );
         assert_eq!(
-            run_scheme(&PathMinorFreeScheme::new(id_bits_for(&inst7), 5), &inst7)
-                .unwrap_err(),
+            run_scheme(&PathMinorFreeScheme::new(id_bits_for(&inst7), 5), &inst7).unwrap_err(),
             ProverError::NotAYesInstance
         );
     }
@@ -302,7 +300,7 @@ mod tests {
                     Err(ProverError::NotAYesInstance) => {
                         assert!(!expected, "refused P_{t}-minor-free graph {g:?}");
                     }
-                    Err(e) => panic!("{e}"),
+                    Err(e) => panic!("prover error for {} on tree {g:?}: {e}", scheme.name()),
                 }
             }
         }
@@ -360,12 +358,13 @@ mod tests {
         let tri = generators::cycle(3);
         let ids3 = IdAssignment::contiguous(3);
         let inst3 = Instance::new(&tri, &ids3);
-        assert!(run_scheme(&CtMinorFreeScheme::new(id_bits_for(&inst3), 4), &inst3)
-            .unwrap()
-            .accepted());
+        assert!(
+            run_scheme(&CtMinorFreeScheme::new(id_bits_for(&inst3), 4), &inst3)
+                .unwrap()
+                .accepted()
+        );
         assert_eq!(
-            run_scheme(&CtMinorFreeScheme::new(id_bits_for(&inst3), 3), &inst3)
-                .unwrap_err(),
+            run_scheme(&CtMinorFreeScheme::new(id_bits_for(&inst3), 3), &inst3).unwrap_err(),
             ProverError::NotAYesInstance
         );
     }
@@ -373,11 +372,8 @@ mod tests {
     #[test]
     fn ct_free_on_cactus_like_graphs() {
         // Two triangles joined by a bridge: C_4-minor-free.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
         let scheme = CtMinorFreeScheme::new(id_bits_for(&inst), 4);
@@ -407,11 +403,8 @@ mod tests {
         // Take honest certificates for two triangles sharing a bridge,
         // replay them with a forged extra edge merging the blocks: the
         // common-block check fails at the new edge's endpoints.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
         let scheme = CtMinorFreeScheme::new(id_bits_for(&inst), 4);

@@ -11,6 +11,6 @@ pub mod mso_tree;
 pub mod spanning_tree;
 pub mod tree_depth_bound;
 pub mod tree_diameter;
-pub mod universal;
 pub mod treedepth;
+pub mod universal;
 pub mod word_path;

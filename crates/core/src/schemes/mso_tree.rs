@@ -26,9 +26,7 @@
 //! use input 0 everywhere.
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use locert_automata::trees::{LabeledTree, TreeAutomaton};
 use locert_graph::{NodeId, RootedTree};
 
@@ -87,8 +85,7 @@ impl MsoTreeScheme {
 impl Prover for MsoTreeScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
         let g = instance.graph();
-        let rooted =
-            RootedTree::from_tree(g, NodeId(0)).ok_or(ProverError::NotAYesInstance)?;
+        let rooted = RootedTree::from_tree(g, NodeId(0)).ok_or(ProverError::NotAYesInstance)?;
         let labels: Vec<usize> = g.nodes().map(|v| instance.input(v)).collect();
         let tree = LabeledTree::new(rooted, labels, self.automaton.num_labels())
             .ok_or(ProverError::NotAYesInstance)?;
@@ -222,7 +219,10 @@ mod tests {
                     Err(ProverError::NotAYesInstance) => {
                         assert!(!expected, "{} refused a yes-instance", scheme.name());
                     }
-                    Err(e) => panic!("{e}"),
+                    Err(e) => panic!(
+                        "prover error for {} on {n}-vertex tree {g:?}: {e}",
+                        scheme.name()
+                    ),
                 }
             }
         }
@@ -286,8 +286,7 @@ mod tests {
         let n = 4;
         let mut indices = vec![0usize; n];
         loop {
-            let asg =
-                Assignment::new(indices.iter().map(|&i| options[i].clone()).collect());
+            let asg = Assignment::new(indices.iter().map(|&i| options[i].clone()).collect());
             assert!(
                 !run_verification(&scheme, &inst, &asg).accepted(),
                 "fooling assignment {indices:?}"
@@ -388,14 +387,9 @@ mod tests {
             let inst_t = Instance::new(&t, &ids);
             checked.assign(&inst_t).unwrap().max_bits()
         };
-        assert!(attacks::random_assignments(
-            &checked,
-            &inst,
-            honest_width,
-            &mut rng,
-            300
-        )
-        .is_none());
+        assert!(
+            attacks::random_assignments(&checked, &inst, honest_width, &mut rng, 300).is_none()
+        );
         // And on genuine trees the checked scheme still works, at
         // O(log n) total (a path rooted anywhere has ≤ 2 children).
         let tree = generators::path(6);

@@ -13,9 +13,7 @@
 //!   vertex with the claimed total and its subtree size.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{traversal, Ident, NodeId};
 
@@ -75,11 +73,7 @@ pub fn verify_tree_fields(view: &LocalView<'_>, id_bits: u32) -> Option<TreeFiel
 
 /// The field checks, split out so composite certificates can embed tree
 /// fields at an offset.
-pub fn verify_tree_fields_parsed(
-    view: &LocalView<'_>,
-    id_bits: u32,
-    mine: &TreeFields,
-) -> bool {
+pub fn verify_tree_fields_parsed(view: &LocalView<'_>, id_bits: u32, mine: &TreeFields) -> bool {
     // Root consistency across all neighbors.
     for &(_, _, cert) in &view.neighbors {
         let mut r = BitReader::new(cert);

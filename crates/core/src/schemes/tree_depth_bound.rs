@@ -13,12 +13,10 @@
 //! On trees the depths then measure a genuine rooting of height ≤ k.
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
-use locert_graph::RootedTree;
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 #[cfg(test)]
 use locert_graph::NodeId;
+use locert_graph::RootedTree;
 
 /// Certifies "the tree can be rooted with depth at most `k`" — i.e. its
 /// height as a rooted tree is ≤ `k` edges from the best root, certified

@@ -16,9 +16,7 @@
 //! Size: `O(log n)`.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{NodeId, RootedTree};
 
@@ -85,9 +83,7 @@ impl Verifier for TreeDiameterScheme {
         let Some((mine, my_height)) = self.parse(view.cert) else {
             return false;
         };
-        if !verify_tree_position(view, self.id_bits, &mine, |c| {
-            self.parse(c).map(|(f, _)| f)
-        }) {
+        if !verify_tree_position(view, self.id_bits, &mine, |c| self.parse(c).map(|(f, _)| f)) {
             return false;
         }
         // Collect children (tree-ness: every edge is parent or child).
@@ -100,8 +96,7 @@ impl Verifier for TreeDiameterScheme {
                 return false;
             }
             let is_child = nf.parent == view.id && nf.dist == mine.dist + 1;
-            let is_parent =
-                nid == mine.parent && nf.dist + 1 == mine.dist && view.id != mine.root;
+            let is_parent = nid == mine.parent && nf.dist + 1 == mine.dist && view.id != mine.root;
             if is_child {
                 child_heights.push(nh);
             } else if !is_parent {
@@ -164,21 +159,19 @@ mod tests {
         let star = generators::star(8);
         let ids = IdAssignment::contiguous(8);
         let inst = Instance::new(&star, &ids);
-        assert!(run_scheme(
-            &TreeDiameterScheme::new(id_bits_for(&inst), 2),
-            &inst
-        )
-        .unwrap()
-        .accepted());
+        assert!(
+            run_scheme(&TreeDiameterScheme::new(id_bits_for(&inst), 2), &inst)
+                .unwrap()
+                .accepted()
+        );
         let spider = generators::spider(3, 3);
         let ids2 = IdAssignment::contiguous(10);
         let inst2 = Instance::new(&spider, &ids2);
-        assert!(run_scheme(
-            &TreeDiameterScheme::new(id_bits_for(&inst2), 6),
-            &inst2
-        )
-        .unwrap()
-        .accepted());
+        assert!(
+            run_scheme(&TreeDiameterScheme::new(id_bits_for(&inst2), 6), &inst2)
+                .unwrap()
+                .accepted()
+        );
         assert_eq!(
             run_scheme(&TreeDiameterScheme::new(id_bits_for(&inst2), 5), &inst2).unwrap_err(),
             ProverError::NotAYesInstance

@@ -29,14 +29,10 @@
 //! comparable vertices.
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{Ident, NodeId};
-use locert_treedepth::{
-    exact, heuristic, EliminationTree,
-};
+use locert_treedepth::{exact, heuristic, EliminationTree};
 
 /// How the prover obtains an elimination tree of height ≤ `t`.
 #[derive(Debug, Clone, Default)]
@@ -311,9 +307,7 @@ pub fn model_for(
         // With the exact solver this is a definite no; otherwise the
         // heuristic may simply have failed.
         return Err(
-            if matches!(strategy, ModelStrategy::Auto)
-                && g.num_nodes() <= exact::EXACT_LIMIT
-            {
+            if matches!(strategy, ModelStrategy::Auto) && g.num_nodes() <= exact::EXACT_LIMIT {
                 ProverError::NotAYesInstance
             } else if matches!(strategy, ModelStrategy::Dfs) {
                 // DFS depth witnesses a long path, used by minor-freeness
@@ -428,15 +422,13 @@ mod tests {
             let g = generators::clique(n);
             let ids = IdAssignment::contiguous(n);
             let inst = Instance::new(&g, &ids);
-            assert!(run_scheme(
-                &TreedepthScheme::new(id_bits_for(&inst), n),
-                &inst
-            )
-            .unwrap()
-            .accepted());
+            assert!(
+                run_scheme(&TreedepthScheme::new(id_bits_for(&inst), n), &inst)
+                    .unwrap()
+                    .accepted()
+            );
             assert_eq!(
-                run_scheme(&TreedepthScheme::new(id_bits_for(&inst), n - 1), &inst)
-                    .unwrap_err(),
+                run_scheme(&TreedepthScheme::new(id_bits_for(&inst), n - 1), &inst).unwrap_err(),
                 ProverError::NotAYesInstance
             );
         }
@@ -606,10 +598,22 @@ mod tests {
         // (b) Suffix-incomparable neighbor lists: vertex 1 claims root A,
         // vertex 2 claims a disjoint chain.
         let certs: Vec<Certificate> = vec![
-            write(&TdCert { ancestors: vec![id(0), id(1)], trees: vec![(id(0), 0)] }),
-            write(&TdCert { ancestors: vec![id(1)], trees: vec![] }),
-            write(&TdCert { ancestors: vec![id(2), id(3)], trees: vec![(id(2), 0)] }),
-            write(&TdCert { ancestors: vec![id(3)], trees: vec![] }),
+            write(&TdCert {
+                ancestors: vec![id(0), id(1)],
+                trees: vec![(id(0), 0)],
+            }),
+            write(&TdCert {
+                ancestors: vec![id(1)],
+                trees: vec![],
+            }),
+            write(&TdCert {
+                ancestors: vec![id(2), id(3)],
+                trees: vec![(id(2), 0)],
+            }),
+            write(&TdCert {
+                ancestors: vec![id(3)],
+                trees: vec![],
+            }),
         ];
         assert!(!run_verification(&scheme, &inst, &Assignment::new(certs)).accepted());
 

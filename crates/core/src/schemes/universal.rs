@@ -19,9 +19,7 @@
 //! [`crate::schemes::universal::fpf_automorphism_scheme`]).
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{automorphism, Graph, Ident};
 use std::collections::BTreeSet;
@@ -199,8 +197,7 @@ impl Verifier for UniversalScheme {
             .iter()
             .map(|&j| ids[j.0])
             .collect();
-        let actual: BTreeSet<Ident> =
-            view.neighbors.iter().map(|&(nid, _, _)| nid).collect();
+        let actual: BTreeSet<Ident> = view.neighbors.iter().map(|&(nid, _, _)| nid).collect();
         if claimed != actual {
             return false;
         }
@@ -245,9 +242,8 @@ mod tests {
         let g = generators::cycle(6);
         let ids = IdAssignment::contiguous(6);
         let inst = Instance::new(&g, &ids);
-        let scheme = UniversalScheme::new(id_bits_for(&inst), "even-edges", |g| {
-            g.num_edges() % 2 == 0
-        });
+        let scheme =
+            UniversalScheme::new(id_bits_for(&inst), "even-edges", |g| g.num_edges() % 2 == 0);
         assert!(run_scheme(&scheme, &inst).unwrap().accepted());
         let c5 = generators::cycle(5);
         let ids5 = IdAssignment::contiguous(5);
@@ -270,15 +266,19 @@ mod tests {
             let ids = IdAssignment::shuffled(n, &mut rng);
             let inst = Instance::new(&g, &ids);
             let scheme = fpf_automorphism_scheme(id_bits_for(&inst));
-            let expected =
-                automorphism::tree_has_fpf_automorphism(&g) == Some(true);
+            let expected = automorphism::tree_has_fpf_automorphism(&g) == Some(true);
             match run_scheme(&scheme, &inst) {
                 Ok(out) => {
                     assert!(out.accepted());
                     assert!(expected);
                 }
                 Err(ProverError::NotAYesInstance) => assert!(!expected),
-                Err(e) => panic!("{e}"),
+                Err(e) => {
+                    panic!(
+                        "prover error for {} on {n}-vertex tree {g:?}: {e}",
+                        scheme.name()
+                    )
+                }
             }
         }
     }
@@ -291,8 +291,7 @@ mod tests {
             let inst = Instance::new(&g, &ids);
             let scheme = UniversalScheme::new(id_bits_for(&inst), "any", |_| true);
             let out = run_scheme(&scheme, &inst).unwrap();
-            let expected =
-                16 + n * id_bits_for(&inst) as usize + n * (n - 1) / 2 + 16;
+            let expected = 16 + n * id_bits_for(&inst) as usize + n * (n - 1) / 2 + 16;
             assert_eq!(out.max_bits(), expected, "n = {n}");
         }
     }
@@ -304,8 +303,7 @@ mod tests {
             let ids = IdAssignment::contiguous(n);
             let inst = Instance::new(&g, &ids);
             let dense = UniversalScheme::new(id_bits_for(&inst), "any", |_| true);
-            let sparse =
-                UniversalScheme::new(id_bits_for(&inst), "any", |_| true).sparse();
+            let sparse = UniversalScheme::new(id_bits_for(&inst), "any", |_| true).sparse();
             let db = run_scheme(&dense, &inst).unwrap().max_bits();
             let sb = run_scheme(&sparse, &inst).unwrap().max_bits();
             // Sparse beats dense as soon as m log n < n²/2.
@@ -365,8 +363,7 @@ mod tests {
         let mut forged = honest.clone();
         for v in 0..n {
             let c = forged.cert(NodeId(v)).clone();
-            *forged.cert_mut(NodeId(v)) =
-                c.with_bit_flipped(header + pair_index(0, 2));
+            *forged.cert_mut(NodeId(v)) = c.with_bit_flipped(header + pair_index(0, 2));
         }
         let out = run_verification(&scheme, &inst, &forged);
         assert!(!out.accepted());
@@ -389,7 +386,7 @@ mod tests {
             write_ident(&mut w, Ident(1), b);
             write_ident(&mut w, Ident(2), b);
             write_ident(&mut w, Ident(3), b); // phantom.
-            // adjacency pairs (0,1), (0,2), (1,2): only the real edge.
+                                              // adjacency pairs (0,1), (0,2), (1,2): only the real edge.
             w.write_bit(true);
             w.write_bit(false);
             w.write_bit(false);

@@ -12,9 +12,7 @@
 //! [`crate::schemes::acyclicity`] + a degree check otherwise).
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier,
-};
+use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
 use locert_automata::words::Nfa;
 use locert_graph::NodeId;
 
@@ -61,8 +59,7 @@ impl WordPathScheme {
         let d = r.read(2)?;
         let q = r.read(self.state_bits)? as usize;
         let fp = r.read(16)?;
-        (d < 3 && q < self.nfa.num_states() && fp == self.fp && r.exhausted())
-            .then_some((d, q))
+        (d < 3 && q < self.nfa.num_states() && fp == self.fp && r.exhausted()).then_some((d, q))
     }
 
     /// An accepting run over `word` (state after reading each letter), if
@@ -118,11 +115,7 @@ impl Prover for WordPathScheme {
         let mut cur = start;
         loop {
             order.push(cur);
-            let next = g
-                .neighbors(cur)
-                .iter()
-                .copied()
-                .find(|&u| Some(u) != prev);
+            let next = g.neighbors(cur).iter().copied().find(|&u| Some(u) != prev);
             match next {
                 Some(u) => {
                     prev = Some(cur);
@@ -234,9 +227,7 @@ mod tests {
 
     /// "Even number of 1s" as an NFA.
     fn even_ones() -> Nfa {
-        Nfa::from_dfa(
-            &Dfa::new(2, 2, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]]).unwrap(),
-        )
+        Nfa::from_dfa(&Dfa::new(2, 2, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]]).unwrap())
     }
 
     fn instance_for<'a>(

@@ -126,13 +126,12 @@ pub fn is_automorphism(g: &Graph, perm: &[usize]) -> bool {
         }
         seen[p] = true;
     }
-    g.edges().all(|(u, v)| {
-        g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0]))
-    }) && g.num_edges()
-        == g
-            .edges()
-            .filter(|(u, v)| g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0])))
-            .count()
+    g.edges()
+        .all(|(u, v)| g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0])))
+        && g.num_edges()
+            == g.edges()
+                .filter(|(u, v)| g.has_edge(NodeId(perm[u.0]), NodeId(perm[v.0])))
+                .count()
 }
 
 /// In-place next lexicographic permutation; returns `false` after the last.
@@ -206,7 +205,15 @@ mod tests {
     #[test]
     fn asymmetric_gadget_has_none() {
         // Same shape but the two halves differ.
-        let edges = vec![(0usize, 1usize), (0, 2), (2, 3), (4, 5), (4, 6), (4, 7), (0, 4)];
+        let edges = vec![
+            (0usize, 1usize),
+            (0, 2),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (0, 4),
+        ];
         let g = Graph::from_edges(8, edges).unwrap();
         assert_eq!(tree_has_fpf_automorphism(&g), Some(false));
     }

@@ -168,11 +168,8 @@ mod tests {
     #[test]
     fn bridge_between_cycles() {
         // Cycle 0-1-2, bridge 2-3, cycle 3-4-5.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let d = biconnected_components(&g);
         assert_eq!(d.components.len(), 3);
         let sizes: Vec<usize> = {
@@ -235,8 +232,7 @@ mod tests {
             .map(|&(u, v)| (u.0.min(v.0), u.0.max(v.0)))
             .collect();
         all.sort();
-        let mut expected: Vec<(usize, usize)> =
-            g.edges().map(|(u, v)| (u.0, v.0)).collect();
+        let mut expected: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.0, v.0)).collect();
         expected.sort();
         assert_eq!(all, expected);
     }

@@ -217,11 +217,7 @@ mod tests {
             let g = generators::random_tree(n, &mut rng);
             let mut perm: Vec<usize> = (0..n).collect();
             perm.shuffle(&mut rng);
-            let h = Graph::from_edges(
-                n,
-                g.edges().map(|(u, v)| (perm[u.0], perm[v.0])),
-            )
-            .unwrap();
+            let h = Graph::from_edges(n, g.edges().map(|(u, v)| (perm[u.0], perm[v.0]))).unwrap();
             assert_eq!(tree_isomorphic(&g, &h), Some(true), "n = {n}");
         }
     }

@@ -156,7 +156,10 @@ pub type ParentVec = Vec<usize>;
 ///
 /// Panics if `n > 24` (combinatorial explosion guard).
 pub fn enumerate_trees(n: usize, max_depth: usize) -> Vec<ParentVec> {
-    assert!(n <= 24, "exhaustive tree enumeration limited to 24 vertices");
+    assert!(
+        n <= 24,
+        "exhaustive tree enumeration limited to 24 vertices"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -295,12 +298,7 @@ pub fn tree_depth2_to_string(t: &RootedTree, len: usize) -> Option<Vec<bool>> {
     if kids.len() != len {
         return None;
     }
-    let mut sizes: Vec<usize> = kids
-        .iter()
-        .map(|&c| {
-            t.children(c).len()
-        })
-        .collect();
+    let mut sizes: Vec<usize> = kids.iter().map(|&c| t.children(c).len()).collect();
     sizes.sort_unstable();
     let mut out = Vec::with_capacity(len);
     for (i, &sz) in sizes.iter().enumerate() {
@@ -369,11 +367,7 @@ mod tests {
         // A depth-<=2 tree on n vertices = a partition of n-1 (children
         // subtree sizes, each subtree being a star).
         for n in 1..=10 {
-            assert_eq!(
-                count_trees(n, 2),
-                Some(PARTITIONS[n - 1]),
-                "n = {n}"
-            );
+            assert_eq!(count_trees(n, 2), Some(PARTITIONS[n - 1]), "n = {n}");
         }
     }
 

@@ -128,10 +128,8 @@ pub fn tree_from_prufer(n: usize, seq: &[usize]) -> Graph {
     // Min-heap via sorted scan: use a BinaryHeap of Reverse for clarity.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut leaves: BinaryHeap<Reverse<usize>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(Reverse)
-        .collect();
+    let mut leaves: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(Reverse).collect();
     for &x in seq {
         let Reverse(leaf) = leaves.pop().expect("a leaf always exists");
         b.add_edge(leaf, x).expect("Prüfer edges are valid");

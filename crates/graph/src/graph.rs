@@ -151,9 +151,7 @@ impl Graph {
 
     /// Whether the graph is a tree (connected with `n - 1` edges).
     pub fn is_tree(&self) -> bool {
-        self.num_nodes() >= 1
-            && self.num_edges() == self.num_nodes() - 1
-            && self.is_connected()
+        self.num_nodes() >= 1 && self.num_edges() == self.num_nodes() - 1 && self.is_connected()
     }
 
     /// The subgraph induced by `keep`, together with the mapping from new

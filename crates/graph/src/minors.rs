@@ -44,7 +44,10 @@ pub fn longest_path_in_tree(g: &Graph) -> Option<usize> {
 /// Panics if `g.num_nodes() > EXACT_LIMIT`.
 pub fn longest_path_exact(g: &Graph) -> usize {
     let n = g.num_nodes();
-    assert!(n <= EXACT_LIMIT, "exact longest path limited to {EXACT_LIMIT} vertices");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact longest path limited to {EXACT_LIMIT} vertices"
+    );
     if n == 0 {
         return 0;
     }
@@ -79,7 +82,10 @@ pub fn longest_path_exact(g: &Graph) -> usize {
 /// Panics if `g.num_nodes() > EXACT_LIMIT`.
 pub fn circumference_exact(g: &Graph) -> usize {
     let n = g.num_nodes();
-    assert!(n <= EXACT_LIMIT, "exact circumference limited to {EXACT_LIMIT} vertices");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact circumference limited to {EXACT_LIMIT} vertices"
+    );
     if !traversal::has_cycle(g) {
         return 0;
     }

@@ -230,7 +230,10 @@ mod tests {
         assert_eq!(t.depth(NodeId(3)), 3);
         assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
         assert_eq!(t.parent(NodeId(0)), None);
-        assert_eq!(t.ancestors(NodeId(3)), vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        assert_eq!(
+            t.ancestors(NodeId(3)),
+            vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+        );
     }
 
     #[test]

@@ -136,6 +136,44 @@ pub fn diametral_pair(g: &Graph) -> Option<(NodeId, NodeId, usize)> {
     best
 }
 
+/// Early-exit BFS from `source` to the nearest member of `targets`:
+/// returns that vertex and its distance, or `None` when no target is
+/// reachable (or `targets` is empty).
+///
+/// Used by the fault-injection campaigns to measure *rejection locality*
+/// (how far from a fault site the nearest rejecting verifier sits), where
+/// scanning full distance vectors per fault would be wasteful.
+pub fn nearest_of(g: &Graph, source: NodeId, targets: &[NodeId]) -> Option<(NodeId, usize)> {
+    let mut is_target = vec![false; g.num_nodes()];
+    for &t in targets {
+        if t.0 < g.num_nodes() {
+            is_target[t.0] = true;
+        }
+    }
+    if source.0 >= g.num_nodes() {
+        return None;
+    }
+    if is_target[source.0] {
+        return Some((source, 0));
+    }
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.0] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v.0] == usize::MAX {
+                dist[v.0] = dist[u.0] + 1;
+                if is_target[v.0] {
+                    return Some((v, dist[v.0]));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
 /// Whether the graph contains a cycle (i.e. is not a forest).
 pub fn has_cycle(g: &Graph) -> bool {
     // A forest has exactly n - #components edges.
@@ -205,9 +243,7 @@ mod tests {
         let g = generators::path(4);
         let (u, v, d) = diametral_pair(&g).unwrap();
         assert_eq!(d, 3);
-        assert!(
-            (u, v) == (NodeId(0), NodeId(3)) || (u, v) == (NodeId(3), NodeId(0))
-        );
+        assert!((u, v) == (NodeId(0), NodeId(3)) || (u, v) == (NodeId(3), NodeId(0)));
     }
 
     #[test]
@@ -215,6 +251,27 @@ mod tests {
         let g = generators::star(6);
         assert_eq!(eccentricity(&g, NodeId(0)), Some(1));
         assert_eq!(eccentricity(&g, NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn nearest_of_finds_closest_target() {
+        let g = generators::path(7);
+        // From v2, targets at both ends: v0 at distance 2 beats v6 at 4.
+        assert_eq!(
+            nearest_of(&g, NodeId(2), &[NodeId(0), NodeId(6)]),
+            Some((NodeId(0), 2))
+        );
+        // Source itself a target.
+        assert_eq!(
+            nearest_of(&g, NodeId(3), &[NodeId(3)]),
+            Some((NodeId(3), 0))
+        );
+        // No targets / unreachable targets.
+        assert_eq!(nearest_of(&g, NodeId(0), &[]), None);
+        let disc = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(nearest_of(&disc, NodeId(0), &[NodeId(3)]), None);
+        // Out-of-range targets are ignored rather than panicking.
+        assert_eq!(nearest_of(&g, NodeId(0), &[NodeId(99)]), None);
     }
 
     #[test]

@@ -338,7 +338,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(51);
         for _ in 0..10 {
             let (g, parents) = generators::random_bounded_treedepth(30, 3, 0.5, &mut rng);
-            let model = EliminationTree::new(&g, &parents).unwrap().make_coherent(&g);
+            let model = EliminationTree::new(&g, &parents)
+                .unwrap()
+                .make_coherent(&g);
             let red = k_reduce(&g, &model, 2);
             let km = red.kernel_model();
             assert!(km.height() <= model.height());
@@ -409,7 +411,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(54);
         for _ in 0..5 {
             let (g, parents) = generators::random_bounded_treedepth(12, 3, 0.6, &mut rng);
-            let model = EliminationTree::new(&g, &parents).unwrap().make_coherent(&g);
+            let model = EliminationTree::new(&g, &parents)
+                .unwrap()
+                .make_coherent(&g);
             let red = k_reduce(&g, &model, 2);
             assert!(
                 duplicator_wins(&g, &red.kernel, 2),
@@ -424,7 +428,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(55);
         for k in 1..=3 {
             let (g, parents) = generators::random_bounded_treedepth(60, 4, 0.4, &mut rng);
-            let model = EliminationTree::new(&g, &parents).unwrap().make_coherent(&g);
+            let model = EliminationTree::new(&g, &parents)
+                .unwrap()
+                .make_coherent(&g);
             let red = k_reduce(&g, &model, k);
             assert_eq!(check_lemma_6_1(&model, &red, k), None, "k = {k}");
         }

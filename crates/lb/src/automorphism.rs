@@ -76,10 +76,8 @@ impl GadgetFamily for AutomorphismFamily {
         let tb = Self::tree_for(s_b);
         let (g, part) = build_gadget(&ta, &tb);
         // Interface ids 1..=2, privates arbitrary after.
-        let ids = IdAssignment::new(
-            (0..g.num_nodes() as u64).map(|v| Ident(v + 1)).collect(),
-        )
-        .expect("distinct");
+        let ids = IdAssignment::new((0..g.num_nodes() as u64).map(|v| Ident(v + 1)).collect())
+            .expect("distinct");
         (g, part, ids)
     }
 

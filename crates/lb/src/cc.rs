@@ -60,10 +60,7 @@ pub fn decides_equality(p: &impl Protocol, l: usize) -> Result<(), (Vec<bool>, V
 /// certificate accepted on the mixed instance `(s, s')` — breaking
 /// soundness. Returns `None` only if completeness itself fails or
 /// `m ≥ ℓ` saved the protocol.
-pub fn fooling_attack(
-    p: &impl Protocol,
-    l: usize,
-) -> Option<(Vec<bool>, Vec<bool>, Vec<bool>)> {
+pub fn fooling_attack(p: &impl Protocol, l: usize) -> Option<(Vec<bool>, Vec<bool>, Vec<bool>)> {
     use std::collections::HashMap;
     let mut by_cert: HashMap<Vec<bool>, Vec<bool>> = HashMap::new();
     for s in all_strings(l) {

@@ -107,19 +107,9 @@ impl<'v, F: GadgetFamily> ExtractedProtocol<'v, F> {
 
     /// Splits a flat CC certificate into per-interface-vertex labels (in
     /// `v_alpha ++ v_beta` order).
-    fn interface_assignment(
-        &self,
-        part: &Partition,
-        n: usize,
-        cert: &[bool],
-    ) -> Assignment {
+    fn interface_assignment(&self, part: &Partition, n: usize, cert: &[bool]) -> Assignment {
         let mut asg = Assignment::empty(n);
-        for (i, &v) in part
-            .v_alpha
-            .iter()
-            .chain(part.v_beta.iter())
-            .enumerate()
-        {
+        for (i, &v) in part.v_alpha.iter().chain(part.v_beta.iter()).enumerate() {
             let mut w = BitWriter::new();
             for j in 0..self.q {
                 w.write_bit(cert[i * self.q + j]);
@@ -201,12 +191,7 @@ impl<'v, F: GadgetFamily> Protocol for ExtractedProtocol<'v, F> {
         let blank = vec![false; self.family.input_bits()];
         let (g, part, ids) = self.family.build(&blank, s_b);
         let base = self.interface_assignment(&part, g.num_nodes(), cert);
-        let checked: Vec<NodeId> = part
-            .v_b
-            .iter()
-            .chain(part.v_beta.iter())
-            .copied()
-            .collect();
+        let checked: Vec<NodeId> = part.v_b.iter().chain(part.v_beta.iter()).copied().collect();
         self.side_accepts(&g, &ids, &base, &part.v_b, &checked)
     }
 
@@ -221,10 +206,7 @@ impl<'v, F: GadgetFamily> Protocol for ExtractedProtocol<'v, F> {
 /// Glues a full certificate assignment out of Alice's and Bob's accepting
 /// labelings plus the shared interface labels — the converse direction of
 /// Proposition 7.2's Claim 3 (used in tests).
-pub fn merge_assignments(
-    n: usize,
-    parts: &[(Vec<NodeId>, Assignment)],
-) -> Assignment {
+pub fn merge_assignments(n: usize, parts: &[(Vec<NodeId>, Assignment)]) -> Assignment {
     let mut merged = Assignment::empty(n);
     for (vertices, asg) in parts {
         for &v in vertices {

@@ -113,7 +113,8 @@ pub fn build_gadget(n: usize, m_a: &[usize], m_b: &[usize]) -> (Graph, Partition
     for j in 0..2 {
         for i in 0..n {
             b.add_edge(lay.va(j, i), lay.valpha(j, i)).expect("valid");
-            b.add_edge(lay.valpha(j, i), lay.vbeta(j, i)).expect("valid");
+            b.add_edge(lay.valpha(j, i), lay.vbeta(j, i))
+                .expect("valid");
             b.add_edge(lay.vbeta(j, i), lay.vb(j, i)).expect("valid");
             b.add_edge(lay.apex(), lay.valpha(j, i)).expect("valid");
         }
@@ -160,12 +161,7 @@ pub fn build_gadget(n: usize, m_a: &[usize], m_b: &[usize]) -> (Graph, Partition
 /// # Panics
 ///
 /// Panics if `k < 5`.
-pub fn build_gadget_k(
-    n: usize,
-    m_a: &[usize],
-    m_b: &[usize],
-    k: usize,
-) -> (Graph, Partition) {
+pub fn build_gadget_k(n: usize, m_a: &[usize], m_b: &[usize], k: usize) -> (Graph, Partition) {
     assert!(k >= 5, "the construction starts at k = 5");
     let cycle_len = 1usize << (k - 2);
     let subdiv = (cycle_len - 8) / 2; // per A-corner edge.
@@ -192,7 +188,8 @@ pub fn build_gadget_k(
                 prev = v;
             }
             b.add_edge(prev, lay.valpha(j, i)).expect("valid");
-            b.add_edge(lay.valpha(j, i), lay.vbeta(j, i)).expect("valid");
+            b.add_edge(lay.valpha(j, i), lay.vbeta(j, i))
+                .expect("valid");
             b.add_edge(lay.vbeta(j, i), lay.vb(j, i)).expect("valid");
             b.add_edge(lay.apex(), lay.valpha(j, i)).expect("valid");
         }
@@ -239,12 +236,7 @@ impl GadgetFamily for TreedepthFamily {
         // Interface identifiers 1..=r first, privates after (arbitrary).
         let r = part.interface_size();
         let mut ids = vec![Ident(0); g.num_nodes()];
-        for (i, &v) in part
-            .v_alpha
-            .iter()
-            .chain(part.v_beta.iter())
-            .enumerate()
-        {
+        for (i, &v) in part.v_alpha.iter().chain(part.v_beta.iter()).enumerate() {
             ids[v.0] = Ident(i as u64 + 1);
         }
         let mut next = r as u64 + 1;
@@ -306,7 +298,7 @@ mod tests {
         assert!(g.is_connected());
         assert!(part.validates(&g));
         assert_eq!(part.interface_size(), 9); // 2n α + 2n β + apex.
-        // Apex degree = 2n.
+                                              // Apex degree = 2n.
         assert_eq!(g.degree(NodeId(16)), 4);
     }
 
@@ -378,9 +370,7 @@ mod tests {
             assert!(rest.nodes().all(|v| rest.degree(v) == 2));
             let circ = if has_cycle_at_least(&rest, 32, 32) {
                 32
-            } else if has_cycle_at_least(&rest, 16, 16)
-                && !has_cycle_at_least(&rest, 17, 32)
-            {
+            } else if has_cycle_at_least(&rest, 16, 16) && !has_cycle_at_least(&rest, 17, 32) {
                 16
             } else {
                 panic!("unexpected cycle structure");

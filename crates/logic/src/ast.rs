@@ -92,14 +92,24 @@ impl Formula {
     /// The free first-order variables, in increasing order.
     pub fn free_vars(&self) -> Vec<Var> {
         let mut out = std::collections::BTreeSet::new();
-        self.collect_free(&mut Vec::new(), &mut Vec::new(), &mut out, &mut std::collections::BTreeSet::new());
+        self.collect_free(
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut out,
+            &mut std::collections::BTreeSet::new(),
+        );
         out.into_iter().collect()
     }
 
     /// The free set variables, in increasing order.
     pub fn free_set_vars(&self) -> Vec<SetVar> {
         let mut out = std::collections::BTreeSet::new();
-        self.collect_free(&mut Vec::new(), &mut Vec::new(), &mut std::collections::BTreeSet::new(), &mut out);
+        self.collect_free(
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut std::collections::BTreeSet::new(),
+            &mut out,
+        );
         out.into_iter().collect()
     }
 
@@ -272,16 +282,12 @@ pub fn exists_set(s: SetVar, f: Formula) -> Formula {
 
 /// Conjunction of a list (empty list = `true`).
 pub fn and_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
-    fs.into_iter()
-        .reduce(and)
-        .unwrap_or(Formula::True)
+    fs.into_iter().reduce(and).unwrap_or(Formula::True)
 }
 
 /// Disjunction of a list (empty list = `false`).
 pub fn or_all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
-    fs.into_iter()
-        .reduce(or)
-        .unwrap_or(Formula::False)
+    fs.into_iter().reduce(or).unwrap_or(Formula::False)
 }
 
 /// Nested existential quantification `∃x₁ … ∃xₖ. f`.

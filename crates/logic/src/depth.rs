@@ -24,9 +24,7 @@ pub fn quantifier_depth(f: &Formula) -> usize {
         True | False | Eq(..) | Adj(..) | In(..) => 0,
         Not(g) => quantifier_depth(g),
         And(a, b) | Or(a, b) | Implies(a, b) => quantifier_depth(a).max(quantifier_depth(b)),
-        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => {
-            1 + quantifier_depth(g)
-        }
+        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => 1 + quantifier_depth(g),
     }
 }
 
@@ -79,9 +77,7 @@ pub fn quantifier_count(f: &Formula) -> usize {
         True | False | Eq(..) | Adj(..) | In(..) => 0,
         Not(g) => quantifier_count(g),
         And(a, b) | Or(a, b) | Implies(a, b) => quantifier_count(a) + quantifier_count(b),
-        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => {
-            1 + quantifier_count(g)
-        }
+        Forall(_, g) | Exists(_, g) | ForallSet(_, g) | ExistsSet(_, g) => 1 + quantifier_count(g),
     }
 }
 

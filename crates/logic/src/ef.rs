@@ -67,15 +67,12 @@ fn wins(
             // search.
             let target_deg = spoiler_graph.degree(sp);
             let mut candidates: Vec<NodeId> = dup_graph.nodes().collect();
-            candidates.sort_by_key(|&v| {
-                (dup_graph.degree(v) as i64 - target_deg as i64).abs()
-            });
+            candidates.sort_by_key(|&v| (dup_graph.degree(v) as i64 - target_deg as i64).abs());
             for dp in candidates {
                 let (gv, hv) = if side == 0 { (sp, dp) } else { (dp, sp) };
                 gs.push(gv);
                 hs.push(hv);
-                let ok = is_partial_isomorphism(g, h, gs, hs)
-                    && wins(g, h, gs, hs, k - 1, memo);
+                let ok = is_partial_isomorphism(g, h, gs, hs) && wins(g, h, gs, hs, k - 1, memo);
                 gs.pop();
                 hs.pop();
                 if ok {
@@ -101,12 +98,7 @@ fn wins(
 ///
 /// Returns `false` immediately when the pinned configuration is not a
 /// partial isomorphism.
-pub fn duplicator_wins_pinned(
-    g: &Graph,
-    h: &Graph,
-    pins: &[(NodeId, NodeId)],
-    k: usize,
-) -> bool {
+pub fn duplicator_wins_pinned(g: &Graph, h: &Graph, pins: &[(NodeId, NodeId)], k: usize) -> bool {
     let mut gs: Vec<NodeId> = pins.iter().map(|&(a, _)| a).collect();
     let mut hs: Vec<NodeId> = pins.iter().map(|&(_, b)| b).collect();
     if !is_partial_isomorphism(g, h, &gs, &hs) {
@@ -201,11 +193,7 @@ mod tests {
         for k in 1..=3usize {
             let long = 1 << (k + 1); // 2^{k+1} ≥ 2^k − 1 with margin.
             assert!(
-                duplicator_wins(
-                    &generators::path(long),
-                    &generators::path(long + 3),
-                    k
-                ),
+                duplicator_wins(&generators::path(long), &generators::path(long + 3), k),
                 "long paths separated at k = {k}"
             );
         }
@@ -228,7 +216,10 @@ mod tests {
             exists_all([x, y], and(not(eq(x, y)), not(adj(x, y)))),
             forall(x, exists(y, adj(x, y))),
             exists_all([x, y, z], and_all([adj(x, y), adj(y, z), adj(x, z)])),
-            forall_all([x, y], implies(adj(x, y), exists(z, and(adj(x, z), adj(y, z))))),
+            forall_all(
+                [x, y],
+                implies(adj(x, y), exists(z, and(adj(x, z), adj(y, z)))),
+            ),
         ];
         let graphs = vec![
             generators::path(3),

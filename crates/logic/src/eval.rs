@@ -85,8 +85,7 @@ pub fn eval(g: &Graph, phi: &Formula, asg: &mut Assignment) -> bool {
 }
 
 fn lookup(asg: &Assignment, v: Var) -> NodeId {
-    asg.get(v)
-        .unwrap_or_else(|| panic!("unbound variable {v}"))
+    asg.get(v).unwrap_or_else(|| panic!("unbound variable {v}"))
 }
 
 fn quantify_vertex(
@@ -183,11 +182,7 @@ mod tests {
         let (x, y, z) = (Var(0), Var(1), Var(2));
         let diam2 = forall_all(
             [x, y],
-            or_all([
-                eq(x, y),
-                adj(x, y),
-                exists(z, and(adj(x, z), adj(z, y))),
-            ]),
+            or_all([eq(x, y), adj(x, y), exists(z, and(adj(x, z), adj(z, y)))]),
         );
         assert!(models(&generators::star(6), &diam2));
         assert!(models(&generators::cycle(5), &diam2));
@@ -201,10 +196,7 @@ mod tests {
         let s = SetVar(0);
         let bip = exists_set(
             s,
-            forall_all(
-                [u, v],
-                implies(adj(u, v), not(iff(mem(u, s), mem(v, s)))),
-            ),
+            forall_all([u, v], implies(adj(u, v), not(iff(mem(u, s), mem(v, s))))),
         );
         assert!(models(&generators::cycle(6), &bip));
         assert!(!models(&generators::cycle(5), &bip));

@@ -42,7 +42,10 @@ pub fn rename_apart(f: &Formula) -> Formula {
     fn walk(f: &Formula, env: &mut Vec<(Var, Var)>, next: &mut u32) -> Formula {
         use Formula::*;
         let lookup = |v: Var, env: &[(Var, Var)]| {
-            env.iter().rev().find(|(from, _)| *from == v).map_or(v, |(_, to)| *to)
+            env.iter()
+                .rev()
+                .find(|(from, _)| *from == v)
+                .map_or(v, |(_, to)| *to)
         };
         match f {
             True => True,
@@ -96,7 +99,11 @@ fn pull(f: &Formula, negated: bool) -> (Vec<(Quantifier, Var)>, Formula) {
     match f {
         True | False | Eq(..) | Adj(..) | In(..) => (
             Vec::new(),
-            if negated { ast::not(f.clone()) } else { f.clone() },
+            if negated {
+                ast::not(f.clone())
+            } else {
+                f.clone()
+            },
         ),
         Not(g) => pull(g, !negated),
         And(a, b) | Or(a, b) => {
@@ -104,7 +111,11 @@ fn pull(f: &Formula, negated: bool) -> (Vec<(Quantifier, Var)>, Formula) {
             let (mut pa, ma) = pull(a, negated);
             let (pb, mb) = pull(b, negated);
             pa.extend(pb);
-            let matrix = if is_and { ast::and(ma, mb) } else { ast::or(ma, mb) };
+            let matrix = if is_and {
+                ast::and(ma, mb)
+            } else {
+                ast::or(ma, mb)
+            };
             (pa, matrix)
         }
         Implies(a, b) => {
@@ -186,7 +197,10 @@ mod tests {
         let r = rename_apart(&f);
         // Two distinct bound variables now.
         let printed = r.to_string();
-        assert!(printed.contains("x1") && printed.contains("x2"), "{printed}");
+        assert!(
+            printed.contains("x1") && printed.contains("x2"),
+            "{printed}"
+        );
         equivalent_on_zoo(&f, &r);
     }
 

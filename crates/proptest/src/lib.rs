@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple and `Just` and
+//! string strategies, [`collection::vec`], uniform/weighted unions (via
+//! [`prop_oneof!`]), a deterministic [`test_runner::TestRunner`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate are deliberate and small:
+//!
+//! - cases are generated from a fixed seed, so runs are reproducible;
+//! - failing cases are reported but not shrunk;
+//! - string strategies interpret only the `\PC{m,n}`-style patterns this
+//!   workspace uses (printable characters with bounded repetition), and
+//!   fall back to short printable strings for other patterns.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The commonly glob-imported surface.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module alias used by idiomatic proptest code
+    /// (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __config = $cfg;
+                let mut __runner = $crate::test_runner::TestRunner::new(__config.clone());
+                // Bind the strategies once; the per-case lets shadow the
+                // names with generated values.
+                let ( $($arg,)+ ) = ( $($strat,)+ );
+                for __case in 0..__config.cases {
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        let ( $($arg,)+ ) =
+                            ( $($crate::strategy::Strategy::generate(&$arg, &mut __runner),)+ );
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(__msg) = __result {
+                        panic!("proptest '{}' failed at case {}: {}",
+                               stringify!($name), __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a [`proptest!`] body; failures abort the case with a
+/// diagnosable message instead of panicking mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// A uniform (or `weight => strategy` weighted) choice among strategies
+/// with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::weighted(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::weighted(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,342 @@
+//! Strategies: composable value generators.
+
+use crate::test_runner::TestRunner;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generated value wrapper; the real crate's trees support shrinking,
+/// this stand-in reports the generated value as-is.
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+    /// The current (here: only) value.
+    fn current(&self) -> Self::Value;
+}
+
+/// The tree type produced by every strategy here: a single pre-generated
+/// value.
+#[derive(Debug, Clone)]
+pub struct Single<T>(pub T);
+
+impl<T: Clone> ValueTree for Single<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A composable generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value using the runner's RNG.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Generates a (non-shrinking) value tree — the entry point the real
+    /// crate exposes; kept for source compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in; the `Result` mirrors the real API.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Single<Self::Value>, String>
+    where
+        Self::Value: Clone,
+    {
+        Ok(Single(self.generate(runner)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive structures: `f` receives a strategy for the
+    /// previous nesting level and returns the next level; `depth` bounds
+    /// the nesting (the size/branch hints of the real API are accepted and
+    /// ignored).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Mix leaves back in at every level so generated depths vary.
+            strat = Union::weighted(vec![(1, leaf.clone()), (2, f(strat).boxed())]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheap to clone; shared).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+/// A type-erased, shareable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        self.0.dyn_generate(runner)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Weighted choice among strategies with a common value type (what
+/// [`crate::prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|&(w, _)| w).sum();
+        assert!(total > 0, "union needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let mut pick = runner.rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(runner);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($( ($($S:ident / $idx:tt),+) )*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// `&str` regex-style string strategy. This stand-in understands the
+/// `CLASS{m,n}` shape with the `\PC` (printable char) class this workspace
+/// uses; anything else degrades to short printable strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 16));
+        let len = runner.rng.random_range(lo..=hi);
+        (0..len).map(|_| random_printable(runner)).collect()
+    }
+}
+
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let body = pattern[open + 1..].strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+fn random_printable(runner: &mut TestRunner) -> char {
+    // Mostly ASCII printable, occasionally multibyte to exercise UTF-8
+    // handling.
+    const EXOTIC: [char; 8] = ['é', 'λ', '∀', '∃', '∈', '→', '🦀', '“'];
+    if runner.rng.random_bool(0.1) {
+        EXOTIC[runner.rng.random_range(0..EXOTIC.len())]
+    } else {
+        char::from(runner.rng.random_range(0x20u8..0x7f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut r = TestRunner::deterministic();
+        let s = (1u32..=8).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && (2..=16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = TestRunner::deterministic();
+        let s = (0u64..10, 0usize..3);
+        let (a, b) = s.generate(&mut r);
+        assert!(a < 10 && b < 3);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = TestRunner::deterministic();
+        let s = Union::weighted(vec![
+            (1, Just(0usize).boxed()),
+            (1, Just(1usize).boxed()),
+            (1, Just(2usize).boxed()),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn recursive_strategies_vary_depth() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(inner) => 1 + depth(inner),
+            }
+        }
+        let mut r = TestRunner::deterministic();
+        let s = Just(T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
+        let mut max_depth = 0;
+        let mut min_depth = usize::MAX;
+        for _ in 0..200 {
+            let d = depth(&s.generate(&mut r));
+            max_depth = max_depth.max(d);
+            min_depth = min_depth.min(d);
+            assert!(d <= 4);
+        }
+        assert!(max_depth >= 2, "recursion never fired");
+        assert_eq!(min_depth, 0, "leaves never generated");
+    }
+
+    #[test]
+    fn string_pattern_bounds() {
+        let mut r = TestRunner::deterministic();
+        let s = "\\PC{0,40}";
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn new_tree_current_round_trips() {
+        let mut r = TestRunner::deterministic();
+        let tree = (0u32..5).new_tree(&mut r).unwrap();
+        assert!(tree.current() < 5);
+    }
+}

@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn clique_and_star_formulas() {
         for n in 1..=6 {
-            assert_eq!(treedepth_of_clique(n), treedepth_exact(&generators::clique(n)));
+            assert_eq!(
+                treedepth_of_clique(n),
+                treedepth_exact(&generators::clique(n))
+            );
         }
         for n in 1..=7 {
             assert_eq!(treedepth_of_star(n), treedepth_exact(&generators::star(n)));

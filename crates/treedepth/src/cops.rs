@@ -34,7 +34,10 @@ pub const GAME_LIMIT: usize = 28;
 /// Panics if `g` is empty or exceeds [`GAME_LIMIT`] vertices.
 pub fn cop_number(g: &Graph) -> usize {
     let n = g.num_nodes();
-    assert!((1..=GAME_LIMIT).contains(&n), "game solver size out of range");
+    assert!(
+        (1..=GAME_LIMIT).contains(&n),
+        "game solver size out of range"
+    );
     let mut memo = HashMap::new();
     let full = (1u64 << n) - 1;
     components_of(g, full)
@@ -166,10 +169,7 @@ impl<'g> Game<'g> {
     where
         F: FnMut(&Game<'_>, NodeId) -> NodeId,
     {
-        assert!(
-            !self.cops.contains(&pos),
-            "cop already placed at {pos}"
-        );
+        assert!(!self.cops.contains(&pos), "cop already placed at {pos}");
         let territory = self.territory();
         let answer = robber_strategy(self, pos);
         assert!(

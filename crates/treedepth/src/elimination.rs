@@ -205,15 +205,7 @@ mod tests {
     fn p7_model() -> Vec<Option<usize>> {
         // Figure 1: path 0-1-2-3-4-5-6, eliminated as root 3,
         // children 1 and 5, grandchildren 0, 2, 4, 6.
-        vec![
-            Some(1),
-            Some(3),
-            Some(1),
-            None,
-            Some(5),
-            Some(3),
-            Some(5),
-        ]
+        vec![Some(1), Some(3), Some(1), None, Some(5), Some(3), Some(5)]
     }
 
     #[test]

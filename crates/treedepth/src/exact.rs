@@ -27,7 +27,10 @@ pub const EXACT_LIMIT: usize = 28;
 pub fn treedepth_exact(g: &Graph) -> usize {
     let n = g.num_nodes();
     assert!(n >= 1, "treedepth of the empty graph is undefined");
-    assert!(n <= EXACT_LIMIT, "exact treedepth limited to {EXACT_LIMIT} vertices");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact treedepth limited to {EXACT_LIMIT} vertices"
+    );
     let mut solver = Solver::new(g);
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     solver.treedepth(full)
@@ -242,7 +245,16 @@ mod tests {
     #[test]
     fn cycles() {
         // td(C_n) = ⌈log₂ n⌉ + 1.
-        for (n, expected) in [(3, 3), (4, 3), (5, 4), (6, 4), (8, 4), (9, 5), (16, 5), (17, 6)] {
+        for (n, expected) in [
+            (3, 3),
+            (4, 3),
+            (5, 4),
+            (6, 4),
+            (8, 4),
+            (9, 5),
+            (16, 5),
+            (17, 6),
+        ] {
             assert_eq!(treedepth_exact(&generators::cycle(n)), expected, "C_{n}");
         }
     }

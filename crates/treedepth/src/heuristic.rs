@@ -59,7 +59,10 @@ pub fn dfs_elimination_tree(g: &Graph) -> EliminationTree {
 ///
 /// Panics if `g` is empty or disconnected.
 pub fn separator_elimination_tree(g: &Graph) -> EliminationTree {
-    assert!(g.is_connected(), "separator model requires a connected graph");
+    assert!(
+        g.is_connected(),
+        "separator model requires a connected graph"
+    );
     let n = g.num_nodes();
     let mut parent: Vec<Option<usize>> = vec![None; n];
     // Work queue of (vertex set, parent) pieces. Vertex sets as Vec<NodeId>.

@@ -32,4 +32,4 @@ pub mod exact;
 pub mod heuristic;
 
 pub use elimination::{EliminationTree, ModelError};
-pub use exact::{treedepth_exact, optimal_elimination_tree};
+pub use exact::{optimal_elimination_tree, treedepth_exact};

@@ -36,7 +36,10 @@ fn main() {
 
     // The Ω(ℓ/r) rates: ℓ = ⌊log2 n!⌋ bits over r = 4n + 1 interface
     // vertices.
-    println!("{:>6} | {:>4} | {:>12} | rate/log2(n)", "n", "ℓ", "rate [bits]");
+    println!(
+        "{:>6} | {:>4} | {:>12} | rate/log2(n)",
+        "n", "ℓ", "rate [bits]"
+    );
     println!("-------|------|--------------|------------");
     for n in [8usize, 32, 128, 512, 2048] {
         let rate = treedepth_rate(n);
@@ -57,7 +60,5 @@ fn main() {
     );
     let broken = TruncatedProtocol { l, m: 2 };
     let (s1, s2, cert) = fooling_attack(&broken, l).expect("pigeonhole");
-    println!(
-        "2-bit protocol fooled: inputs {s1:?} ≠ {s2:?} share accepting certificate {cert:?}"
-    );
+    println!("2-bit protocol fooled: inputs {s1:?} ≠ {s2:?} share accepting certificate {cert:?}");
 }

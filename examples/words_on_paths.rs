@@ -29,7 +29,10 @@ fn main() {
         )),
     )));
     let nfa = compile(&phi, 2).expect("compiles");
-    println!("compiled NFA: {} states over alphabet {{0, 1}}", nfa.num_states());
+    println!(
+        "compiled NFA: {} states over alphabet {{0, 1}}",
+        nfa.num_states()
+    );
 
     // Cross-check compiler vs. brute-force semantics on all words ≤ 8.
     let mut checked = 0;

@@ -81,9 +81,7 @@ fn build_scheme(spec: &str, id_bits: u32) -> Result<Box<dyn Scheme>, String> {
             Some(&"perfect-matching") => {
                 Box::new(MsoTreeScheme::new(library::has_perfect_matching()))
             }
-            Some(&"height") => {
-                Box::new(MsoTreeScheme::new(library::height_at_most(param(2)?)))
-            }
+            Some(&"height") => Box::new(MsoTreeScheme::new(library::height_at_most(param(2)?))),
             Some(&"uniform-leaves") => {
                 Box::new(MsoTreeScheme::new(library::uniform_leaf_depth(param(2)?)))
             }
@@ -101,8 +99,7 @@ fn build_scheme(spec: &str, id_bits: u32) -> Result<Box<dyn Scheme>, String> {
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let g = io::parse_edge_list(&text).map_err(|e| format!("{path}: {e}"))?;
     if g.num_nodes() == 0 {
         return Err("graph is empty".into());
@@ -118,9 +115,7 @@ fn cmd_certify(spec: &str, graph_path: &str, certs_out: Option<&str>) -> Result<
     let ids = IdAssignment::contiguous(g.num_nodes());
     let inst = Instance::new(&g, &ids);
     let scheme = build_scheme(spec, id_bits_for(&inst))?;
-    let assignment = scheme
-        .assign(&inst)
-        .map_err(|e| format!("prover: {e}"))?;
+    let assignment = scheme.assign(&inst).map_err(|e| format!("prover: {e}"))?;
     let outcome = run_verification(scheme.as_ref(), &inst, &assignment);
     println!(
         "scheme {}: n = {}, certificate size = {} bits (total {} bits), verification: {}",
@@ -128,7 +123,11 @@ fn cmd_certify(spec: &str, graph_path: &str, certs_out: Option<&str>) -> Result<
         g.num_nodes(),
         assignment.max_bits(),
         assignment.total_bits(),
-        if outcome.accepted() { "all accept" } else { "REJECTED (bug!)" }
+        if outcome.accepted() {
+            "all accept"
+        } else {
+            "REJECTED (bug!)"
+        }
     );
     if let Some(path) = certs_out {
         let mut text = String::new();

@@ -143,10 +143,8 @@ fn kernel_preserves_low_depth_sentences() {
 #[test]
 fn word_automata_boolean_laws() {
     use locert::automata::words::{Dfa, Nfa};
-    let even_ones =
-        Dfa::new(2, 2, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]]).unwrap();
-    let ends_one =
-        Dfa::new(2, 2, 0, vec![false, true], vec![vec![0, 1], vec![0, 1]]).unwrap();
+    let even_ones = Dfa::new(2, 2, 0, vec![true, false], vec![vec![0, 1], vec![1, 0]]).unwrap();
+    let ends_one = Dfa::new(2, 2, 0, vec![false, true], vec![vec![0, 1], vec![0, 1]]).unwrap();
     // ¬(A ∪ B) ≡ ¬A ∩ ¬B.
     let lhs = even_ones.union(&ends_one).complement();
     let rhs = even_ones.complement().intersect(&ends_one.complement());

@@ -122,8 +122,7 @@ fn minimization_laws_on_random_dfas() {
         // Spot-check words directly.
         for len in 0..=6usize {
             for bits in 0..(1u32 << len) {
-                let w: Vec<usize> =
-                    (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
+                let w: Vec<usize> = (0..len).map(|i| ((bits >> i) & 1) as usize).collect();
                 assert_eq!(dfa.accepts(&w), min.accepts(&w));
             }
         }
