@@ -173,6 +173,7 @@ impl TrainedAutomaton {
         corpus: &[RootedTree],
         max_states: usize,
     ) -> Result<TrainedAutomaton, SynthesisError> {
+        let _span = locert_trace::span!("automata.synthesis.train");
         if !locert_logic::depth::is_fo(phi) || !phi.is_sentence() {
             return Err(SynthesisError::NotAnFoSentence);
         }
@@ -272,6 +273,16 @@ impl TrainedAutomaton {
             accepting,
         )
         .expect("well-formed");
+        if locert_trace::enabled() {
+            locert_trace::add("automata.synthesis.runs", 1);
+            locert_trace::add("automata.synthesis.types", num_types as u64);
+            locert_trace::add(
+                "automata.synthesis.transitions",
+                final_transitions.len() as u64,
+            );
+            locert_trace::record("automata.synthesis.states", num_states as u64);
+            locert_trace::record("automata.synthesis.rank", k as u64);
+        }
         Ok(TrainedAutomaton {
             automaton,
             transitions: final_transitions,

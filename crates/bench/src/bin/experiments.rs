@@ -4,33 +4,94 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--out PATH] [--quick] [only-ids…]
+//! experiments [--out PATH] [--quick] [--metrics [PATH]] [only-ids…]
 //! ```
 //!
 //! `--quick` shrinks the size grids (used by CI-style smoke runs);
-//! trailing arguments select experiment ids (`e1`, `e4`, `f1`, …).
+//! `--metrics` enables the locert-trace subscriber and writes a
+//! machine-readable telemetry dump (default `metrics.json`) plus a
+//! Telemetry appendix in the report; trailing arguments select
+//! experiment ids (`e1`, `e4`, `f1`, …). Unknown `--` flags and unknown
+//! ids are usage errors.
 
 use locert_bench::*;
+use locert_trace::json::Value;
 use std::fmt::Write as _;
+
+/// Every experiment id the binary knows how to run, in report order.
+const KNOWN_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2",
+];
+
+const USAGE: &str = "\
+usage: experiments [--out PATH] [--quick] [--metrics [PATH]] [only-ids…]
+
+  --out PATH        report destination (default EXPERIMENTS.md)
+  --quick           shrink size grids for a fast smoke run
+  --metrics [PATH]  record spans/counters/histograms via locert-trace and
+                    write them as JSON (default metrics.json); also appends
+                    a Telemetry appendix to the report
+  --help            print this message
+  only-ids…         run only the listed experiments (e1 e2 e3 e4 e5 e6 e7
+                    e8 f1 f4 p34 a1 s1 s2)";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("experiments: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "EXPERIMENTS.md".to_string();
     let mut quick = false;
+    let mut metrics_path: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--out" => {
                 i += 1;
-                out_path = args.get(i).expect("--out needs a path").clone();
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => fail_usage("--out needs a path"),
+                }
             }
             "--quick" => quick = true,
-            id => only.push(id.to_ascii_lowercase()),
+            "--metrics" => {
+                // The path operand is optional: consume the next argument
+                // unless it is a flag or an experiment id.
+                let next = args.get(i + 1);
+                let takes_path = next.is_some_and(|a| {
+                    !a.starts_with("--") && !KNOWN_IDS.contains(&a.to_ascii_lowercase().as_str())
+                });
+                if takes_path {
+                    i += 1;
+                    metrics_path = Some(args[i].clone());
+                } else {
+                    metrics_path = Some("metrics.json".to_string());
+                }
+            }
+            flag if flag.starts_with("--") => {
+                fail_usage(&format!("unknown flag {flag}"));
+            }
+            id => {
+                let id = id.to_ascii_lowercase();
+                if !KNOWN_IDS.contains(&id.as_str()) {
+                    fail_usage(&format!("unknown experiment id {id:?}"));
+                }
+                only.push(id);
+            }
         }
         i += 1;
     }
     let want = |id: &str| only.is_empty() || only.iter().any(|o| o == id);
+    if metrics_path.is_some() {
+        locert_trace::enable();
+    }
 
     let (small, medium, large): (Vec<usize>, Vec<usize>, Vec<usize>) = if quick {
         (vec![16, 64], vec![32, 128], vec![64, 256])
@@ -44,13 +105,23 @@ fn main() {
 
     let mut tables: Vec<Table> = Vec::new();
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut telemetry: Vec<(String, f64, locert_trace::Snapshot)> = Vec::new();
     macro_rules! run_exp {
         ($id:expr, $body:expr) => {
             if want($id) {
                 eprintln!("running {} …", $id);
+                if metrics_path.is_some() {
+                    locert_trace::reset();
+                }
                 let start = std::time::Instant::now();
-                let produced: Vec<Table> = $body;
+                let produced: Vec<Table> = {
+                    let _span = locert_trace::span($id);
+                    $body
+                };
                 let secs = start.elapsed().as_secs_f64();
+                if metrics_path.is_some() {
+                    telemetry.push(($id.to_string(), secs, locert_trace::snapshot()));
+                }
                 timings.push(($id.to_string(), secs));
                 for t in produced {
                     println!("{}", t.markdown());
@@ -154,9 +225,71 @@ fn main() {
         let _ = writeln!(md, "| {id} | {title} | {secs:.2} |");
     }
     let _ = writeln!(md);
+    if metrics_path.is_some() {
+        let _ = writeln!(
+            md,
+            "Telemetry for this run (spans, counters, histograms) is in the \
+             [appendix](#telemetry-appendix) and, machine-readable, in \
+             `{}`.",
+            metrics_path.as_deref().unwrap_or("metrics.json")
+        );
+        let _ = writeln!(md);
+    }
     for t in &tables {
         let _ = writeln!(md, "{}", t.markdown());
     }
+    if let Some(path) = &metrics_path {
+        let _ = writeln!(md, "## Telemetry appendix");
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "Recorded by the `locert-trace` subscriber (`--metrics`). Metric \
+             names follow `layer.component.metric` (DESIGN.md §Observability); \
+             `.ns` histograms are wall-time and vary between runs, counters \
+             are deterministic for fixed seeds."
+        );
+        for (id, secs, snap) in &telemetry {
+            let _ = writeln!(md);
+            let _ = writeln!(md, "### {id} ({secs:.2} s)");
+            let _ = writeln!(md);
+            let _ = writeln!(md, "{}", locert_trace::export::snapshot_markdown(snap));
+        }
+        write_metrics_json(path, quick, &telemetry);
+        eprintln!("wrote {path} ({} experiments)", telemetry.len());
+    }
     std::fs::write(&out_path, md).expect("write report");
     eprintln!("wrote {out_path} ({} tables)", tables.len());
+}
+
+/// Serializes per-experiment telemetry as the `locert-trace/v1` document
+/// checked by `trace-check` (see `crates/trace/src/bin/trace_check.rs`).
+fn write_metrics_json(
+    path: &str,
+    quick: bool,
+    telemetry: &[(String, f64, locert_trace::Snapshot)],
+) {
+    let experiments: Vec<Value> = telemetry
+        .iter()
+        .map(|(id, secs, snap)| {
+            Value::obj([
+                ("id".to_string(), Value::from(id.as_str())),
+                ("wall_s".to_string(), Value::Num(*secs)),
+                (
+                    "telemetry".to_string(),
+                    locert_trace::export::snapshot_to_json(snap),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::obj([
+        ("schema".to_string(), Value::from("locert-trace/v1")),
+        ("quick".to_string(), Value::Bool(quick)),
+        ("experiments".to_string(), Value::Arr(experiments)),
+    ]);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+        }
+    }
+    std::fs::write(path, format!("{doc}\n")).expect("write metrics");
 }

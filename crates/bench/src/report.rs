@@ -1,6 +1,79 @@
 //! Minimal table type with markdown and CSV rendering.
+//!
+//! Cell text is preserved exactly: markdown pipes are escaped (`|` →
+//! `\|`) and CSV follows RFC 4180 quoting, so [`parse_csv`] round-trips
+//! [`Table::csv`] output including commas, quotes, and newlines in cells.
 
 use std::fmt::Write as _;
+
+/// Escapes a cell for use inside a GitHub-flavored markdown table: `|`
+/// would otherwise split the cell. Newlines (which markdown tables cannot
+/// represent) become spaces.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|").replace(['\n', '\r'], " ")
+}
+
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or
+/// line break; doubles interior quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Parses RFC 4180 CSV text (as produced by [`Table::csv`]) into rows of
+/// fields. Quoted fields may contain commas, doubled quotes, and line
+/// breaks. A trailing newline does not produce an empty row.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {}
+            '\n' => {
+                if any || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any = false;
+            }
+            _ => {
+                field.push(c);
+                any = true;
+            }
+        }
+    }
+    if any || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
 
 /// A titled results table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +131,13 @@ impl Table {
         let _ = writeln!(out);
         let _ = writeln!(out, "*Shape criterion:* {}", self.shape);
         let _ = writeln!(out);
-        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let cells = |row: &[String]| {
+            row.iter()
+                .map(|c| md_cell(c))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let _ = writeln!(out, "| {} |", cells(&self.columns));
         let _ = writeln!(
             out,
             "|{}|",
@@ -69,17 +148,24 @@ impl Table {
                 .join("|")
         );
         for row in &self.rows {
-            let _ = writeln!(out, "| {} |", row.join(" | "));
+            let _ = writeln!(out, "| {} |", cells(row));
         }
         out
     }
 
-    /// Renders CSV (header + rows).
+    /// Renders CSV (header + rows) with RFC 4180 quoting; [`parse_csv`]
+    /// inverts it.
     pub fn csv(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.join(","));
+        let line = |row: &[String]| {
+            row.iter()
+                .map(|c| csv_field(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(out, "{}", line(&self.columns));
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
+            let _ = writeln!(out, "{}", line(row));
         }
         out
     }
@@ -125,5 +211,46 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f2(1.2345), "1.23");
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_and_newlines() {
+        let mut t = Table::new("E0", "demo", "c", "s", &["formula", "ok"]);
+        t.push(["a | b".to_string(), "line1\nline2".to_string()]);
+        let md = t.markdown();
+        assert!(md.contains("| a \\| b | line1 line2 |"));
+        // The escaped pipe must not create an extra column.
+        let data_row = md.lines().last().unwrap();
+        assert_eq!(data_row.matches(" | ").count(), 1);
+    }
+
+    #[test]
+    fn csv_round_trips_commas_quotes_and_newlines() {
+        let mut t = Table::new("E0", "demo", "c", "s", &["k", "v"]);
+        t.push(["comma, inside".to_string(), "quote \"here\"".to_string()]);
+        t.push(["multi\nline".to_string(), "plain".to_string()]);
+        let csv = t.csv();
+        let parsed = parse_csv(&csv);
+        assert_eq!(parsed[0], vec!["k", "v"]);
+        assert_eq!(parsed[1], vec!["comma, inside", "quote \"here\""]);
+        assert_eq!(parsed[2], vec!["multi\nline", "plain"]);
+        assert_eq!(parsed.len(), 3);
+    }
+
+    #[test]
+    fn csv_plain_cells_stay_unquoted() {
+        let csv = sample().csv();
+        assert_eq!(csv, "n,bits\n1,5\n2,6\n");
+        assert_eq!(
+            parse_csv(&csv),
+            vec![vec!["n", "bits"], vec!["1", "5"], vec!["2", "6"]]
+        );
+    }
+
+    #[test]
+    fn parse_csv_handles_empty_fields_and_no_trailing_newline() {
+        assert_eq!(parse_csv("a,,c"), vec![vec!["a", "", "c"]]);
+        assert_eq!(parse_csv(""), Vec::<Vec<String>>::new());
+        assert_eq!(parse_csv("\"\",x\n"), vec![vec!["", "x"]]);
     }
 }

@@ -399,6 +399,10 @@ pub fn run_with_faults(
     honest: &Assignment,
     plan: &FaultPlan,
 ) -> FaultOutcome {
+    let _span = locert_trace::span!("core.faults.run_with_faults");
+    if locert_trace::enabled() {
+        locert_trace::add("core.faults.injections", plan.faults().len() as u64);
+    }
     let world = inject(instance, honest, plan);
     let rejecting: Vec<NodeId> = instance
         .graph()
@@ -466,6 +470,7 @@ pub fn run_campaign(
     runs: usize,
     base_seed: u64,
 ) -> CampaignStats {
+    let _span = locert_trace::span!("core.faults.run_campaign");
     let n = instance.graph().num_nodes();
     let mut stats = CampaignStats::default();
     for r in 0..runs {
@@ -480,6 +485,15 @@ pub fn run_campaign(
             stats.detected += 1;
             stats.locality_sum += outcome.locality.unwrap_or(0);
         }
+    }
+    if locert_trace::enabled() {
+        locert_trace::add("core.faults.campaign.runs", runs as u64);
+        locert_trace::add(
+            "core.faults.campaign.effective",
+            stats.effective_runs as u64,
+        );
+        locert_trace::add("core.faults.campaign.noop", stats.noop_runs as u64);
+        locert_trace::add("core.faults.campaign.detected", stats.detected as u64);
     }
     stats
 }

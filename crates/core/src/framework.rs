@@ -184,7 +184,7 @@ pub fn view_of<'a>(
     assignment: &'a Assignment,
     v: NodeId,
 ) -> LocalView<'a> {
-    let neighbors = instance
+    let neighbors: Vec<(Ident, usize, &Certificate)> = instance
         .graph()
         .neighbors(v)
         .iter()
@@ -196,6 +196,10 @@ pub fn view_of<'a>(
             )
         })
         .collect();
+    if locert_trace::enabled() {
+        locert_trace::add("core.framework.view_of.calls", 1);
+        locert_trace::record("core.framework.view.neighbors", neighbors.len() as u64);
+    }
     LocalView {
         id: instance.ids().ident(v),
         input: instance.input(v),
@@ -285,12 +289,33 @@ pub fn run_verification(
     instance: &Instance<'_>,
     assignment: &Assignment,
 ) -> VerificationOutcome {
-    let rejecting = instance
-        .graph()
-        .nodes()
-        .filter(|&v| !verifier.verify(&view_of(instance, assignment, v)))
-        .map(|v| instance.ids().ident(v))
-        .collect();
+    let _span = locert_trace::span!("core.run_verification");
+    let traced = locert_trace::enabled();
+    let mut rejecting = Vec::new();
+    if traced {
+        let invocations = locert_trace::Counter::named("core.framework.verifier.invocations");
+        let rejections = locert_trace::Counter::named("core.framework.verifier.rejections");
+        let cert_bits = locert_trace::Histogram::named("core.framework.certificate.bits");
+        let per_vertex_ns = locert_trace::Histogram::named("core.framework.verifier.ns");
+        for v in instance.graph().nodes() {
+            cert_bits.record(assignment.cert(v).len_bits() as u64);
+            let start = std::time::Instant::now();
+            let accepted = verifier.verify(&view_of(instance, assignment, v));
+            per_vertex_ns.record(start.elapsed().as_nanos() as u64);
+            invocations.add(1);
+            if !accepted {
+                rejections.add(1);
+                rejecting.push(instance.ids().ident(v));
+            }
+        }
+    } else {
+        rejecting = instance
+            .graph()
+            .nodes()
+            .filter(|&v| !verifier.verify(&view_of(instance, assignment, v)))
+            .map(|v| instance.ids().ident(v))
+            .collect();
+    }
     VerificationOutcome {
         rejecting,
         max_bits: assignment.max_bits(),
@@ -306,7 +331,22 @@ pub fn run_scheme(
     scheme: &dyn Scheme,
     instance: &Instance<'_>,
 ) -> Result<VerificationOutcome, ProverError> {
-    let assignment = scheme.assign(instance)?;
+    let _span = locert_trace::span!("core.run_scheme");
+    let assignment = {
+        let _prover_span = locert_trace::span!("core.prover");
+        scheme.assign(instance)?
+    };
+    if locert_trace::enabled() {
+        locert_trace::add("core.prover.assignments", 1);
+        locert_trace::record(
+            "core.framework.assignment.max_bits",
+            assignment.max_bits() as u64,
+        );
+        locert_trace::record(
+            "core.framework.assignment.total_bits",
+            assignment.total_bits() as u64,
+        );
+    }
     Ok(run_verification(scheme, instance, &assignment))
 }
 

@@ -35,6 +35,7 @@ impl AcyclicityScheme {
 
 impl Prover for AcyclicityScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.acyclicity.prover");
         if !instance.graph().is_tree() {
             return Err(ProverError::NotAYesInstance);
         }

@@ -147,6 +147,7 @@ impl Depth2FoScheme {
 
 impl Prover for Depth2FoScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.depth2_fo.prover");
         let g = instance.graph();
         let region = classify(g);
         if !self.truth[region.tag() as usize] {

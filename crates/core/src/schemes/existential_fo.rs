@@ -135,6 +135,7 @@ impl ExistentialFoScheme {
 
 impl Prover for ExistentialFoScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.existential_fo.prover");
         let g = instance.graph();
         let ids = instance.ids();
         let k = self.arity();

@@ -325,6 +325,7 @@ impl KernelMsoScheme {
 
 impl Prover for KernelMsoScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.kernel_mso.prover");
         let g = instance.graph();
         let model = model_for(instance, self.t, &self.strategy)?;
         let red = k_reduce(g, &model, self.k);

@@ -62,6 +62,7 @@ impl PathMinorFreeScheme {
 
 impl Prover for PathMinorFreeScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.minor_free.path.prover");
         // The DFS model strategy cannot fail on yes-instances: any DFS
         // root-to-leaf chain is a real path, so depth ≤ t − 1 whenever
         // the graph is P_t-minor-free.
@@ -146,6 +147,7 @@ impl CtMinorFreeScheme {
 
 impl Prover for CtMinorFreeScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.minor_free.cycle.prover");
         let g = instance.graph();
         let ids = instance.ids();
         let decomposition = biconnected_components(g);

@@ -84,6 +84,7 @@ impl MsoTreeScheme {
 
 impl Prover for MsoTreeScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.mso_tree.prover");
         let g = instance.graph();
         let rooted = RootedTree::from_tree(g, NodeId(0)).ok_or(ProverError::NotAYesInstance)?;
         let labels: Vec<usize> = g.nodes().map(|v| instance.input(v)).collect();

@@ -166,6 +166,7 @@ impl SpanningTreeScheme {
 
 impl Prover for SpanningTreeScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.spanning_tree.prover");
         let root = match &self.root_selector {
             Some(sel) => sel(instance).ok_or(ProverError::NotAYesInstance)?,
             None => NodeId(0),
@@ -327,6 +328,7 @@ impl VertexCountScheme {
 
 impl Prover for VertexCountScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.vertex_count.prover");
         let g = instance.graph();
         let n = g.num_nodes() as u64;
         if self.expected.is_some_and(|e| e != n) {

@@ -50,6 +50,7 @@ impl TreeDepthBoundScheme {
 
 impl Prover for TreeDepthBoundScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.tree_depth_bound.prover");
         let g = instance.graph();
         if !g.is_tree() {
             return Err(ProverError::NotAYesInstance);

@@ -44,6 +44,7 @@ impl TreeDiameterScheme {
 
 impl Prover for TreeDiameterScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.tree_diameter.prover");
         let g = instance.graph();
         if !g.is_tree() {
             return Err(ProverError::NotAYesInstance);

@@ -327,6 +327,7 @@ pub fn model_for(
 
 impl Prover for TreedepthScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.treedepth.prover");
         let model = model_for(instance, self.t, &self.strategy)?;
         let certs = honest_td_certs(instance, &model)
             .iter()

@@ -130,6 +130,7 @@ impl UniversalScheme {
 
 impl Prover for UniversalScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.universal.prover");
         let g = instance.graph();
         if !(self.property)(g) || !g.is_connected() {
             return Err(ProverError::NotAYesInstance);

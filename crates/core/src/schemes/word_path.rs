@@ -99,6 +99,7 @@ impl WordPathScheme {
 
 impl Prover for WordPathScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
+        let _span = locert_trace::span!("core.schemes.word_path.prover");
         let g = instance.graph();
         let n = g.num_nodes();
         // Must be a path: a tree with max degree ≤ 2.

@@ -37,6 +37,15 @@ pub fn exists_accepting_certificate(
 ) -> Option<Vec<bool>> {
     let m = p.certificate_bits();
     assert!(m < 63, "certificate space too large to enumerate");
+    if locert_trace::enabled() {
+        let mut tried = 0u64;
+        let found = all_strings(m).find(|cert| {
+            tried += 1;
+            p.alice(s_a, cert) && p.bob(s_b, cert)
+        });
+        locert_trace::add("lb.cc.certs_tried", tried);
+        return found;
+    }
     all_strings(m).find(|cert| p.alice(s_a, cert) && p.bob(s_b, cert))
 }
 
@@ -62,8 +71,12 @@ pub fn decides_equality(p: &impl Protocol, l: usize) -> Result<(), (Vec<bool>, V
 /// `m ≥ ℓ` saved the protocol.
 pub fn fooling_attack(p: &impl Protocol, l: usize) -> Option<(Vec<bool>, Vec<bool>, Vec<bool>)> {
     use std::collections::HashMap;
+    let _span = locert_trace::span!("lb.cc.fooling_attack");
     let mut by_cert: HashMap<Vec<bool>, Vec<bool>> = HashMap::new();
     for s in all_strings(l) {
+        if locert_trace::enabled() {
+            locert_trace::add("lb.cc.pairs_examined", 1);
+        }
         let cert = exists_accepting_certificate(p, &s, &s)?;
         if let Some(prev) = by_cert.get(&cert) {
             // Two distinct strings share an accepting certificate: the

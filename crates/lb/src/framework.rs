@@ -142,6 +142,9 @@ impl<'v, F: GadgetFamily> ExtractedProtocol<'v, F> {
         let inst = Instance::new(g, ids);
         let mut counters = vec![0u64; private.len()];
         loop {
+            if locert_trace::enabled() {
+                locert_trace::add("lb.framework.labelings_enumerated", 1);
+            }
             let mut asg = base.clone();
             for (i, &v) in private.iter().enumerate() {
                 let mut w = BitWriter::new();

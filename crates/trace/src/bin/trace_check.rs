@@ -1,0 +1,63 @@
+//! `trace-check` — CI gate for telemetry artifacts.
+//!
+//! Usage: `trace-check METRICS_JSON`
+//!
+//! Exits non-zero (with a diagnostic) unless the file exists, parses as
+//! JSON, and contains a non-empty `experiments` array in which every
+//! entry carries an `id`, a span tree, and a counters object — the shape
+//! `experiments --metrics` writes.
+
+use locert_trace::json::{self, Value};
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let experiments = doc
+        .get("experiments")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing top-level \"experiments\" array"))?;
+    if experiments.is_empty() {
+        return Err(format!("{path}: \"experiments\" is empty"));
+    }
+    for (i, exp) in experiments.iter().enumerate() {
+        let id = exp
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: experiments[{i}] has no \"id\""))?;
+        let spans = exp
+            .get("telemetry")
+            .and_then(|t| t.get("spans"))
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{path}: experiment {id} has no span tree"))?;
+        if spans.is_empty() {
+            return Err(format!("{path}: experiment {id} recorded no spans"));
+        }
+        match exp.get("telemetry").and_then(|t| t.get("counters")) {
+            Some(Value::Obj(counters)) if !counters.is_empty() => {}
+            _ => return Err(format!("{path}: experiment {id} recorded no counters")),
+        }
+    }
+    Ok(format!(
+        "{path}: OK ({} experiments, {} bytes)",
+        experiments.len(),
+        text.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace-check METRICS_JSON");
+        return ExitCode::FAILURE;
+    };
+    match check(&path) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Structured export of a [`Snapshot`]: JSON for machines, markdown for
+//! humans (the EXPERIMENTS.md telemetry appendix).
+
+use crate::json::Value;
+use crate::{HistogramSnapshot, Snapshot, SpanNode};
+use std::fmt::Write as _;
+
+fn span_to_json(s: &SpanNode) -> Value {
+    Value::obj([
+        ("name".to_string(), Value::from(s.name.as_str())),
+        ("calls".to_string(), Value::from(s.calls)),
+        ("total_ns".to_string(), Value::from(s.total_ns)),
+        (
+            "children".to_string(),
+            Value::Arr(s.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn histogram_to_json(h: &HistogramSnapshot) -> Value {
+    let mut pairs = vec![
+        ("count".to_string(), Value::from(h.count)),
+        ("sum".to_string(), Value::from(h.sum)),
+        (
+            "buckets".to_string(),
+            Value::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(le, c)| {
+                        Value::obj([
+                            // The overflow bucket's bound is u64::MAX,
+                            // which f64 cannot hold exactly; export as
+                            // null (conventional "+Inf" bucket).
+                            (
+                                "le".to_string(),
+                                if le == u64::MAX {
+                                    Value::Null
+                                } else {
+                                    Value::from(le)
+                                },
+                            ),
+                            ("count".to_string(), Value::from(c)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(min) = h.min {
+        pairs.push(("min".to_string(), Value::from(min)));
+    }
+    if let Some(max) = h.max {
+        pairs.push(("max".to_string(), Value::from(max)));
+    }
+    if let Some(mean) = h.mean() {
+        pairs.push(("mean".to_string(), Value::from(mean)));
+    }
+    Value::obj(pairs)
+}
+
+/// Converts a snapshot into a JSON value:
+/// `{"counters": {...}, "histograms": {...}, "spans": [...]}`.
+pub fn snapshot_to_json(snap: &Snapshot) -> Value {
+    Value::obj([
+        (
+            "counters".to_string(),
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::from(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_string(),
+            Value::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histogram_to_json(h)))
+                    .collect(),
+            ),
+        ),
+        (
+            "spans".to_string(),
+            Value::Arr(snap.spans.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+/// The snapshot as one JSON document (no trailing newline).
+pub fn snapshot_json_string(snap: &Snapshot) -> String {
+    snapshot_to_json(snap).to_string()
+}
+
+fn push_span_rows(out: &mut String, span: &SpanNode, depth: usize) {
+    let indent = "··".repeat(depth);
+    let mean_us = span.total_ns as f64 / 1e3 / span.calls.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "| {}{} | {} | {:.2} | {:.1} |",
+        indent,
+        span.name.replace('|', "\\|"),
+        span.calls,
+        span.total_ns as f64 / 1e6,
+        mean_us
+    );
+    for child in &span.children {
+        push_span_rows(out, child, depth + 1);
+    }
+}
+
+/// Renders the snapshot as a markdown summary: a span-tree table, a
+/// counter table, and a histogram table.
+pub fn snapshot_markdown(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "| span | calls | total [ms] | mean [µs/call] |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for span in &snap.spans {
+            push_span_rows(&mut out, span, 0);
+        }
+        let _ = writeln!(out);
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "| {} | {} |", name.replace('|', "\\|"), value);
+        }
+        let _ = writeln!(out);
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "| histogram | count | min | mean | max |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.2} | {} |",
+                name.replace('|', "\\|"),
+                h.count,
+                h.min.unwrap_or(0),
+                h.mean().unwrap_or(0.0),
+                h.max.unwrap_or(0)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn export_roundtrips_through_json() {
+        let _g = crate::tests::serial();
+        crate::disable();
+        crate::reset();
+        crate::enable();
+        {
+            let _s = crate::span!("export.test.outer");
+            let _i = crate::span!("export.test.inner");
+            crate::add("export.test.counter", 41);
+            crate::record("export.test.histogram", 12);
+            crate::record("export.test.histogram", 3);
+        }
+        crate::disable();
+        let snap = crate::snapshot();
+        crate::reset();
+
+        let text = snapshot_json_string(&snap);
+        let parsed = json::parse(&text).expect("export parses back");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("export.test.counter"))
+                .and_then(json::Value::as_num),
+            Some(41.0)
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("export.test.histogram"))
+            .expect("histogram exported");
+        assert_eq!(hist.get("count").and_then(json::Value::as_num), Some(2.0));
+        assert_eq!(hist.get("sum").and_then(json::Value::as_num), Some(15.0));
+        let spans = parsed
+            .get("spans")
+            .and_then(json::Value::as_arr)
+            .expect("spans");
+        let outer = spans
+            .iter()
+            .find(|s| s.get("name").and_then(json::Value::as_str) == Some("export.test.outer"))
+            .expect("outer span exported");
+        let children = outer
+            .get("children")
+            .and_then(json::Value::as_arr)
+            .expect("children");
+        assert_eq!(
+            children[0].get("name").and_then(json::Value::as_str),
+            Some("export.test.inner")
+        );
+    }
+
+    #[test]
+    fn markdown_mentions_every_section() {
+        let _g = crate::tests::serial();
+        crate::disable();
+        crate::reset();
+        crate::enable();
+        {
+            let _s = crate::span!("md.test.span");
+            crate::add("md.test.counter", 1);
+            crate::record("md.test.histogram", 2);
+        }
+        crate::disable();
+        let snap = crate::snapshot();
+        crate::reset();
+        let md = snapshot_markdown(&snap);
+        assert!(md.contains("md.test.span"));
+        assert!(md.contains("md.test.counter"));
+        assert!(md.contains("md.test.histogram"));
+        assert!(md.contains("| span | calls |"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Snapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+            spans: Vec::new(),
+        };
+        assert_eq!(snapshot_markdown(&snap), "");
+        let parsed = json::parse(&snapshot_json_string(&snap)).expect("parses");
+        assert_eq!(
+            parsed
+                .get("spans")
+                .and_then(json::Value::as_arr)
+                .map(<[json::Value]>::len),
+            Some(0)
+        );
+    }
+}

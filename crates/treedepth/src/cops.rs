@@ -38,13 +38,19 @@ pub fn cop_number(g: &Graph) -> usize {
         (1..=GAME_LIMIT).contains(&n),
         "game solver size out of range"
     );
+    let _span = locert_trace::span!("treedepth.cops.cop_number");
     let mut memo = HashMap::new();
     let full = (1u64 << n) - 1;
-    components_of(g, full)
+    let k = components_of(g, full)
         .into_iter()
         .map(|c| value(g, c, &mut memo))
         .max()
-        .unwrap_or(0)
+        .unwrap_or(0);
+    if locert_trace::enabled() {
+        locert_trace::add("treedepth.cops.games_solved", 1);
+        locert_trace::add("treedepth.cops.territories_evaluated", memo.len() as u64);
+    }
+    k
 }
 
 fn components_of(g: &Graph, mask: u64) -> Vec<u64> {
@@ -237,9 +243,13 @@ where
     F: FnMut(&Game<'_>, NodeId) -> NodeId,
 {
     assert!(g.num_nodes() <= GAME_LIMIT);
+    let _span = locert_trace::span!("treedepth.cops.play_optimal");
     let mut memo = HashMap::new();
     let mut game = Game::new(g, start);
     loop {
+        if locert_trace::enabled() {
+            locert_trace::add("treedepth.cops.moves_played", 1);
+        }
         let territory = game.territory();
         // Optimal announcement: vertex minimizing 1 + max component value.
         let mut best_v = None;

@@ -31,9 +31,12 @@ pub fn treedepth_exact(g: &Graph) -> usize {
         n <= EXACT_LIMIT,
         "exact treedepth limited to {EXACT_LIMIT} vertices"
     );
+    let _span = locert_trace::span!("treedepth.exact");
     let mut solver = Solver::new(g);
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    solver.treedepth(full)
+    let td = solver.treedepth(full);
+    solver.flush_stats();
+    td
 }
 
 /// An optimal elimination tree of a **connected** graph `g`, reconstructed
@@ -47,16 +50,21 @@ pub fn optimal_elimination_tree(g: &Graph) -> EliminationTree {
     let n = g.num_nodes();
     assert!((1..=EXACT_LIMIT).contains(&n), "size out of range");
     assert!(g.is_connected(), "optimal model requires a connected graph");
+    let _span = locert_trace::span!("treedepth.exact.optimal_model");
     let mut solver = Solver::new(g);
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut parent = vec![None; n];
     solver.build(full, None, &mut parent);
+    solver.flush_stats();
     EliminationTree::new(g, &parent).expect("solver output is a model")
 }
 
 struct Solver<'g> {
     g: &'g Graph,
     memo: HashMap<u64, usize>,
+    branches: u64,
+    prunes: u64,
+    memo_hits: u64,
 }
 
 impl<'g> Solver<'g> {
@@ -64,6 +72,20 @@ impl<'g> Solver<'g> {
         Solver {
             g,
             memo: HashMap::new(),
+            branches: 0,
+            prunes: 0,
+            memo_hits: 0,
+        }
+    }
+
+    /// Publishes the solver-local search statistics to the global metrics
+    /// registry (no-op when tracing is disabled).
+    fn flush_stats(&self) {
+        if locert_trace::enabled() {
+            locert_trace::add("treedepth.exact.branches", self.branches);
+            locert_trace::add("treedepth.exact.prunes", self.prunes);
+            locert_trace::add("treedepth.exact.memo_hits", self.memo_hits);
+            locert_trace::add("treedepth.exact.memo_entries", self.memo.len() as u64);
         }
     }
 
@@ -140,6 +162,7 @@ impl<'g> Solver<'g> {
             return 2;
         }
         if let Some(&hit) = self.memo.get(&mask) {
+            self.memo_hits += 1;
             return hit;
         }
         let lb = self.lower_bound(mask);
@@ -148,15 +171,18 @@ impl<'g> Solver<'g> {
         while m != 0 {
             let v = m.trailing_zeros() as usize;
             m &= m - 1;
+            self.branches += 1;
             let rest = mask & !(1u64 << v);
             // td = 1 + max over components of rest; prune component-wise.
             let mut worst = 0usize;
             for comp in self.components(rest) {
                 if worst + 1 >= best {
+                    self.prunes += 1;
                     break;
                 }
                 let sub_lb = self.lower_bound(comp);
                 if sub_lb + 1 >= best {
+                    self.prunes += 1;
                     worst = best; // will fail the bound below.
                     break;
                 }
