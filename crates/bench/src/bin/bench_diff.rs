@@ -1,0 +1,308 @@
+//! bench-diff — the regression gate over committed benchmark baselines.
+//!
+//! ```text
+//! bench-diff BASELINE CURRENT [--threshold FACTOR]
+//! bench-diff scale FACTOR IN OUT
+//! ```
+//!
+//! Compares two benchmark artifacts and exits nonzero when any entry in
+//! CURRENT is slower than its BASELINE counterpart by more than the noise
+//! threshold (default 1.5x). Two artifact schemas are auto-detected:
+//!
+//! - `locert-criterion/v1` (`BENCH_*.json` from the vendored criterion
+//!   stub): compares `median_ns` per benchmark name;
+//! - `locert-trace/v1` (`metrics.json` from the experiments binary):
+//!   compares `wall_s` per experiment id.
+//!
+//! Entries present in only one file are reported but never fail the gate
+//! (benchmarks come and go; the gate is about the ones that persist). A
+//! markdown delta table goes to stdout so CI logs double as a report.
+//!
+//! `scale` multiplies every metric in IN by FACTOR and writes OUT — CI
+//! uses it to synthesize a known 2x regression and assert the gate trips.
+//!
+//! Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO/parse.
+
+use locert_trace::json::{parse, Value};
+use std::process::ExitCode;
+
+/// Noise tolerance: current/baseline ratios up to this factor pass.
+const DEFAULT_THRESHOLD: f64 = 1.5;
+
+const USAGE: &str = "\
+usage: bench-diff BASELINE CURRENT [--threshold FACTOR]
+       bench-diff scale FACTOR IN OUT
+
+Compares two benchmark artifacts (BENCH_*.json with schema
+locert-criterion/v1, or metrics.json with schema locert-trace/v1),
+prints a markdown delta table, and exits 1 if any shared entry in
+CURRENT exceeds BASELINE by more than FACTOR (default 1.5).
+
+The scale form multiplies every metric in IN by FACTOR and writes
+OUT; CI uses it to inject a synthetic regression.";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench-diff: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// One comparable entry extracted from an artifact: a name and a metric.
+struct Entry {
+    name: String,
+    value: f64,
+}
+
+/// Which schema an artifact declared, and the unit its metric carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Criterion,
+    Metrics,
+}
+
+impl Kind {
+    fn unit(self) -> &'static str {
+        match self {
+            Kind::Criterion => "median ns",
+            Kind::Metrics => "wall s",
+        }
+    }
+}
+
+/// Reads and parses one artifact into its kind and entry list.
+fn load(path: &str) -> Result<(Kind, Vec<Entry>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    extract(&doc).map_err(|e| format!("{path}: {e}"))
+}
+
+fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\" key")?;
+    match schema {
+        "locert-criterion/v1" => {
+            let items = doc
+                .get("benchmarks")
+                .and_then(Value::as_arr)
+                .ok_or("missing \"benchmarks\" array")?;
+            let entries = items
+                .iter()
+                .map(|b| {
+                    Ok(Entry {
+                        name: b
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or("benchmark without \"name\"")?
+                            .to_string(),
+                        value: b
+                            .get("median_ns")
+                            .and_then(Value::as_num)
+                            .ok_or("benchmark without \"median_ns\"")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, &str>>()?;
+            Ok((Kind::Criterion, entries))
+        }
+        "locert-trace/v1" => {
+            let items = doc
+                .get("experiments")
+                .and_then(Value::as_arr)
+                .ok_or("missing \"experiments\" array")?;
+            let entries = items
+                .iter()
+                .map(|e| {
+                    Ok(Entry {
+                        name: e
+                            .get("id")
+                            .and_then(Value::as_str)
+                            .ok_or("experiment without \"id\"")?
+                            .to_string(),
+                        value: e
+                            .get("wall_s")
+                            .and_then(Value::as_num)
+                            .ok_or("experiment without \"wall_s\"")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, &str>>()?;
+            Ok((Kind::Metrics, entries))
+        }
+        other => Err(format!("unknown schema {other:?}")),
+    }
+}
+
+/// Multiplies every metric in the artifact by `factor`, in place.
+fn scale_doc(doc: &mut Value, factor: f64) -> Result<(), String> {
+    let (kind, _) = extract(doc)?;
+    let (list_key, metric_key) = match kind {
+        Kind::Criterion => ("benchmarks", "median_ns"),
+        Kind::Metrics => ("experiments", "wall_s"),
+    };
+    let Value::Obj(map) = doc else {
+        unreachable!("extract checked")
+    };
+    let Some(Value::Arr(items)) = map.get_mut(list_key) else {
+        unreachable!("extract checked")
+    };
+    for item in items {
+        if let Value::Obj(fields) = item {
+            if let Some(Value::Num(v)) = fields.get_mut(metric_key) {
+                *v *= factor;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_scale(factor_s: &str, input: &str, output: &str) -> ExitCode {
+    let Ok(factor) = factor_s.parse::<f64>() else {
+        return fail(&format!("bad scale factor {factor_s:?}"));
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    let mut doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{input}: {e}")),
+    };
+    if let Err(e) = scale_doc(&mut doc, factor) {
+        return fail(&e);
+    }
+    if let Err(e) = std::fs::write(output, format!("{doc}\n")) {
+        return fail(&format!("cannot write {output}: {e}"));
+    }
+    println!("scaled {input} by {factor} -> {output}");
+    ExitCode::SUCCESS
+}
+
+/// Formats a metric for the table: ns as integers, seconds with precision.
+fn fmt_value(kind: Kind, v: f64) -> String {
+    match kind {
+        Kind::Criterion => format!("{v:.0}"),
+        Kind::Metrics => format!("{v:.3}"),
+    }
+}
+
+fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode {
+    let (base_kind, base) = match load(baseline_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (cur_kind, cur) = match load(current_path) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    if base_kind != cur_kind {
+        return fail(&format!(
+            "schema mismatch: {baseline_path} is {base_kind:?}, {current_path} is {cur_kind:?}"
+        ));
+    }
+
+    println!("## bench-diff: {baseline_path} vs {current_path}");
+    println!();
+    println!("Threshold: current/baseline > {threshold:.2} on any shared entry fails the gate.");
+    println!();
+    println!(
+        "| benchmark | baseline ({u}) | current ({u}) | ratio | status |",
+        u = base_kind.unit()
+    );
+    println!("|---|---:|---:|---:|---|");
+
+    let mut regressions = Vec::new();
+    let mut shared = 0usize;
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.name == b.name) else {
+            println!(
+                "| {} | {} | — | — | removed |",
+                b.name,
+                fmt_value(base_kind, b.value)
+            );
+            continue;
+        };
+        shared += 1;
+        // A zero baseline can't define a ratio; treat any nonzero current
+        // value as within noise rather than dividing by zero.
+        let ratio = if b.value == 0.0 {
+            1.0
+        } else {
+            c.value / b.value
+        };
+        let status = if ratio > threshold {
+            regressions.push(b.name.clone());
+            "**REGRESSION**"
+        } else if ratio < 1.0 / threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "| {} | {} | {} | {ratio:.2} | {status} |",
+            b.name,
+            fmt_value(base_kind, b.value),
+            fmt_value(base_kind, c.value),
+        );
+    }
+    for c in &cur {
+        if !base.iter().any(|b| b.name == c.name) {
+            println!(
+                "| {} | — | {} | — | added |",
+                c.name,
+                fmt_value(base_kind, c.value)
+            );
+        }
+    }
+
+    println!();
+    if regressions.is_empty() {
+        println!("No regressions across {shared} shared entries.");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} regression(s) beyond {threshold:.2}x: {}",
+            regressions.len(),
+            regressions.join(", ")
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scale") {
+        return match args.as_slice() {
+            [_, factor, input, output] => run_scale(factor, input, output),
+            _ => fail("scale takes exactly FACTOR IN OUT"),
+        };
+    }
+
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next() else {
+                    return fail("--threshold needs a value");
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 1.0 => threshold = t,
+                    _ => return fail(&format!("bad threshold {v:?} (need a number >= 1)")),
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown flag {other:?}"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    match paths.as_slice() {
+        [baseline, current] => run_diff(baseline, current, threshold),
+        _ => fail("expected exactly BASELINE and CURRENT paths"),
+    }
+}

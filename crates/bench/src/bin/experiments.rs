@@ -4,15 +4,22 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--out PATH] [--quick] [--metrics [PATH]] [only-ids…]
+//! experiments [--out PATH] [--quick] [--metrics [PATH]] [--baseline]
+//!             [--journal [PATH]] [--chrome-trace [PATH]] [only-ids…]
 //! ```
 //!
 //! `--quick` shrinks the size grids (used by CI-style smoke runs);
 //! `--metrics` enables the locert-trace subscriber and writes a
-//! machine-readable telemetry dump (default `metrics.json`) plus a
-//! Telemetry appendix in the report; trailing arguments select
-//! experiment ids (`e1`, `e4`, `f1`, …). Unknown `--` flags and unknown
-//! ids are usage errors.
+//! machine-readable telemetry dump (default `target/metrics.json`) plus
+//! a Telemetry appendix in the report; `--baseline` writes the dump to
+//! the committed workspace-root `metrics.json` instead (baseline
+//! regeneration); `--journal` records the replayable verification
+//! journal as JSONL (default `target/journal.jsonl`); `--chrome-trace`
+//! exports the span tree in Chrome trace-event format (default
+//! `target/trace.json`, load via `chrome://tracing` or Perfetto);
+//! trailing arguments select experiment ids (`e1`, `e4`, `f1`, …).
+//! Unknown `--` flags and unknown ids are usage errors; unwritable
+//! output paths are IO errors (exit 1), not panics.
 
 use locert_bench::*;
 use locert_trace::json::Value;
@@ -24,20 +31,49 @@ const KNOWN_IDS: [&str; 14] = [
 ];
 
 const USAGE: &str = "\
-usage: experiments [--out PATH] [--quick] [--metrics [PATH]] [only-ids…]
+usage: experiments [--out PATH] [--quick] [--metrics [PATH]] [--baseline]
+                   [--journal [PATH]] [--chrome-trace [PATH]] [only-ids…]
 
-  --out PATH        report destination (default EXPERIMENTS.md)
-  --quick           shrink size grids for a fast smoke run
-  --metrics [PATH]  record spans/counters/histograms via locert-trace and
-                    write them as JSON (default metrics.json); also appends
-                    a Telemetry appendix to the report
-  --help            print this message
-  only-ids…         run only the listed experiments (e1 e2 e3 e4 e5 e6 e7
-                    e8 f1 f4 p34 a1 s1 s2)";
+  --out PATH            report destination (default EXPERIMENTS.md)
+  --quick               shrink size grids for a fast smoke run
+  --metrics [PATH]      record spans/counters/histograms via locert-trace
+                        and write them as JSON (default
+                        target/metrics.json); also appends a Telemetry
+                        appendix to the report
+  --baseline            write the telemetry dump to the committed
+                        workspace-root metrics.json (baseline
+                        regeneration; implies --metrics metrics.json)
+  --journal [PATH]      record the replayable verification journal and
+                        write it as JSONL (default target/journal.jsonl)
+  --chrome-trace [PATH] export the span tree as Chrome trace events
+                        (default target/trace.json)
+  --help                print this message
+  only-ids…             run only the listed experiments (e1 e2 e3 e4 e5 e6
+                        e7 e8 f1 f4 p34 a1 s1 s2)";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("experiments: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+fn fail_io(what: &str, path: &str, err: &std::io::Error) -> ! {
+    eprintln!("experiments: cannot write {what} {path}: {err}");
+    std::process::exit(1);
+}
+
+/// Writes `content` to `path`, creating parent directories; IO failures
+/// are reported as errors (exit 1), never panics.
+fn write_artifact(what: &str, path: &str, content: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail_io(what, path, &e);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, content) {
+        fail_io(what, path, &e);
+    }
 }
 
 fn main() {
@@ -45,7 +81,18 @@ fn main() {
     let mut out_path = "EXPERIMENTS.md".to_string();
     let mut quick = false;
     let mut metrics_path: Option<String> = None;
+    let mut journal_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
     let mut only: Vec<String> = Vec::new();
+    // The path operand of --metrics/--journal/--chrome-trace is optional:
+    // consume the next argument unless it is a flag or an experiment id.
+    let optional_path = |args: &[String], i: usize| -> Option<String> {
+        args.get(i + 1)
+            .filter(|a| {
+                !a.starts_with("--") && !KNOWN_IDS.contains(&a.to_ascii_lowercase().as_str())
+            })
+            .cloned()
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,20 +108,28 @@ fn main() {
                 }
             }
             "--quick" => quick = true,
-            "--metrics" => {
-                // The path operand is optional: consume the next argument
-                // unless it is a flag or an experiment id.
-                let next = args.get(i + 1);
-                let takes_path = next.is_some_and(|a| {
-                    !a.starts_with("--") && !KNOWN_IDS.contains(&a.to_ascii_lowercase().as_str())
-                });
-                if takes_path {
+            "--metrics" => match optional_path(&args, i) {
+                Some(p) => {
                     i += 1;
-                    metrics_path = Some(args[i].clone());
-                } else {
-                    metrics_path = Some("metrics.json".to_string());
+                    metrics_path = Some(p);
                 }
-            }
+                None => metrics_path = Some("target/metrics.json".to_string()),
+            },
+            "--baseline" => metrics_path = Some("metrics.json".to_string()),
+            "--journal" => match optional_path(&args, i) {
+                Some(p) => {
+                    i += 1;
+                    journal_path = Some(p);
+                }
+                None => journal_path = Some("target/journal.jsonl".to_string()),
+            },
+            "--chrome-trace" => match optional_path(&args, i) {
+                Some(p) => {
+                    i += 1;
+                    chrome_path = Some(p);
+                }
+                None => chrome_path = Some("target/trace.json".to_string()),
+            },
             flag if flag.starts_with("--") => {
                 fail_usage(&format!("unknown flag {flag}"));
             }
@@ -89,8 +144,12 @@ fn main() {
         i += 1;
     }
     let want = |id: &str| only.is_empty() || only.iter().any(|o| o == id);
-    if metrics_path.is_some() {
+    let tracing = metrics_path.is_some() || chrome_path.is_some();
+    if tracing {
         locert_trace::enable();
+    }
+    if journal_path.is_some() {
+        locert_trace::journal::enable();
     }
 
     let (small, medium, large): (Vec<usize>, Vec<usize>, Vec<usize>) = if quick {
@@ -110,16 +169,19 @@ fn main() {
         ($id:expr, $body:expr) => {
             if want($id) {
                 eprintln!("running {} …", $id);
-                if metrics_path.is_some() {
+                if tracing {
                     locert_trace::reset();
                 }
+                locert_trace::journal::record_with(|| locert_trace::journal::Event::Marker {
+                    label: $id.to_string(),
+                });
                 let start = std::time::Instant::now();
                 let produced: Vec<Table> = {
                     let _span = locert_trace::span($id);
                     $body
                 };
                 let secs = start.elapsed().as_secs_f64();
-                if metrics_path.is_some() {
+                if tracing {
                     telemetry.push(($id.to_string(), secs, locert_trace::snapshot()));
                 }
                 timings.push(($id.to_string(), secs));
@@ -196,7 +258,8 @@ fn main() {
     });
     run_exp!("s2", {
         let runs = if quick { 40 } else { 200 };
-        vec![s2_faults::run(12, runs, 0x52)]
+        let (rates, provenance) = s2_faults::run_with_provenance(12, runs, 0x52);
+        vec![rates, provenance]
     });
 
     // Assemble the report.
@@ -225,13 +288,12 @@ fn main() {
         let _ = writeln!(md, "| {id} | {title} | {secs:.2} |");
     }
     let _ = writeln!(md);
-    if metrics_path.is_some() {
+    if let Some(path) = &metrics_path {
         let _ = writeln!(
             md,
             "Telemetry for this run (spans, counters, histograms) is in the \
              [appendix](#telemetry-appendix) and, machine-readable, in \
-             `{}`.",
-            metrics_path.as_deref().unwrap_or("metrics.json")
+             `{path}`."
         );
         let _ = writeln!(md);
     }
@@ -257,7 +319,28 @@ fn main() {
         write_metrics_json(path, quick, &telemetry);
         eprintln!("wrote {path} ({} experiments)", telemetry.len());
     }
-    std::fs::write(&out_path, md).expect("write report");
+    if let Some(path) = &chrome_path {
+        let sections: Vec<(&str, &locert_trace::Snapshot)> = telemetry
+            .iter()
+            .map(|(id, _, snap)| (id.as_str(), snap))
+            .collect();
+        write_artifact(
+            "chrome trace",
+            path,
+            &locert_trace::export::chrome_trace_string(&sections),
+        );
+        eprintln!("wrote {path} ({} sections)", sections.len());
+    }
+    if let Some(path) = &journal_path {
+        let snap = locert_trace::journal::snapshot();
+        write_artifact("journal", path, &locert_trace::journal::to_jsonl(&snap));
+        eprintln!(
+            "wrote {path} ({} events, {} dropped)",
+            snap.entries.len(),
+            snap.dropped
+        );
+    }
+    write_artifact("report", &out_path, &md);
     eprintln!("wrote {out_path} ({} tables)", tables.len());
 }
 
@@ -286,10 +369,5 @@ fn write_metrics_json(
         ("quick".to_string(), Value::Bool(quick)),
         ("experiments".to_string(), Value::Arr(experiments)),
     ]);
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create metrics dir");
-        }
-    }
-    std::fs::write(path, format!("{doc}\n")).expect("write metrics");
+    write_artifact("metrics", path, &format!("{doc}\n"));
 }

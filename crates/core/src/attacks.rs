@@ -195,7 +195,7 @@ pub fn random_assignments(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::framework::LocalView;
+    use crate::framework::{LocalView, RejectReason};
     use locert_graph::{generators, IdAssignment};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -206,8 +206,12 @@ mod tests {
     struct TokenVerifier;
 
     impl Verifier for TokenVerifier {
-        fn verify(&self, view: &LocalView<'_>) -> bool {
-            view.degree() == 2 && view.cert.len_bits() == 1 && view.cert.bit(0)
+        fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+            if view.degree() == 2 && view.cert.len_bits() == 1 && view.cert.bit(0) {
+                Ok(())
+            } else {
+                Err(RejectReason::PropertyViolation)
+            }
         }
     }
 

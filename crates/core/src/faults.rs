@@ -26,10 +26,11 @@
 //!   nearest rejecting vertex (0 = the faulted vertex itself rejects).
 
 use crate::bits::{BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Verifier};
+use crate::framework::{Assignment, Instance, LocalView, RejectReason, Verifier};
 use locert_graph::{traversal, Ident, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One adversarial fault model.
@@ -369,11 +370,26 @@ pub fn faulty_view_of<'a>(
     }
 }
 
+/// One rejection in a faulty world, linked back to its provenance: which
+/// vertex rejected, why, and how far it sits from the nearest fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// The rejecting (honest) vertex.
+    pub vertex: NodeId,
+    /// The verifier's rejection reason at that vertex.
+    pub reason: RejectReason,
+    /// BFS distance from the nearest fault site to the detector; `None`
+    /// when no site reaches it (or the plan was empty).
+    pub distance: Option<usize>,
+}
+
 /// The outcome of verifying a faulty world.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultOutcome {
     /// Honest (non-byzantine) vertices that rejected.
     pub rejecting: Vec<NodeId>,
+    /// Per-rejector provenance (same order as `rejecting`).
+    pub detections: Vec<Detection>,
     /// Whether any fault changed observable state (see
     /// [`FaultyWorld::is_effective`]).
     pub effective: bool,
@@ -404,29 +420,82 @@ pub fn run_with_faults(
         locert_trace::add("core.faults.injections", plan.faults().len() as u64);
     }
     let world = inject(instance, honest, plan);
-    let rejecting: Vec<NodeId> = instance
-        .graph()
-        .nodes()
-        .filter(|&v| {
-            !world.is_byzantine(v) && !verifier.verify(&faulty_view_of(instance, &world, v))
+    for fault in plan.faults() {
+        locert_trace::journal::record_with(|| locert_trace::journal::Event::FaultInjected {
+            model: fault.model.name().to_string(),
+            site: fault.site.0 as u64,
+            effective: world.is_effective(),
+        });
+    }
+    let mut rejecting = Vec::new();
+    let mut reasons = Vec::new();
+    for v in instance.graph().nodes() {
+        if world.is_byzantine(v) {
+            continue;
+        }
+        if let Err(reason) = verifier.decide(&faulty_view_of(instance, &world, v)) {
+            rejecting.push(v);
+            reasons.push(reason);
+        }
+    }
+    // Provenance: distance from each detector to its nearest fault site
+    // (one BFS per in-range site; campaign plans have exactly one).
+    let sites: Vec<NodeId> = plan
+        .sites()
+        .into_iter()
+        .filter(|s| s.0 < instance.graph().num_nodes())
+        .collect();
+    let site_dists: Vec<Vec<Option<usize>>> = if rejecting.is_empty() {
+        Vec::new()
+    } else {
+        sites
+            .iter()
+            .map(|&s| traversal::bfs_distances(instance.graph(), s))
+            .collect()
+    };
+    let detections: Vec<Detection> = rejecting
+        .iter()
+        .zip(&reasons)
+        .map(|(&v, &reason)| {
+            let (distance, nearest_site) = site_dists
+                .iter()
+                .zip(&sites)
+                .filter_map(|(dists, &s)| dists[v.0].map(|d| (d, s)))
+                .min()
+                .map(|(d, s)| (Some(d), Some(s)))
+                .unwrap_or((None, None));
+            locert_trace::journal::record_with(|| locert_trace::journal::Event::Detection {
+                model: plan
+                    .faults()
+                    .iter()
+                    .find(|f| Some(f.site) == nearest_site)
+                    .or_else(|| plan.faults().first())
+                    .map_or_else(|| "none".to_string(), |f| f.model.name().to_string()),
+                site: nearest_site
+                    .or_else(|| sites.first().copied())
+                    .map_or(0, |s| s.0 as u64),
+                detector: v.0 as u64,
+                reason: reason.code().to_string(),
+                distance: distance.map(|d| d as u64),
+            });
+            Detection {
+                vertex: v,
+                reason,
+                distance,
+            }
         })
         .collect();
-    let locality = plan
-        .sites()
-        .iter()
-        .filter_map(|&site| {
-            traversal::nearest_of(instance.graph(), site, &rejecting).map(|(_, d)| d)
-        })
-        .min();
+    let locality = detections.iter().filter_map(|d| d.distance).min();
     FaultOutcome {
         rejecting,
+        detections,
         effective: world.is_effective(),
         locality,
     }
 }
 
 /// Aggregate statistics of a detection campaign.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Runs in which the injected fault actually changed state.
     pub effective_runs: usize,
@@ -436,6 +505,12 @@ pub struct CampaignStats {
     pub detected: usize,
     /// Sum of rejection localities over detected runs.
     pub locality_sum: usize,
+    /// Tally of rejection reasons over every detection in effective runs
+    /// (a run with several rejectors contributes several counts).
+    pub reasons: BTreeMap<RejectReason, usize>,
+    /// Tally of fault-site-to-detector BFS distances over every detection
+    /// that is reachable from a fault site.
+    pub distances: BTreeMap<usize, usize>,
 }
 
 impl CampaignStats {
@@ -458,6 +533,15 @@ impl CampaignStats {
             Some(self.locality_sum as f64 / self.detected as f64)
         }
     }
+
+    /// The most frequent rejection reason (ties break toward the
+    /// `RejectReason` ordering), with its count.
+    pub fn dominant_reason(&self) -> Option<(RejectReason, usize)> {
+        self.reasons
+            .iter()
+            .max_by_key(|&(_, &count)| count)
+            .map(|(&r, &count)| (r, count))
+    }
 }
 
 /// Sweeps `runs` single-fault plans of `model` (seeded `base_seed..`) over
@@ -476,6 +560,12 @@ pub fn run_campaign(
     for r in 0..runs {
         let plan = FaultPlan::single_at_random_site(model, n, base_seed.wrapping_add(r as u64));
         let outcome = run_with_faults(verifier, instance, honest, &plan);
+        locert_trace::journal::record_with(|| locert_trace::journal::Event::CampaignRound {
+            model: model.name().to_string(),
+            run: r as u64,
+            detected: outcome.detected(),
+            locality: outcome.locality.map(|d| d as u64),
+        });
         if !outcome.effective {
             stats.noop_runs += 1;
             continue;
@@ -484,6 +574,12 @@ pub fn run_campaign(
         if outcome.detected() {
             stats.detected += 1;
             stats.locality_sum += outcome.locality.unwrap_or(0);
+        }
+        for d in &outcome.detections {
+            *stats.reasons.entry(d.reason).or_insert(0) += 1;
+            if let Some(dist) = d.distance {
+                *stats.distances.entry(dist).or_insert(0) += 1;
+            }
         }
     }
     if locert_trace::enabled() {
@@ -586,6 +682,40 @@ mod tests {
     }
 
     #[test]
+    fn detections_carry_reason_and_site_distance() {
+        // Zero an endpoint's VertexCount certificate: every detection
+        // names a reason and a BFS distance back to the fault site, and
+        // the locality equals the nearest detection's distance.
+        let (g, ids) = tree_instance(8);
+        let inst = Instance::new(&g, &ids);
+        let scheme = VertexCountScheme::new(4, 8);
+        let honest = scheme.assign(&inst).unwrap();
+        let plan = FaultPlan::new(11).with_fault(FaultModel::ZeroCert, NodeId(0));
+        let outcome = run_with_faults(&scheme, &inst, &honest, &plan);
+        assert!(outcome.detected());
+        assert_eq!(outcome.detections.len(), outcome.rejecting.len());
+        for (d, &v) in outcome.detections.iter().zip(&outcome.rejecting) {
+            assert_eq!(d.vertex, v);
+            // On a path every vertex is reachable from the site.
+            assert_eq!(d.distance, Some(v.0), "distance from site 0 on a path");
+        }
+        assert_eq!(
+            outcome.locality,
+            outcome.detections.iter().filter_map(|d| d.distance).min()
+        );
+        // Campaign tallies aggregate those reasons.
+        let stats = run_campaign(&scheme, &inst, &honest, FaultModel::ZeroCert, 20, 0xD1);
+        assert!(stats.detected > 0);
+        assert!(!stats.reasons.is_empty());
+        let (_, count) = stats.dominant_reason().unwrap();
+        assert!(count >= 1);
+        assert!(
+            stats.reasons.values().sum::<usize>() >= stats.detected,
+            "every detected run contributes at least one reason"
+        );
+    }
+
+    #[test]
     fn composed_plans_apply_in_order() {
         let (g, ids) = tree_instance(6);
         let inst = Instance::new(&g, &ids);
@@ -631,8 +761,8 @@ mod tests {
         let honest = Assignment::empty(4);
         struct AcceptAll;
         impl Verifier for AcceptAll {
-            fn verify(&self, _view: &LocalView<'_>) -> bool {
-                true
+            fn decide(&self, _view: &LocalView<'_>) -> Result<(), crate::framework::RejectReason> {
+                Ok(())
             }
         }
         let stats = run_campaign(&AcceptAll, &inst, &honest, FaultModel::BitFlip, 10, 1);

@@ -107,7 +107,10 @@ impl Assignment {
         self.certs.get(v.0).unwrap_or(&EMPTY)
     }
 
-    /// Mutable access (for attack harnesses and fault injection).
+    /// Mutable access (for attack harnesses and fault injection). Hands
+    /// the mutation to the event journal so a replay shows *which*
+    /// certificates the harness touched; with the journal disabled the
+    /// extra cost is one relaxed atomic load.
     ///
     /// # Panics
     ///
@@ -115,6 +118,9 @@ impl Assignment {
     /// operation on vertices that exist, unlike the read path which must
     /// stay total under adversarial inputs.
     pub fn cert_mut(&mut self, v: NodeId) -> &mut Certificate {
+        locert_trace::journal::record_with(|| locert_trace::journal::Event::CertMutated {
+            vertex: v.0 as u64,
+        });
         &mut self.certs[v.0]
     }
 
@@ -243,10 +249,146 @@ pub trait Prover {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError>;
 }
 
+/// Why a vertex rejected its radius-1 view.
+///
+/// The catalogue is deliberately scheme-agnostic: every verifier in the
+/// workspace maps its checks onto these reasons so fault campaigns,
+/// attack harnesses and the event journal can aggregate across schemes.
+/// [`RejectReason::code`] gives the stable kebab-case string stored in
+/// JSONL journals and provenance tables; [`RejectReason::from_code`]
+/// inverts it for replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// The vertex's own certificate failed to parse (bad bit index,
+    /// truncated field, out-of-range value).
+    MalformedCertificate,
+    /// A neighbor's certificate failed to parse.
+    MalformedNeighborCertificate,
+    /// A neighbor or witness the certificate promises is not visible in
+    /// the view.
+    MissingNeighbor,
+    /// Root bookkeeping is inconsistent: a forged second root, a
+    /// non-root claiming root fields, or root fields disagreeing across
+    /// an edge.
+    RootMismatch,
+    /// A claimed tree parent is not exactly one step closer to the root.
+    ParentDistanceClash,
+    /// An edge of the graph is not covered by the claimed tree/block
+    /// structure.
+    NonTreeEdge,
+    /// Arithmetic bookkeeping (subtree counts, heights, distances) does
+    /// not add up.
+    CounterMismatch,
+    /// A value that must be replicated identically across an edge (a
+    /// shared map, matrix, table or orientation counter) differs.
+    CopyMismatch,
+    /// A tree-automaton or NFA transition is violated at this vertex.
+    AutomatonStateClash,
+    /// The final/root automaton state (or the kernel property) is not
+    /// accepting.
+    NotAccepting,
+    /// A claimed adjacency row disagrees with the actually visible
+    /// neighborhood.
+    AdjacencyMismatch,
+    /// The vertex's input label is outside the scheme's alphabet.
+    BadInput,
+    /// A structural degree constraint fails (e.g. degree > 2 on a path).
+    DegreeViolation,
+    /// Treedepth ancestor lists are inconsistent (too long, wrong head,
+    /// incomparable endpoints, broken subtree spanning tree).
+    AncestryViolation,
+    /// The fully reconstructed object fails the certified property.
+    PropertyViolation,
+    /// A scheme-specific reason outside the shared catalogue.
+    Other(&'static str),
+}
+
+impl RejectReason {
+    /// Every catalogued reason (excluding the open-ended [`Other`]).
+    ///
+    /// [`Other`]: RejectReason::Other
+    pub const ALL: [RejectReason; 15] = [
+        RejectReason::MalformedCertificate,
+        RejectReason::MalformedNeighborCertificate,
+        RejectReason::MissingNeighbor,
+        RejectReason::RootMismatch,
+        RejectReason::ParentDistanceClash,
+        RejectReason::NonTreeEdge,
+        RejectReason::CounterMismatch,
+        RejectReason::CopyMismatch,
+        RejectReason::AutomatonStateClash,
+        RejectReason::NotAccepting,
+        RejectReason::AdjacencyMismatch,
+        RejectReason::BadInput,
+        RejectReason::DegreeViolation,
+        RejectReason::AncestryViolation,
+        RejectReason::PropertyViolation,
+    ];
+
+    /// The stable kebab-case code used in journals and reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::MalformedCertificate => "malformed-certificate",
+            RejectReason::MalformedNeighborCertificate => "malformed-neighbor-certificate",
+            RejectReason::MissingNeighbor => "missing-neighbor",
+            RejectReason::RootMismatch => "root-mismatch",
+            RejectReason::ParentDistanceClash => "parent-distance-clash",
+            RejectReason::NonTreeEdge => "non-tree-edge",
+            RejectReason::CounterMismatch => "counter-mismatch",
+            RejectReason::CopyMismatch => "copy-mismatch",
+            RejectReason::AutomatonStateClash => "automaton-state-clash",
+            RejectReason::NotAccepting => "not-accepting",
+            RejectReason::AdjacencyMismatch => "adjacency-mismatch",
+            RejectReason::BadInput => "bad-input",
+            RejectReason::DegreeViolation => "degree-violation",
+            RejectReason::AncestryViolation => "ancestry-violation",
+            RejectReason::PropertyViolation => "property-violation",
+            RejectReason::Other(code) => code,
+        }
+    }
+
+    /// Inverts [`code`](RejectReason::code) for the catalogued reasons.
+    /// Codes minted through [`Other`](RejectReason::Other) cannot be
+    /// reconstructed and return `None`.
+    pub fn from_code(code: &str) -> Option<RejectReason> {
+        RejectReason::ALL.into_iter().find(|r| r.code() == code)
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One vertex's verification verdict, with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the vertex accepted.
+    pub accepted: bool,
+    /// Why it rejected (`None` iff `accepted`).
+    pub reason: Option<RejectReason>,
+    /// Certificate bits in the vertex's radius-1 view: its own
+    /// certificate plus every neighbor's (the paper's per-vertex
+    /// verification volume).
+    pub bits_read: usize,
+}
+
 /// The local verification algorithm of a scheme.
 pub trait Verifier {
-    /// The decision of one vertex given its radius-1 view.
-    fn verify(&self, view: &LocalView<'_>) -> bool;
+    /// The decision of one vertex given its radius-1 view, with a
+    /// [`RejectReason`] on rejection.
+    ///
+    /// # Errors
+    ///
+    /// The reason the vertex rejects; `Ok(())` means accept.
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason>;
+
+    /// The bare boolean decision (provided; equivalent to
+    /// `self.decide(view).is_ok()`).
+    fn verify(&self, view: &LocalView<'_>) -> bool {
+        self.decide(view).is_ok()
+    }
 }
 
 /// A complete certification scheme: prover + verifier + metadata.
@@ -259,6 +401,7 @@ pub trait Scheme: Prover + Verifier {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerificationOutcome {
     rejecting: Vec<Ident>,
+    verdicts: Vec<Verdict>,
     max_bits: usize,
 }
 
@@ -271,6 +414,20 @@ impl VerificationOutcome {
     /// Identifiers of the rejecting vertices.
     pub fn rejecting(&self) -> &[Ident] {
         &self.rejecting
+    }
+
+    /// Per-vertex verdicts, indexed by [`NodeId`].
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The verdict of one vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the instance that was run.
+    pub fn verdict(&self, v: NodeId) -> &Verdict {
+        &self.verdicts[v.0]
     }
 
     /// The certificate size (max bits) of the assignment that was run.
@@ -290,34 +447,52 @@ pub fn run_verification(
     assignment: &Assignment,
 ) -> VerificationOutcome {
     let _span = locert_trace::span!("core.run_verification");
-    let traced = locert_trace::enabled();
+    let handles = locert_trace::enabled().then(|| {
+        (
+            locert_trace::Counter::named("core.framework.verifier.invocations"),
+            locert_trace::Counter::named("core.framework.verifier.rejections"),
+            locert_trace::Histogram::named("core.framework.certificate.bits"),
+            locert_trace::Histogram::named("core.framework.verifier.ns"),
+        )
+    });
     let mut rejecting = Vec::new();
-    if traced {
-        let invocations = locert_trace::Counter::named("core.framework.verifier.invocations");
-        let rejections = locert_trace::Counter::named("core.framework.verifier.rejections");
-        let cert_bits = locert_trace::Histogram::named("core.framework.certificate.bits");
-        let per_vertex_ns = locert_trace::Histogram::named("core.framework.verifier.ns");
-        for v in instance.graph().nodes() {
+    let mut verdicts = Vec::with_capacity(instance.graph().num_nodes());
+    for v in instance.graph().nodes() {
+        let view = view_of(instance, assignment, v);
+        let bits_read = view.cert.len_bits()
+            + view
+                .neighbors
+                .iter()
+                .map(|&(_, _, c)| c.len_bits())
+                .sum::<usize>();
+        let start = handles.as_ref().map(|_| std::time::Instant::now());
+        let reason = verifier.decide(&view).err();
+        if let Some((invocations, rejections, cert_bits, per_vertex_ns)) = &handles {
+            per_vertex_ns.record(start.expect("timer started").elapsed().as_nanos() as u64);
             cert_bits.record(assignment.cert(v).len_bits() as u64);
-            let start = std::time::Instant::now();
-            let accepted = verifier.verify(&view_of(instance, assignment, v));
-            per_vertex_ns.record(start.elapsed().as_nanos() as u64);
             invocations.add(1);
-            if !accepted {
+            if reason.is_some() {
                 rejections.add(1);
-                rejecting.push(instance.ids().ident(v));
             }
         }
-    } else {
-        rejecting = instance
-            .graph()
-            .nodes()
-            .filter(|&v| !verifier.verify(&view_of(instance, assignment, v)))
-            .map(|v| instance.ids().ident(v))
-            .collect();
+        locert_trace::journal::record_with(|| locert_trace::journal::Event::Verdict {
+            vertex: v.0 as u64,
+            accepted: reason.is_none(),
+            reason: reason.map(|r| r.code().to_string()),
+            bits_read: bits_read as u64,
+        });
+        if reason.is_some() {
+            rejecting.push(instance.ids().ident(v));
+        }
+        verdicts.push(Verdict {
+            accepted: reason.is_none(),
+            reason,
+            bits_read,
+        });
     }
     VerificationOutcome {
         rejecting,
+        verdicts,
         max_bits: assignment.max_bits(),
     }
 }
@@ -332,10 +507,19 @@ pub fn run_scheme(
     instance: &Instance<'_>,
 ) -> Result<VerificationOutcome, ProverError> {
     let _span = locert_trace::span!("core.run_scheme");
-    let assignment = {
+    locert_trace::journal::record_with(|| locert_trace::journal::Event::ProverStart {
+        scheme: scheme.name(),
+    });
+    let result = {
         let _prover_span = locert_trace::span!("core.prover");
-        scheme.assign(instance)?
+        scheme.assign(instance)
     };
+    locert_trace::journal::record_with(|| locert_trace::journal::Event::ProverEnd {
+        scheme: scheme.name(),
+        ok: result.is_ok(),
+        max_bits: result.as_ref().map_or(0, |a| a.max_bits() as u64),
+    });
+    let assignment = result?;
     if locert_trace::enabled() {
         locert_trace::add("core.prover.assignments", 1);
         locert_trace::record(
@@ -376,9 +560,16 @@ mod tests {
     }
 
     impl Verifier for DegreeScheme {
-        fn verify(&self, view: &LocalView<'_>) -> bool {
+        fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
             let mut r = crate::bits::BitReader::new(view.cert);
-            r.read(16) == Some(view.degree() as u64) && r.exhausted()
+            let claimed = r.read(16).ok_or(RejectReason::MalformedCertificate)?;
+            if !r.exhausted() {
+                return Err(RejectReason::MalformedCertificate);
+            }
+            if claimed != view.degree() as u64 {
+                return Err(RejectReason::CounterMismatch);
+            }
+            Ok(())
         }
     }
 
@@ -408,6 +599,38 @@ mod tests {
         let out = run_verification(&DegreeScheme, &inst, &asg);
         assert!(!out.accepted());
         assert_eq!(out.rejecting(), &[ids.ident(NodeId(0))]);
+    }
+
+    #[test]
+    fn verdicts_carry_reason_and_bits_read() {
+        let g = generators::star(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let mut asg = DegreeScheme.assign(&inst).unwrap();
+        *asg.cert_mut(NodeId(0)) = asg.cert(NodeId(0)).with_bit_flipped(15);
+        let out = run_verification(&DegreeScheme, &inst, &asg);
+        assert_eq!(out.verdicts().len(), 4);
+        let bad = out.verdict(NodeId(0));
+        assert!(!bad.accepted);
+        assert_eq!(bad.reason, Some(RejectReason::CounterMismatch));
+        // Center of the star: own 16 bits + three neighbors' 16 bits.
+        assert_eq!(bad.bits_read, 64);
+        for v in 1..4 {
+            let verdict = out.verdict(NodeId(v));
+            assert!(verdict.accepted);
+            assert_eq!(verdict.reason, None);
+            assert_eq!(verdict.bits_read, 32);
+        }
+    }
+
+    #[test]
+    fn reject_reason_codes_roundtrip() {
+        for reason in RejectReason::ALL {
+            assert_eq!(RejectReason::from_code(reason.code()), Some(reason));
+            assert_eq!(reason.to_string(), reason.code());
+        }
+        assert_eq!(RejectReason::Other("custom-check").code(), "custom-check");
+        assert_eq!(RejectReason::from_code("custom-check"), None);
     }
 
     #[test]

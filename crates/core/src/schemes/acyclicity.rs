@@ -10,7 +10,9 @@
 //! acyclicity requires `Ω(log n)` bits [31, 37], so this is tight).
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::NodeId;
 
@@ -54,27 +56,28 @@ impl Prover for AcyclicityScheme {
 }
 
 impl Verifier for AcyclicityScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some(mine) = self.parse(view.cert) else {
-            return false;
-        };
-        if !verify_tree_position(view, self.id_bits, &mine, |c| self.parse(c)) {
-            return false;
-        }
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let mine = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
+        verify_tree_position(view, self.id_bits, &mine, |c| self.parse(c))?;
         // Every incident edge must be a tree edge: each neighbor is my
         // parent, or claims me as its parent one level further.
-        view.neighbors.iter().all(|&(nid, _, cert)| {
-            let Some(nf) = self.parse(cert) else {
-                return false;
-            };
+        for &(nid, _, cert) in &view.neighbors {
+            let nf = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nf.root != mine.root {
-                return false;
+                return Err(RejectReason::RootMismatch);
             }
             let i_am_their_parent = nf.parent == view.id && nf.dist == mine.dist + 1;
             let they_are_my_parent =
                 nid == mine.parent && nf.dist + 1 == mine.dist && view.id != mine.root;
-            i_am_their_parent || they_are_my_parent
-        })
+            if !(i_am_their_parent || they_are_my_parent) {
+                return Err(RejectReason::NonTreeEdge);
+            }
+        }
+        Ok(())
     }
 }
 

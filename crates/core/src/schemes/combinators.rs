@@ -8,7 +8,9 @@
 //! with its neighbors'.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use locert_graph::NodeId;
 
 /// Both sub-properties hold: certificates are concatenated with a length
@@ -71,35 +73,34 @@ impl<A: Scheme, B: Scheme> Prover for AndScheme<A, B> {
 }
 
 impl<A: Scheme, B: Scheme> Verifier for AndScheme<A, B> {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some((ca, cb)) = self.split(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let (ca, cb) = self
+            .split(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         let mut nbrs_a = Vec::with_capacity(view.neighbors.len());
         let mut nbrs_b = Vec::with_capacity(view.neighbors.len());
         for &(nid, ninput, cert) in &view.neighbors {
-            let Some((na, nb)) = self.split(cert) else {
-                return false;
-            };
+            let (na, nb) = self
+                .split(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             nbrs_a.push((nid, ninput, na));
             nbrs_b.push((nid, ninput, nb));
         }
+        // Inner rejection reasons propagate unchanged.
         let view_a = LocalView {
             id: view.id,
             input: view.input,
             cert: &ca,
             neighbors: nbrs_a.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
         };
-        if !self.first.verify(&view_a) {
-            return false;
-        }
+        self.first.decide(&view_a)?;
         let view_b = LocalView {
             id: view.id,
             input: view.input,
             cert: &cb,
             neighbors: nbrs_b.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
         };
-        self.second.verify(&view_b)
+        self.second.decide(&view_b)
     }
 }
 
@@ -160,16 +161,16 @@ impl<A: Scheme, B: Scheme> Prover for OrScheme<A, B> {
 }
 
 impl<A: Scheme, B: Scheme> Verifier for OrScheme<A, B> {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some((selector, mine)) = Self::split(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let (selector, mine) = Self::split(view.cert).ok_or(RejectReason::MalformedCertificate)?;
         let mut nbrs = Vec::with_capacity(view.neighbors.len());
         for &(nid, ninput, cert) in &view.neighbors {
-            match Self::split(cert) {
-                Some((s, c)) if s == selector => nbrs.push((nid, ninput, c)),
-                _ => return false, // disagreeing selectors.
+            let (s, c) = Self::split(cert).ok_or(RejectReason::MalformedNeighborCertificate)?;
+            if s != selector {
+                // Disagreeing selectors.
+                return Err(RejectReason::CopyMismatch);
             }
+            nbrs.push((nid, ninput, c));
         }
         let inner = LocalView {
             id: view.id,
@@ -177,10 +178,11 @@ impl<A: Scheme, B: Scheme> Verifier for OrScheme<A, B> {
             cert: &mine,
             neighbors: nbrs.iter().map(|(i, n, c)| (*i, *n, c)).collect(),
         };
+        // The selected disjunct's rejection reason propagates unchanged.
         if selector {
-            self.second.verify(&inner)
+            self.second.decide(&inner)
         } else {
-            self.first.verify(&inner)
+            self.first.decide(&inner)
         }
     }
 }

@@ -23,7 +23,9 @@
 //! - `Neither`: certified vertex count + everyone checks degree `< n−1`.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::spanning_tree::{
     honest_count_fields, honest_tree_fields, verify_count_fields, verify_tree_position,
     CountFields, TreeFields,
@@ -198,62 +200,73 @@ impl Prover for Depth2FoScheme {
 }
 
 impl Verifier for Depth2FoScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some((region, _, _)) = self.parse(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let (region, _, _) = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         if !self.truth[region.tag() as usize] {
-            return false;
+            return Err(RejectReason::PropertyViolation);
         }
         // Region tags agree across neighbors.
         for &(_, _, cert) in &view.neighbors {
-            match self.parse(cert) {
-                Some((r, _, _)) if r == region => {}
-                _ => return false,
+            let (r, _, _) = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
+            if r != region {
+                return Err(RejectReason::CopyMismatch);
             }
         }
         match region {
-            Region::Single => view.degree() == 0,
+            Region::Single => {
+                if view.degree() == 0 {
+                    Ok(())
+                } else {
+                    Err(RejectReason::DegreeViolation)
+                }
+            }
             Region::Clique => {
-                let Some(cf) = verify_count_fields(view, self.id_bits, &|c| {
+                let cf = verify_count_fields(view, self.id_bits, &|c| {
                     self.parse(c).and_then(|(_, cf, _)| cf)
-                }) else {
-                    return false;
-                };
-                view.degree() as u64 == cf.total - 1
+                })?;
+                if view.degree() as u64 == cf.total - 1 {
+                    Ok(())
+                } else {
+                    Err(RejectReason::DegreeViolation)
+                }
             }
             Region::Neither => {
-                let Some(cf) = verify_count_fields(view, self.id_bits, &|c| {
+                let cf = verify_count_fields(view, self.id_bits, &|c| {
                     self.parse(c).and_then(|(_, cf, _)| cf)
-                }) else {
-                    return false;
-                };
+                })?;
                 // No vertex dominates (also implies non-clique for n ≥ 2).
-                cf.total >= 2 && (view.degree() as u64) < cf.total - 1
+                if cf.total >= 2 && (view.degree() as u64) < cf.total - 1 {
+                    Ok(())
+                } else {
+                    Err(RejectReason::DegreeViolation)
+                }
             }
             Region::DomOnly => {
-                let Some(cf) = verify_count_fields(view, self.id_bits, &|c| {
+                let cf = verify_count_fields(view, self.id_bits, &|c| {
                     self.parse(c).and_then(|(_, cf, _)| cf)
-                }) else {
-                    return false;
-                };
+                })?;
                 // Dominator = the count tree's root.
                 if view.id == cf.tree.root && view.degree() as u64 != cf.total - 1 {
-                    return false;
+                    return Err(RejectReason::DegreeViolation);
                 }
                 // Witness tree: points at a non-dominating vertex.
-                let Some((_, _, Some(wt))) = self.parse(view.cert) else {
-                    return false;
+                let (_, _, Some(wt)) = self
+                    .parse(view.cert)
+                    .ok_or(RejectReason::MalformedCertificate)?
+                else {
+                    return Err(RejectReason::MalformedCertificate);
                 };
-                if !verify_tree_position(view, self.id_bits, &wt, |c| {
+                verify_tree_position(view, self.id_bits, &wt, |c| {
                     self.parse(c).and_then(|(_, _, t)| t)
-                }) {
-                    return false;
-                }
+                })?;
                 if view.id == wt.root && view.degree() as u64 >= cf.total - 1 {
-                    return false;
+                    return Err(RejectReason::DegreeViolation);
                 }
-                true
+                Ok(())
             }
         }
     }

@@ -15,7 +15,9 @@
 //! satisfies `φ`.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::common::{read_ident, write_ident};
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{Ident, NodeId};
@@ -201,30 +203,28 @@ impl Prover for ExistentialFoScheme {
 }
 
 impl Verifier for ExistentialFoScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
         let k = self.arity();
-        let Some(mine) = self.parse(view.cert) else {
-            return false;
-        };
+        let mine = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         // Neighbors carry identical lists and matrices.
-        let mut neighbor_certs = Vec::with_capacity(view.neighbors.len());
         for &(_, _, cert) in &view.neighbors {
-            let Some(nc) = self.parse(cert) else {
-                return false;
-            };
+            let nc = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nc.witnesses != mine.witnesses || nc.matrix != mine.matrix {
-                return false;
+                return Err(RejectReason::CopyMismatch);
             }
-            neighbor_certs.push(nc);
         }
         // Matrix shape: symmetric, loop-free.
         for i in 0..k {
             if mine.matrix[i * k + i] {
-                return false;
+                return Err(RejectReason::MalformedCertificate);
             }
             for j in 0..k {
                 if mine.matrix[i * k + j] != mine.matrix[j * k + i] {
-                    return false;
+                    return Err(RejectReason::MalformedCertificate);
                 }
             }
         }
@@ -232,13 +232,11 @@ impl Verifier for ExistentialFoScheme {
         for i in 0..k {
             let f = mine.trees[i];
             if f.root != mine.witnesses[i] {
-                return false;
+                return Err(RejectReason::RootMismatch);
             }
-            if !verify_tree_position(view, self.id_bits, &f, |c| {
+            verify_tree_position(view, self.id_bits, &f, |c| {
                 self.parse(c).map(|nc| nc.trees[i])
-            }) {
-                return false;
-            }
+            })?;
         }
         // If I am a witness, audit my matrix row against my real
         // neighborhood.
@@ -256,12 +254,16 @@ impl Verifier for ExistentialFoScheme {
                     view.has_neighbor(mine.witnesses[j])
                 };
                 if mine.matrix[i * k + j] != expected {
-                    return false;
+                    return Err(RejectReason::AdjacencyMismatch);
                 }
             }
         }
         // The matrix must satisfy φ.
-        self.matrix_holds(&mine.witnesses, &mine.matrix)
+        if self.matrix_holds(&mine.witnesses, &mine.matrix) {
+            Ok(())
+        } else {
+            Err(RejectReason::PropertyViolation)
+        }
     }
 }
 

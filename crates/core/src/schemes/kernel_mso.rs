@@ -24,7 +24,9 @@
 //! by `G ≃_k H` (Proposition 6.3) decides `G ⊨ φ`.
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::treedepth::{
     honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert,
 };
@@ -381,31 +383,29 @@ impl Prover for KernelMsoScheme {
 }
 
 impl Verifier for KernelMsoScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
         // 1. Treedepth layer.
-        let Some(td) = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td)) else {
-            return false;
-        };
-        let Some(mine) = self.parse(view.cert) else {
-            return false;
-        };
+        let td = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td))?;
+        let mine = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         let m = td.depth();
         if mine.flags.len() != m + 1 || mine.types.len() != m + 1 {
-            return false;
+            return Err(RejectReason::MalformedCertificate);
         }
         // 2. Table integrity.
         if !mine.table.well_formed(self.k) {
-            return false;
+            return Err(RejectReason::MalformedCertificate);
         }
         // 3. Parse neighbors; identical tables; shared-ancestor types and
         //    flags agree.
         let mut nbrs = Vec::with_capacity(view.neighbors.len());
         for &(_, _, cert) in &view.neighbors {
-            let Some(nc) = self.parse(cert) else {
-                return false;
-            };
+            let nc = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nc.table != mine.table {
-                return false;
+                return Err(RejectReason::CopyMismatch);
             }
             let shared = mine.types.len().min(nc.types.len());
             let my_off = mine.types.len() - shared;
@@ -413,7 +413,7 @@ impl Verifier for KernelMsoScheme {
             if mine.types[my_off..] != nc.types[n_off..]
                 || mine.flags[my_off..] != nc.flags[n_off..]
             {
-                return false;
+                return Err(RejectReason::CopyMismatch);
             }
             nbrs.push(nc);
         }
@@ -421,7 +421,7 @@ impl Verifier for KernelMsoScheme {
         for (i, &ty) in mine.types.iter().enumerate() {
             let depth = m - i;
             if mine.table.types[ty as usize].depth != depth {
-                return false;
+                return Err(RejectReason::AutomatonStateClash);
             }
         }
         // 5. My own type's ancestor vector against my real adjacency.
@@ -429,7 +429,7 @@ impl Verifier for KernelMsoScheme {
         for j in 0..m {
             let anc_id = mine.td.ancestors[m - j];
             if my_type.anc[j] != view.has_neighbor(anc_id) {
-                return false;
+                return Err(RejectReason::AdjacencyMismatch);
             }
         }
         // 6. Children audit: collect (child id → (type, flag)) from
@@ -451,7 +451,7 @@ impl Verifier for KernelMsoScheme {
             let report = (nc.types[child_idx], nc.flags[child_idx]);
             if let Some(prev) = children.insert(child_id, report) {
                 if prev != report {
-                    return false;
+                    return Err(RejectReason::CopyMismatch);
                 }
             }
         }
@@ -467,17 +467,21 @@ impl Verifier for KernelMsoScheme {
         }
         let declared: HashMap<u32, usize> = my_type.children.iter().copied().collect();
         if kept_counts != declared {
-            return false;
+            return Err(RejectReason::CounterMismatch);
         }
         // Lemma 6.1: every pruned child type has exactly k kept siblings.
         for ty in pruned_types {
             if declared.get(&ty).copied() != Some(self.k) {
-                return false;
+                return Err(RejectReason::CounterMismatch);
             }
         }
         // 7. The kernel satisfies φ.
         let root_type = *mine.types.last().expect("non-empty list");
-        self.kernel_satisfies_phi(&mine.table, root_type)
+        if self.kernel_satisfies_phi(&mine.table, root_type) {
+            Ok(())
+        } else {
+            Err(RejectReason::NotAccepting)
+        }
     }
 }
 

@@ -21,7 +21,9 @@
 //! the block-restricted view.
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::kernel_mso::KernelMsoScheme;
 use crate::schemes::treedepth::ModelStrategy;
 use locert_graph::bcc::biconnected_components;
@@ -71,8 +73,8 @@ impl Prover for PathMinorFreeScheme {
 }
 
 impl Verifier for PathMinorFreeScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        self.inner.verify(view)
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        self.inner.decide(view)
     }
 }
 
@@ -191,23 +193,23 @@ impl Prover for CtMinorFreeScheme {
 }
 
 impl Verifier for CtMinorFreeScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some(mine) = self.parse(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let mine = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         // Block ids must be distinct within a vertex.
         let mut block_ids: Vec<(Ident, Ident)> = mine.iter().map(|&(b, _)| b).collect();
         block_ids.sort();
         block_ids.dedup();
         if block_ids.len() != mine.len() {
-            return false;
+            return Err(RejectReason::MalformedCertificate);
         }
         // Parse neighbors.
         let mut nbr_blocks = Vec::with_capacity(view.neighbors.len());
         for &(nid, ninput, cert) in &view.neighbors {
-            let Some(nb) = self.parse(cert) else {
-                return false;
-            };
+            let nb = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             nbr_blocks.push((nid, ninput, nb));
         }
         // Every edge lies in exactly one common block (the promise layer:
@@ -218,11 +220,11 @@ impl Verifier for CtMinorFreeScheme {
                 .filter(|(b, _)| nb.iter().any(|(nb_id, _)| nb_id == b))
                 .count();
             if common != 1 {
-                return false;
+                return Err(RejectReason::NonTreeEdge);
             }
         }
         // Run the P_{t²} verifier inside each of my blocks, restricting
-        // the view to same-block neighbors.
+        // the view to same-block neighbors. Inner reasons propagate.
         for (block, sub_cert) in &mine {
             let neighbors: Vec<(Ident, usize, &Certificate)> = nbr_blocks
                 .iter()
@@ -238,11 +240,9 @@ impl Verifier for CtMinorFreeScheme {
                 cert: sub_cert,
                 neighbors,
             };
-            if !self.inner.verify(&sub_view) {
-                return false;
-            }
+            self.inner.decide(&sub_view)?;
         }
-        true
+        Ok(())
     }
 }
 

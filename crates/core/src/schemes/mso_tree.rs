@@ -26,7 +26,9 @@
 //! use input 0 everywhere.
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use locert_automata::trees::{LabeledTree, TreeAutomaton};
 use locert_graph::{NodeId, RootedTree};
 
@@ -109,35 +111,40 @@ impl Prover for MsoTreeScheme {
 }
 
 impl Verifier for MsoTreeScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
         if view.input >= self.automaton.num_labels() {
-            return false;
+            return Err(RejectReason::BadInput);
         }
-        let Some((d, q)) = self.parse(view.cert) else {
-            return false;
-        };
+        let (d, q) = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         // Orient edges by mod-3 counters.
         let mut parents = 0usize;
         let mut child_counts = vec![0usize; self.automaton.num_states()];
         for &(_, _, cert) in &view.neighbors {
-            let Some((nd, nq)) = self.parse(cert) else {
-                return false;
-            };
+            let (nd, nq) = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nd == (d + 1) % 3 {
                 child_counts[nq] += 1;
             } else if nd == (d + 2) % 3 {
                 parents += 1;
             } else {
-                return false; // equal counters across an edge.
+                // Equal counters across an edge break the orientation.
+                return Err(RejectReason::CounterMismatch);
             }
         }
         match parents {
             // I am the root: my state must accept.
-            0 if !self.automaton.is_accepting(q) => return false,
+            0 if !self.automaton.is_accepting(q) => return Err(RejectReason::NotAccepting),
             0 | 1 => {}
-            _ => return false, // two parents cannot happen in a tree.
+            // Two parents cannot happen in a tree.
+            _ => return Err(RejectReason::RootMismatch),
         }
-        self.automaton.guard(q, view.input).eval(&child_counts)
+        if !self.automaton.guard(q, view.input).eval(&child_counts) {
+            return Err(RejectReason::AutomatonStateClash);
+        }
+        Ok(())
     }
 }
 

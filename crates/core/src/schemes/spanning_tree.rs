@@ -13,7 +13,9 @@
 //!   vertex with the claimed total and its subtree size.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{traversal, Ident, NodeId};
 
@@ -65,21 +67,35 @@ pub fn honest_tree_fields(instance: &Instance<'_>, root: NodeId) -> Vec<TreeFiel
 /// Verifies the spanning-tree fields of one vertex against its view.
 /// Returns the parsed fields on success so callers can pile on extra
 /// checks.
-pub fn verify_tree_fields(view: &LocalView<'_>, id_bits: u32) -> Option<TreeFields> {
+///
+/// # Errors
+///
+/// The [`RejectReason`] for the first failed check.
+pub fn verify_tree_fields(view: &LocalView<'_>, id_bits: u32) -> Result<TreeFields, RejectReason> {
     let mut r = BitReader::new(view.cert);
-    let mine = TreeFields::read(&mut r, id_bits)?;
-    verify_tree_fields_parsed(view, id_bits, &mine).then_some(mine)
+    let mine = TreeFields::read(&mut r, id_bits).ok_or(RejectReason::MalformedCertificate)?;
+    verify_tree_fields_parsed(view, id_bits, &mine)?;
+    Ok(mine)
 }
 
 /// The field checks, split out so composite certificates can embed tree
 /// fields at an offset.
-pub fn verify_tree_fields_parsed(view: &LocalView<'_>, id_bits: u32, mine: &TreeFields) -> bool {
+///
+/// # Errors
+///
+/// The [`RejectReason`] for the first failed check.
+pub fn verify_tree_fields_parsed(
+    view: &LocalView<'_>,
+    id_bits: u32,
+    mine: &TreeFields,
+) -> Result<(), RejectReason> {
     // Root consistency across all neighbors.
     for &(_, _, cert) in &view.neighbors {
         let mut r = BitReader::new(cert);
-        match TreeFields::read(&mut r, id_bits) {
-            Some(f) if f.root == mine.root => {}
-            _ => return false,
+        let f =
+            TreeFields::read(&mut r, id_bits).ok_or(RejectReason::MalformedNeighborCertificate)?;
+        if f.root != mine.root {
+            return Err(RejectReason::RootMismatch);
         }
     }
     verify_tree_position(view, id_bits, mine, |cert| {
@@ -90,25 +106,48 @@ pub fn verify_tree_fields_parsed(view: &LocalView<'_>, id_bits: u32, mine: &Tree
 
 /// Core positional checks with a caller-supplied field extractor for
 /// neighbor certificates (composite schemes store the fields elsewhere).
+///
+/// # Errors
+///
+/// [`RejectReason::RootMismatch`] for a forged or ill-formed root claim,
+/// [`RejectReason::MissingNeighbor`] when the claimed parent is not
+/// visible, [`RejectReason::MalformedNeighborCertificate`] when the
+/// parent's fields do not parse, and
+/// [`RejectReason::ParentDistanceClash`] when the parent is not exactly
+/// one step closer to the root.
 pub fn verify_tree_position(
     view: &LocalView<'_>,
     _id_bits: u32,
     mine: &TreeFields,
     extract: impl Fn(&crate::bits::Certificate) -> Option<TreeFields>,
-) -> bool {
+) -> Result<(), RejectReason> {
     if view.id == mine.root {
         // The unique root: distance 0, self-parent.
-        return mine.dist == 0 && mine.parent == view.id;
+        if mine.dist == 0 && mine.parent == view.id {
+            return Ok(());
+        }
+        return Err(RejectReason::RootMismatch);
     }
     if mine.dist == 0 {
         // Distance 0 elsewhere would forge a second root.
-        return false;
+        return Err(RejectReason::RootMismatch);
     }
     // The claimed parent must be a visible neighbor one step closer.
-    view.neighbors.iter().any(|&(nid, _, cert)| {
-        nid == mine.parent
-            && extract(cert).is_some_and(|f| f.dist + 1 == mine.dist && f.root == mine.root)
-    })
+    let Some(&(_, _, cert)) = view
+        .neighbors
+        .iter()
+        .find(|&&(nid, _, _)| nid == mine.parent)
+    else {
+        return Err(RejectReason::MissingNeighbor);
+    };
+    let f = extract(cert).ok_or(RejectReason::MalformedNeighborCertificate)?;
+    if f.root != mine.root {
+        return Err(RejectReason::RootMismatch);
+    }
+    if f.dist + 1 != mine.dist {
+        return Err(RejectReason::ParentDistanceClash);
+    }
+    Ok(())
 }
 
 /// Prover-side root chooser (see
@@ -185,17 +224,12 @@ impl Prover for SpanningTreeScheme {
 }
 
 impl Verifier for SpanningTreeScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        match verify_tree_fields(view, self.id_bits) {
-            Some(fields) => {
-                if view.id == fields.root {
-                    self.root_check.as_ref().is_none_or(|check| check(view))
-                } else {
-                    true
-                }
-            }
-            None => false,
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let fields = verify_tree_fields(view, self.id_bits)?;
+        if view.id == fields.root && !self.root_check.as_ref().is_none_or(|check| check(view)) {
+            return Err(RejectReason::PropertyViolation);
         }
+        Ok(())
     }
 }
 
@@ -262,35 +296,42 @@ pub fn honest_count_fields(instance: &Instance<'_>, root: NodeId) -> Vec<CountFi
 /// Verifies count fields at one vertex with a caller-supplied extractor
 /// (so composite certificates can embed them at an offset). Returns the
 /// parsed own fields on success.
+///
+/// # Errors
+///
+/// The [`RejectReason`] for the first failed check: malformed own or
+/// neighbor fields, a broken tree position, a root/total copy
+/// disagreement, or subtree arithmetic that does not add up.
 pub fn verify_count_fields(
     view: &LocalView<'_>,
     id_bits: u32,
     extract: &impl Fn(&crate::bits::Certificate) -> Option<CountFields>,
-) -> Option<CountFields> {
-    let mine = extract(view.cert)?;
-    if !verify_tree_position(view, id_bits, &mine.tree, |c| extract(c).map(|f| f.tree)) {
-        return None;
-    }
+) -> Result<CountFields, RejectReason> {
+    let mine = extract(view.cert).ok_or(RejectReason::MalformedCertificate)?;
+    verify_tree_position(view, id_bits, &mine.tree, |c| extract(c).map(|f| f.tree))?;
     let mut children_sum = 0u64;
     for &(nid, _, cert) in &view.neighbors {
-        let nf = extract(cert)?;
-        if nf.tree.root != mine.tree.root || nf.total != mine.total {
-            return None;
+        let nf = extract(cert).ok_or(RejectReason::MalformedNeighborCertificate)?;
+        if nf.tree.root != mine.tree.root {
+            return Err(RejectReason::RootMismatch);
+        }
+        if nf.total != mine.total {
+            return Err(RejectReason::CopyMismatch);
         }
         if nf.tree.parent == view.id && nid != mine.tree.parent {
             if nf.tree.dist != mine.tree.dist + 1 {
-                return None;
+                return Err(RejectReason::ParentDistanceClash);
             }
             children_sum = children_sum.saturating_add(nf.sub);
         }
     }
     if mine.sub != children_sum + 1 {
-        return None;
+        return Err(RejectReason::CounterMismatch);
     }
     if view.id == mine.tree.root && mine.sub != mine.total {
-        return None;
+        return Err(RejectReason::CounterMismatch);
     }
-    Some(mine)
+    Ok(mine)
 }
 
 /// Certifies the number of vertices (Proposition 3.4, second part):
@@ -348,11 +389,12 @@ impl Prover for VertexCountScheme {
 }
 
 impl Verifier for VertexCountScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some(mine) = verify_count_fields(view, self.id_bits, &|c| self.parse(c)) else {
-            return false;
-        };
-        self.expected.is_none_or(|e| mine.total == e)
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let mine = verify_count_fields(view, self.id_bits, &|c| self.parse(c))?;
+        if self.expected.is_some_and(|e| mine.total != e) {
+            return Err(RejectReason::CounterMismatch);
+        }
+        Ok(())
     }
 }
 

@@ -13,7 +13,9 @@
 //! On trees the depths then measure a genuine rooting of height ≤ k.
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 #[cfg(test)]
 use locert_graph::NodeId;
 use locert_graph::RootedTree;
@@ -74,20 +76,28 @@ impl Prover for TreeDepthBoundScheme {
 }
 
 impl Verifier for TreeDepthBoundScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some(d) = self.parse(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let d = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         let mut parents = 0usize;
         for &(_, _, cert) in &view.neighbors {
-            match self.parse(cert) {
-                Some(nd) if nd + 1 == d => parents += 1,
-                Some(nd) if nd == d + 1 => {} // a child; nd ≤ k by parse.
-                _ => return false,
+            let nd = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
+            if nd + 1 == d {
+                parents += 1;
+            } else if nd != d + 1 {
+                // Neither a parent nor a child; nd ≤ k by parse.
+                return Err(RejectReason::ParentDistanceClash);
             }
         }
         // Exactly one parent, except the root (depth 0).
-        (d == 0 && parents == 0) || (d > 0 && parents == 1)
+        if (d == 0 && parents == 0) || (d > 0 && parents == 1) {
+            Ok(())
+        } else {
+            Err(RejectReason::RootMismatch)
+        }
     }
 }
 

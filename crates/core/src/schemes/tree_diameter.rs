@@ -16,7 +16,9 @@
 //! Size: `O(log n)`.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{NodeId, RootedTree};
 
@@ -80,40 +82,41 @@ impl Prover for TreeDiameterScheme {
 }
 
 impl Verifier for TreeDiameterScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some((mine, my_height)) = self.parse(view.cert) else {
-            return false;
-        };
-        if !verify_tree_position(view, self.id_bits, &mine, |c| self.parse(c).map(|(f, _)| f)) {
-            return false;
-        }
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let (mine, my_height) = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
+        verify_tree_position(view, self.id_bits, &mine, |c| self.parse(c).map(|(f, _)| f))?;
         // Collect children (tree-ness: every edge is parent or child).
         let mut child_heights = Vec::new();
         for &(nid, _, cert) in &view.neighbors {
-            let Some((nf, nh)) = self.parse(cert) else {
-                return false;
-            };
+            let (nf, nh) = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nf.root != mine.root {
-                return false;
+                return Err(RejectReason::RootMismatch);
             }
             let is_child = nf.parent == view.id && nf.dist == mine.dist + 1;
             let is_parent = nid == mine.parent && nf.dist + 1 == mine.dist && view.id != mine.root;
             if is_child {
                 child_heights.push(nh);
             } else if !is_parent {
-                return false; // non-tree edge.
+                return Err(RejectReason::NonTreeEdge);
             }
         }
         // Height consistency.
         let expected = child_heights.iter().map(|h| h + 1).max().unwrap_or(0);
         if my_height != expected {
-            return false;
+            return Err(RejectReason::CounterMismatch);
         }
         // Longest path bending here.
         child_heights.sort_unstable_by(|a, b| b.cmp(a));
         let top1 = child_heights.first().map_or(0, |h| h + 1);
         let top2 = child_heights.get(1).map_or(0, |h| h + 1);
-        top1 + top2 <= self.diameter
+        if top1 + top2 > self.diameter {
+            return Err(RejectReason::PropertyViolation);
+        }
+        Ok(())
     }
 }
 

@@ -29,7 +29,9 @@
 //! comparable vertices.
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{Ident, NodeId};
 use locert_treedepth::{exact, heuristic, EliminationTree};
@@ -185,23 +187,33 @@ pub fn honest_td_certs(instance: &Instance<'_>, model: &EliminationTree) -> Vec<
 /// Verifies one vertex's treedepth certificate with a caller-supplied
 /// extractor for neighbor certificates. Returns the parsed certificate on
 /// success so composite schemes can pile on checks.
+///
+/// # Errors
+///
+/// [`RejectReason::MalformedCertificate`] /
+/// [`RejectReason::MalformedNeighborCertificate`] when a certificate
+/// fails to parse, [`RejectReason::AncestryViolation`] when ancestor
+/// lists are too long, mis-headed, incomparable across an edge, or a
+/// subtree spanning tree is broken, and
+/// [`RejectReason::MissingNeighbor`] when an exit vertex cannot see its
+/// subtree's parent.
 pub fn verify_td_cert(
     view: &LocalView<'_>,
     t: usize,
     extract: &impl Fn(&Certificate) -> Option<TdCert>,
-) -> Option<TdCert> {
-    let mine = extract(view.cert)?;
+) -> Result<TdCert, RejectReason> {
+    let mine = extract(view.cert).ok_or(RejectReason::MalformedCertificate)?;
     let m = mine.depth();
     if mine.ancestors.len() > t || mine.ancestors[0] != view.id {
-        return None;
+        return Err(RejectReason::AncestryViolation);
     }
     if mine.trees.len() != m {
-        return None;
+        return Err(RejectReason::MalformedCertificate);
     }
     // Parse neighbors once.
     let mut nbrs = Vec::with_capacity(view.neighbors.len());
     for &(_, _, cert) in &view.neighbors {
-        nbrs.push(extract(cert)?);
+        nbrs.push(extract(cert).ok_or(RejectReason::MalformedNeighborCertificate)?);
     }
     // Every edge joins comparable vertices: one list is a suffix of the
     // other.
@@ -212,7 +224,7 @@ pub fn verify_td_cert(
             (&mine.ancestors, &nc.ancestors)
         };
         if &long[long.len() - short.len()..] != short.as_slice() {
-            return None;
+            return Err(RejectReason::AncestryViolation);
         }
     }
     // Spanning-tree checks per strict ancestor.
@@ -223,11 +235,11 @@ pub fn verify_td_cert(
             // I am the exit vertex of α_j: adjacent to α_j's parent,
             // whose full list is my suffix of length j.
             if view.id != exit {
-                return None;
+                return Err(RejectReason::AncestryViolation);
             }
             let parent_list = &mine.ancestors[mine.ancestors.len() - j..];
             if !nbrs.iter().any(|nc| nc.ancestors.as_slice() == parent_list) {
-                return None;
+                return Err(RejectReason::MissingNeighbor);
             }
         } else {
             // Some neighbor in the same subtree carries the same exit at
@@ -238,11 +250,11 @@ pub fn verify_td_cert(
                     && nc.trees[j - 1] == (exit, dist - 1)
             });
             if !found {
-                return None;
+                return Err(RejectReason::AncestryViolation);
             }
         }
     }
-    Some(mine)
+    Ok(mine)
 }
 
 /// Certifies "the graph has treedepth at most `t`" (vertex-count
@@ -342,8 +354,8 @@ impl Prover for TreedepthScheme {
 }
 
 impl Verifier for TreedepthScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        verify_td_cert(view, self.t, &|c| self.parse(c)).is_some()
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        verify_td_cert(view, self.t, &|c| self.parse(c)).map(|_| ())
     }
 }
 

@@ -19,7 +19,9 @@
 //! [`crate::schemes::universal::fpf_automorphism_scheme`]).
 
 use crate::bits::{BitReader, BitWriter, Certificate};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{automorphism, Graph, Ident};
 use std::collections::BTreeSet;
@@ -176,20 +178,22 @@ impl Prover for UniversalScheme {
 }
 
 impl Verifier for UniversalScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
-        let Some((ids, map, self_idx)) = self.parse(view.cert) else {
-            return false;
-        };
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+        let (ids, map, self_idx) = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         // My identifier sits at my claimed index.
         if ids[self_idx] != view.id {
-            return false;
+            return Err(RejectReason::AdjacencyMismatch);
         }
         // Neighbors carry the identical map (ids + adjacency); their
         // self-indices differ, so compare the parsed pieces.
         for &(_, _, cert) in &view.neighbors {
-            match self.parse(cert) {
-                Some((nids, nmap, _)) if nids == ids && nmap == map => {}
-                _ => return false,
+            let (nids, nmap, _) = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
+            if nids != ids || nmap != map {
+                return Err(RejectReason::CopyMismatch);
             }
         }
         // My map row matches my actual neighborhood exactly.
@@ -200,10 +204,13 @@ impl Verifier for UniversalScheme {
             .collect();
         let actual: BTreeSet<Ident> = view.neighbors.iter().map(|&(nid, _, _)| nid).collect();
         if claimed != actual {
-            return false;
+            return Err(RejectReason::AdjacencyMismatch);
         }
         // The map is connected and satisfies the property.
-        map.is_connected() && (self.property)(&map)
+        if !map.is_connected() || !(self.property)(&map) {
+            return Err(RejectReason::PropertyViolation);
+        }
+        Ok(())
     }
 }
 

@@ -12,7 +12,9 @@
 //! [`crate::schemes::acyclicity`] + a degree check otherwise).
 
 use crate::bits::{width_for, BitReader, BitWriter};
-use crate::framework::{Assignment, Instance, LocalView, Prover, ProverError, Scheme, Verifier};
+use crate::framework::{
+    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+};
 use locert_automata::words::Nfa;
 use locert_graph::NodeId;
 
@@ -158,34 +160,34 @@ impl Prover for WordPathScheme {
 }
 
 impl Verifier for WordPathScheme {
-    fn verify(&self, view: &LocalView<'_>) -> bool {
+    fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
         if view.input >= self.nfa.alphabet() {
-            return false;
+            return Err(RejectReason::BadInput);
         }
-        let Some((d, q)) = self.parse(view.cert) else {
-            return false;
-        };
+        let (d, q) = self
+            .parse(view.cert)
+            .ok_or(RejectReason::MalformedCertificate)?;
         if view.degree() > 2 {
-            return false;
+            return Err(RejectReason::DegreeViolation);
         }
         let mut pred: Option<usize> = None;
         let mut succ = false;
         for &(_, _, cert) in &view.neighbors {
-            let Some((nd, nq)) = self.parse(cert) else {
-                return false;
-            };
+            let (nd, nq) = self
+                .parse(cert)
+                .ok_or(RejectReason::MalformedNeighborCertificate)?;
             if nd == (d + 2) % 3 {
                 if pred.is_some() {
-                    return false; // two predecessors.
+                    return Err(RejectReason::CounterMismatch); // two predecessors.
                 }
                 pred = Some(nq);
             } else if nd == (d + 1) % 3 {
                 if succ {
-                    return false; // two successors.
+                    return Err(RejectReason::CounterMismatch); // two successors.
                 }
                 succ = true;
             } else {
-                return false;
+                return Err(RejectReason::CounterMismatch);
             }
         }
         // Transition check: my state follows from my predecessor's state
@@ -199,13 +201,13 @@ impl Verifier for WordPathScheme {
                 .any(|&s| self.nfa.successors(s, view.input).contains(&q)),
         };
         if !ok_transition {
-            return false;
+            return Err(RejectReason::AutomatonStateClash);
         }
         // Last position: accepting state.
         if !succ && !self.nfa.is_accepting(q) {
-            return false;
+            return Err(RejectReason::NotAccepting);
         }
-        true
+        Ok(())
     }
 }
 

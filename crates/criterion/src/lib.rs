@@ -8,7 +8,10 @@
 //! statistical analysis it reports per-benchmark min/median/mean wall
 //! times — enough to compare hot paths across commits in this offline
 //! setting — and [`criterion_main!`] writes the collected results as
-//! `BENCH_<bench-name>.json` in the working directory.
+//! `BENCH_<bench-name>.json` under the workspace `target/` directory
+//! (scratch output). Set `LOCERT_BENCH_BASELINE=1` to write to the
+//! workspace root instead — that is how the committed baseline used by
+//! `bench-diff` is regenerated.
 
 use std::fmt::Display;
 use std::sync::Mutex;
@@ -216,8 +219,10 @@ fn report_dir() -> std::path::PathBuf {
     best.unwrap_or(cwd)
 }
 
-/// Writes every recorded result as `BENCH_<bench-name>.json` in the
-/// workspace root (see [`report_dir`]). Called by [`criterion_main!`];
+/// Writes every recorded result as `BENCH_<bench-name>.json` under the
+/// workspace `target/` directory (see [`report_dir`]), or in the
+/// workspace root itself when `LOCERT_BENCH_BASELINE` is set to anything
+/// but `0` (baseline regeneration). Called by [`criterion_main!`];
 /// exposed for custom harnesses.
 pub fn write_report() {
     let results = collected_results();
@@ -238,7 +243,15 @@ pub fn write_report() {
         ));
     }
     json.push_str("\n  ]\n}\n");
-    let path = report_dir().join(format!("BENCH_{name}.json"));
+    let root = report_dir();
+    let dir = if std::env::var_os("LOCERT_BENCH_BASELINE").is_some_and(|v| v != "0") {
+        root
+    } else {
+        let scratch = root.join("target");
+        let _ = std::fs::create_dir_all(&scratch);
+        scratch
+    };
+    let path = dir.join(format!("BENCH_{name}.json"));
     match std::fs::write(&path, json) {
         Ok(()) => eprintln!("wrote {} ({} benchmarks)", path.display(), results.len()),
         Err(e) => eprintln!("criterion: cannot write {}: {e}", path.display()),

@@ -226,7 +226,7 @@ pub type InterfaceCert = Certificate;
 mod tests {
     use super::*;
     use crate::cc::{decides_equality, exists_accepting_certificate};
-    use locert_core::framework::LocalView;
+    use locert_core::framework::{LocalView, RejectReason};
     use locert_graph::{GraphBuilder, Ident};
 
     /// Toy family: V_A = {a}, V_α = {α}, V_β = {β}, V_B = {b} on a path
@@ -315,8 +315,12 @@ mod tests {
     struct DegreeParityVerifier;
 
     impl Verifier for DegreeParityVerifier {
-        fn verify(&self, view: &LocalView<'_>) -> bool {
-            view.cert.len_bits() == 1 && view.cert.bit(0) == (view.degree() % 2 == 1)
+        fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+            if view.cert.len_bits() == 1 && view.cert.bit(0) == (view.degree() % 2 == 1) {
+                Ok(())
+            } else {
+                Err(RejectReason::PropertyViolation)
+            }
         }
     }
 
@@ -355,8 +359,8 @@ mod tests {
     struct AcceptAll;
 
     impl Verifier for AcceptAll {
-        fn verify(&self, _view: &LocalView<'_>) -> bool {
-            true
+        fn decide(&self, _view: &LocalView<'_>) -> Result<(), RejectReason> {
+            Ok(())
         }
     }
 

@@ -92,6 +92,65 @@ pub fn snapshot_json_string(snap: &Snapshot) -> String {
     snapshot_to_json(snap).to_string()
 }
 
+fn chrome_event(name: &str, ts_us: f64, dur_us: f64, calls: u64) -> Value {
+    Value::obj([
+        ("name".to_string(), Value::from(name)),
+        ("cat".to_string(), Value::from("span")),
+        ("ph".to_string(), Value::from("X")),
+        ("ts".to_string(), Value::from(ts_us)),
+        ("dur".to_string(), Value::from(dur_us)),
+        ("pid".to_string(), Value::from(0u64)),
+        ("tid".to_string(), Value::from(0u64)),
+        (
+            "args".to_string(),
+            Value::obj([("calls".to_string(), Value::from(calls))]),
+        ),
+    ])
+}
+
+/// Emits `span` as a complete ("X") event starting at `start_us`, lays
+/// its children out sequentially from the same instant, and returns the
+/// span's end time.
+fn emit_chrome_span(events: &mut Vec<Value>, span: &SpanNode, start_us: f64) -> f64 {
+    let dur_us = span.total_ns as f64 / 1e3;
+    events.push(chrome_event(&span.name, start_us, dur_us, span.calls));
+    let mut cursor = start_us;
+    for child in &span.children {
+        cursor = emit_chrome_span(events, child, cursor);
+    }
+    start_us + dur_us
+}
+
+/// Renders one or more labeled snapshots as a Chrome trace-event
+/// document (`chrome://tracing` / Perfetto, "X" complete events).
+///
+/// The aggregated span forest carries durations but no timestamps, so a
+/// timeline is *synthesized*: sections (and sibling spans within a
+/// section) are laid out back to back, children start where their
+/// parent starts. Each section gets a wrapper event named after its
+/// label. The result depends only on the snapshot contents — a
+/// seed-deterministic run exports a byte-identical trace.
+pub fn chrome_trace_json(sections: &[(&str, &Snapshot)]) -> Value {
+    let mut events = Vec::new();
+    let mut cursor = 0.0f64;
+    for (label, snap) in sections {
+        let section_dur: f64 = snap.spans.iter().map(|s| s.total_ns as f64 / 1e3).sum();
+        events.push(chrome_event(label, cursor, section_dur, 1));
+        for span in &snap.spans {
+            cursor = emit_chrome_span(&mut events, span, cursor);
+        }
+    }
+    Value::obj([
+        ("traceEvents".to_string(), Value::Arr(events)),
+        ("displayTimeUnit".to_string(), Value::from("ms")),
+    ])
+}
+
+/// [`chrome_trace_json`] as one JSON document (no trailing newline).
+pub fn chrome_trace_string(sections: &[(&str, &Snapshot)]) -> String {
+    chrome_trace_json(sections).to_string()
+}
+
 fn push_span_rows(out: &mut String, span: &SpanNode, depth: usize) {
     let indent = "··".repeat(depth);
     let mean_us = span.total_ns as f64 / 1e3 / span.calls.max(1) as f64;
@@ -222,6 +281,81 @@ mod tests {
         assert!(md.contains("md.test.counter"));
         assert!(md.contains("md.test.histogram"));
         assert!(md.contains("| span | calls |"));
+    }
+
+    #[test]
+    fn chrome_trace_synthesizes_a_nested_timeline() {
+        let _g = crate::tests::serial();
+        crate::disable();
+        crate::reset();
+        crate::enable();
+        {
+            let _s = crate::span!("chrome.test.outer");
+            let _i = crate::span!("chrome.test.inner");
+        }
+        crate::disable();
+        let snap = crate::snapshot();
+        crate::reset();
+
+        let text = chrome_trace_string(&[("e1", &snap)]);
+        let parsed = json::parse(&text).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents array");
+        // Section wrapper + outer + inner (at least).
+        assert!(events.len() >= 3, "got {} events", events.len());
+        let by_name = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(json::Value::as_str) == Some(n))
+                .unwrap_or_else(|| panic!("event {n} present"))
+        };
+        let outer = by_name("chrome.test.outer");
+        let inner = by_name("chrome.test.inner");
+        for e in [outer, inner, by_name("e1")] {
+            assert_eq!(e.get("ph").and_then(json::Value::as_str), Some("X"));
+            assert!(e.get("ts").and_then(json::Value::as_num).is_some());
+            assert!(e.get("dur").and_then(json::Value::as_num).is_some());
+        }
+        // The child starts where its parent starts and fits inside it.
+        let ts = |e: &json::Value| e.get("ts").and_then(json::Value::as_num).expect("ts");
+        let dur = |e: &json::Value| e.get("dur").and_then(json::Value::as_num).expect("dur");
+        assert_eq!(ts(outer), ts(inner));
+        assert!(dur(inner) <= dur(outer));
+    }
+
+    #[test]
+    fn chrome_trace_lays_sections_back_to_back() {
+        let mk = |ns: u64| Snapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+            spans: vec![SpanNode {
+                name: "s".into(),
+                calls: 1,
+                total_ns: ns,
+                children: Vec::new(),
+            }],
+        };
+        let (a, b) = (mk(2_000), mk(3_000));
+        let parsed = json::parse(&chrome_trace_string(&[("first", &a), ("second", &b)]))
+            .expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents");
+        let find = |n: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(json::Value::as_str) == Some(n))
+                .expect("section event")
+                .get("ts")
+                .and_then(json::Value::as_num)
+                .expect("ts")
+        };
+        assert_eq!(find("first"), 0.0);
+        // Second section starts after the first's 2 µs of spans.
+        assert_eq!(find("second"), 2.0);
     }
 
     #[test]

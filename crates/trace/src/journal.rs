@@ -1,0 +1,663 @@
+//! A structured, replayable event journal.
+//!
+//! Where the span/counter layer *aggregates* (how many, how long), the
+//! journal *records*: a bounded ring buffer of typed [`Event`]s in the
+//! order they happened — prover start/end, one verdict per vertex with
+//! its rejection reason and certificate-view volume, fault injections,
+//! campaign rounds. Entries carry a monotone sequence number and **no
+//! timestamps**, so a run with a fixed seed produces a byte-identical
+//! JSONL export: the journal is the replay artifact.
+//!
+//! The journal is independent of the span subscriber: it has its own
+//! enable flag so `experiments --journal` can record events without
+//! paying for span aggregation (and vice versa). Like every other
+//! instrumentation point in this crate, a disabled journal costs one
+//! relaxed atomic load per call site — [`record_with`] takes a closure
+//! so event construction (and its allocations) is skipped entirely when
+//! recording is off.
+//!
+//! Event payloads are plain `u64`/`String` values rather than types from
+//! `locert-core`: the trace crate sits below core in the dependency
+//! graph, and string reason codes are what the JSONL format stores
+//! anyway. Core's `RejectReason::code()` is the bridge.
+
+use crate::json::{self, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Schema identifier written in the JSONL header line.
+pub const JOURNAL_SCHEMA: &str = "locert-journal/v1";
+
+/// Default ring-buffer capacity (entries). Large enough for every
+/// experiment in the suite; a run that overflows it keeps the *newest*
+/// entries and counts the dropped ones.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One journal event. Variants mirror the phases of a certification
+/// run; reasons are kebab-case codes (see `locert-core`'s
+/// `RejectReason::code`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A prover began assigning certificates for `scheme`.
+    ProverStart {
+        /// Scheme display name.
+        scheme: String,
+    },
+    /// The prover finished; `ok` is false when it returned an error.
+    ProverEnd {
+        /// Scheme display name.
+        scheme: String,
+        /// Whether certificate assignment succeeded.
+        ok: bool,
+        /// Maximum per-vertex certificate size in bits (0 on failure).
+        max_bits: u64,
+    },
+    /// One vertex's verification verdict.
+    Verdict {
+        /// The vertex (NodeId index).
+        vertex: u64,
+        /// Whether the vertex accepted.
+        accepted: bool,
+        /// Rejection reason code; `None` when accepted.
+        reason: Option<String>,
+        /// Certificate bits in the vertex's radius-1 view (own + neighbors).
+        bits_read: u64,
+    },
+    /// A certificate was mutated in place (`Assignment::cert_mut`).
+    CertMutated {
+        /// The vertex whose certificate was handed out mutably.
+        vertex: u64,
+    },
+    /// A fault model touched the world at `site`.
+    FaultInjected {
+        /// Fault model name (`FaultModel::name`).
+        model: String,
+        /// The targeted vertex.
+        site: u64,
+        /// Whether the injection changed the presented world.
+        effective: bool,
+    },
+    /// A verifier rejected in a faulty world; provenance links it back
+    /// to the injection site.
+    Detection {
+        /// Fault model name.
+        model: String,
+        /// The injected fault site.
+        site: u64,
+        /// The rejecting vertex.
+        detector: u64,
+        /// Rejection reason code.
+        reason: String,
+        /// BFS distance from fault site to detector, when connected.
+        distance: Option<u64>,
+    },
+    /// One run of a fault campaign finished.
+    CampaignRound {
+        /// Fault model name.
+        model: String,
+        /// Run index within the campaign.
+        run: u64,
+        /// Whether any vertex rejected.
+        detected: bool,
+        /// Distance from fault site to the nearest rejector.
+        locality: Option<u64>,
+    },
+    /// A free-form boundary marker (experiment start, phase change).
+    Marker {
+        /// Marker label.
+        label: String,
+    },
+}
+
+/// A journal entry: the event plus its position in the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Monotone sequence number, assigned at record time. Survives
+    /// ring-buffer eviction: after overflow the first retained entry
+    /// has `seq > 0`.
+    pub seq: u64,
+    /// The recorded event.
+    pub event: Event,
+}
+
+/// Everything the journal held when the snapshot was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Retained entries, oldest first.
+    pub entries: Vec<Entry>,
+    /// Entries evicted by the ring buffer before the snapshot.
+    pub dropped: u64,
+}
+
+impl JournalSnapshot {
+    /// The verdict events, in record order — the per-vertex decision
+    /// trail a replay reconstructs.
+    pub fn verdicts(&self) -> impl Iterator<Item = &Event> {
+        self.entries
+            .iter()
+            .map(|e| &e.event)
+            .filter(|e| matches!(e, Event::Verdict { .. }))
+    }
+}
+
+static JOURNAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Buf {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+fn buf() -> &'static Mutex<Buf> {
+    static BUF: std::sync::OnceLock<Mutex<Buf>> = std::sync::OnceLock::new();
+    BUF.get_or_init(|| {
+        Mutex::new(Buf {
+            entries: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            next_seq: 0,
+            dropped: 0,
+        })
+    })
+}
+
+/// Turns journal recording on.
+pub fn enable() {
+    JOURNAL_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns journal recording off. Already-recorded entries stay until
+/// [`reset`].
+pub fn disable() {
+    JOURNAL_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether recording is on (one relaxed load — the entire cost of a
+/// disabled instrumentation point).
+#[inline]
+pub fn enabled() -> bool {
+    JOURNAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the ring-buffer capacity. Existing overflow is evicted oldest
+/// first.
+pub fn set_capacity(capacity: usize) {
+    let mut b = buf().lock().expect("journal buffer");
+    b.capacity = capacity.max(1);
+    while b.entries.len() > b.capacity {
+        b.entries.pop_front();
+        b.dropped += 1;
+    }
+}
+
+/// Clears all entries and restarts sequence numbering.
+pub fn reset() {
+    let mut b = buf().lock().expect("journal buffer");
+    b.entries.clear();
+    b.next_seq = 0;
+    b.dropped = 0;
+}
+
+/// Records the event produced by `make` — *if* the journal is enabled.
+/// When disabled this is exactly one relaxed atomic load; the closure
+/// is never called, so callers may capture freely and build strings
+/// inside it without a disabled-path cost.
+#[inline]
+pub fn record_with(make: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    let event = make();
+    let mut b = buf().lock().expect("journal buffer");
+    let seq = b.next_seq;
+    b.next_seq += 1;
+    if b.entries.len() == b.capacity {
+        b.entries.pop_front();
+        b.dropped += 1;
+    }
+    b.entries.push_back(Entry { seq, event });
+}
+
+/// Copies the current contents out of the ring buffer.
+pub fn snapshot() -> JournalSnapshot {
+    let b = buf().lock().expect("journal buffer");
+    JournalSnapshot {
+        entries: b.entries.iter().cloned().collect(),
+        dropped: b.dropped,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL encoding
+// ---------------------------------------------------------------------
+
+fn opt_u64(v: Option<u64>) -> Value {
+    v.map_or(Value::Null, Value::from)
+}
+
+/// One event as a JSON object (without the `seq` field).
+pub fn event_to_json(event: &Event) -> Value {
+    let typed = |ty: &str, rest: Vec<(String, Value)>| {
+        let mut pairs = vec![("type".to_string(), Value::from(ty))];
+        pairs.extend(rest);
+        Value::obj(pairs)
+    };
+    match event {
+        Event::ProverStart { scheme } => typed(
+            "prover-start",
+            vec![("scheme".to_string(), Value::from(scheme.as_str()))],
+        ),
+        Event::ProverEnd {
+            scheme,
+            ok,
+            max_bits,
+        } => typed(
+            "prover-end",
+            vec![
+                ("scheme".to_string(), Value::from(scheme.as_str())),
+                ("ok".to_string(), Value::from(*ok)),
+                ("max_bits".to_string(), Value::from(*max_bits)),
+            ],
+        ),
+        Event::Verdict {
+            vertex,
+            accepted,
+            reason,
+            bits_read,
+        } => typed(
+            "verdict",
+            vec![
+                ("vertex".to_string(), Value::from(*vertex)),
+                ("accepted".to_string(), Value::from(*accepted)),
+                (
+                    "reason".to_string(),
+                    reason.as_deref().map_or(Value::Null, Value::from),
+                ),
+                ("bits_read".to_string(), Value::from(*bits_read)),
+            ],
+        ),
+        Event::CertMutated { vertex } => typed(
+            "cert-mutated",
+            vec![("vertex".to_string(), Value::from(*vertex))],
+        ),
+        Event::FaultInjected {
+            model,
+            site,
+            effective,
+        } => typed(
+            "fault-injected",
+            vec![
+                ("model".to_string(), Value::from(model.as_str())),
+                ("site".to_string(), Value::from(*site)),
+                ("effective".to_string(), Value::from(*effective)),
+            ],
+        ),
+        Event::Detection {
+            model,
+            site,
+            detector,
+            reason,
+            distance,
+        } => typed(
+            "detection",
+            vec![
+                ("model".to_string(), Value::from(model.as_str())),
+                ("site".to_string(), Value::from(*site)),
+                ("detector".to_string(), Value::from(*detector)),
+                ("reason".to_string(), Value::from(reason.as_str())),
+                ("distance".to_string(), opt_u64(*distance)),
+            ],
+        ),
+        Event::CampaignRound {
+            model,
+            run,
+            detected,
+            locality,
+        } => typed(
+            "campaign-round",
+            vec![
+                ("model".to_string(), Value::from(model.as_str())),
+                ("run".to_string(), Value::from(*run)),
+                ("detected".to_string(), Value::from(*detected)),
+                ("locality".to_string(), opt_u64(*locality)),
+            ],
+        ),
+        Event::Marker { label } => typed(
+            "marker",
+            vec![("label".to_string(), Value::from(label.as_str()))],
+        ),
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    let x = v.get(key)?.as_num()?;
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+        Some(x as u64)
+    } else {
+        None
+    }
+}
+
+fn get_opt_u64(v: &Value, key: &str) -> Option<Option<u64>> {
+    match v.get(key)? {
+        Value::Null => Some(None),
+        _ => get_u64(v, key).map(Some),
+    }
+}
+
+fn get_str(v: &Value, key: &str) -> Option<String> {
+    Some(v.get(key)?.as_str()?.to_string())
+}
+
+fn get_bool(v: &Value, key: &str) -> Option<bool> {
+    match v.get(key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Parses one event object back (the inverse of [`event_to_json`]).
+pub fn event_from_json(v: &Value) -> Option<Event> {
+    match v.get("type")?.as_str()? {
+        "prover-start" => Some(Event::ProverStart {
+            scheme: get_str(v, "scheme")?,
+        }),
+        "prover-end" => Some(Event::ProverEnd {
+            scheme: get_str(v, "scheme")?,
+            ok: get_bool(v, "ok")?,
+            max_bits: get_u64(v, "max_bits")?,
+        }),
+        "verdict" => Some(Event::Verdict {
+            vertex: get_u64(v, "vertex")?,
+            accepted: get_bool(v, "accepted")?,
+            reason: match v.get("reason")? {
+                Value::Null => None,
+                r => Some(r.as_str()?.to_string()),
+            },
+            bits_read: get_u64(v, "bits_read")?,
+        }),
+        "cert-mutated" => Some(Event::CertMutated {
+            vertex: get_u64(v, "vertex")?,
+        }),
+        "fault-injected" => Some(Event::FaultInjected {
+            model: get_str(v, "model")?,
+            site: get_u64(v, "site")?,
+            effective: get_bool(v, "effective")?,
+        }),
+        "detection" => Some(Event::Detection {
+            model: get_str(v, "model")?,
+            site: get_u64(v, "site")?,
+            detector: get_u64(v, "detector")?,
+            reason: get_str(v, "reason")?,
+            distance: get_opt_u64(v, "distance")?,
+        }),
+        "campaign-round" => Some(Event::CampaignRound {
+            model: get_str(v, "model")?,
+            run: get_u64(v, "run")?,
+            detected: get_bool(v, "detected")?,
+            locality: get_opt_u64(v, "locality")?,
+        }),
+        "marker" => Some(Event::Marker {
+            label: get_str(v, "label")?,
+        }),
+        _ => None,
+    }
+}
+
+/// Serializes a snapshot as JSONL: a header line
+/// `{"schema":"locert-journal/v1","dropped":N,"entries":N}` followed by
+/// one `{"seq":N,"type":...}` object per entry. Deterministic for a
+/// fixed event sequence (no timestamps, sorted keys).
+pub fn to_jsonl(snap: &JournalSnapshot) -> String {
+    let mut out = String::new();
+    let header = Value::obj([
+        ("schema".to_string(), Value::from(JOURNAL_SCHEMA)),
+        ("dropped".to_string(), Value::from(snap.dropped)),
+        (
+            "entries".to_string(),
+            Value::from(snap.entries.len() as u64),
+        ),
+    ]);
+    out.push_str(&header.to_string());
+    out.push('\n');
+    for entry in &snap.entries {
+        let mut obj = match event_to_json(&entry.event) {
+            Value::Obj(map) => map,
+            _ => unreachable!("event_to_json returns objects"),
+        };
+        obj.insert("seq".to_string(), Value::from(entry.seq));
+        out.push_str(&Value::Obj(obj).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSONL journal decode failure: 1-based line number plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+/// Parses a JSONL journal back into a snapshot (the inverse of
+/// [`to_jsonl`]).
+///
+/// # Errors
+///
+/// [`JournalParseError`] naming the first malformed line: invalid JSON,
+/// a bad header, an unknown event type, or a missing field.
+pub fn from_jsonl(text: &str) -> Result<JournalSnapshot, JournalParseError> {
+    let fail = |line: usize, message: &str| JournalParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (i, header_line) = lines.next().ok_or_else(|| fail(1, "empty journal"))?;
+    let header = json::parse(header_line).map_err(|e| fail(i + 1, &format!("bad header: {e}")))?;
+    if header.get("schema").and_then(Value::as_str) != Some(JOURNAL_SCHEMA) {
+        return Err(fail(i + 1, "missing or unknown schema"));
+    }
+    let dropped = get_u64(&header, "dropped").ok_or_else(|| fail(i + 1, "bad dropped count"))?;
+    let mut entries = Vec::new();
+    for (i, line) in lines {
+        let v = json::parse(line).map_err(|e| fail(i + 1, &format!("bad entry: {e}")))?;
+        let seq = get_u64(&v, "seq").ok_or_else(|| fail(i + 1, "missing seq"))?;
+        let event = event_from_json(&v).ok_or_else(|| fail(i + 1, "unknown or malformed event"))?;
+        entries.push(Entry { seq, event });
+    }
+    Ok(JournalSnapshot { entries, dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Marker { label: "e1".into() },
+            Event::ProverStart {
+                scheme: "spanning-tree".into(),
+            },
+            Event::ProverEnd {
+                scheme: "spanning-tree".into(),
+                ok: true,
+                max_bits: 12,
+            },
+            Event::Verdict {
+                vertex: 0,
+                accepted: true,
+                reason: None,
+                bits_read: 24,
+            },
+            Event::Verdict {
+                vertex: 3,
+                accepted: false,
+                reason: Some("root-mismatch".into()),
+                bits_read: 36,
+            },
+            Event::CertMutated { vertex: 3 },
+            Event::FaultInjected {
+                model: "bit-flip".into(),
+                site: 3,
+                effective: true,
+            },
+            Event::Detection {
+                model: "bit-flip".into(),
+                site: 3,
+                detector: 2,
+                reason: "parent-distance-clash".into(),
+                distance: Some(1),
+            },
+            Event::CampaignRound {
+                model: "bit-flip".into(),
+                run: 0,
+                detected: true,
+                locality: Some(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_event() {
+        let snap = JournalSnapshot {
+            entries: sample_events()
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| Entry {
+                    seq: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 7,
+        };
+        let text = to_jsonl(&snap);
+        let back = from_jsonl(&text).expect("parses");
+        assert_eq!(back, snap);
+        // Determinism: encoding the re-parsed snapshot is byte-identical.
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn recording_respects_enable_and_capacity() {
+        let _g = crate::tests::serial();
+        disable();
+        reset();
+        record_with(|| panic!("disabled journal must not build events"));
+        set_capacity(4);
+        enable();
+        for i in 0..10u64 {
+            record_with(|| Event::CertMutated { vertex: i });
+        }
+        disable();
+        let snap = snapshot();
+        set_capacity(DEFAULT_CAPACITY);
+        reset();
+        assert_eq!(snap.entries.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // Newest entries survive; seq numbers keep counting from 0.
+        assert_eq!(snap.entries[0].seq, 6);
+        assert_eq!(
+            snap.entries.last().map(|e| &e.event),
+            Some(&Event::CertMutated { vertex: 9 })
+        );
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_input() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"schema\":\"other/v9\",\"dropped\":0,\"entries\":0}\n").is_err());
+        let ok_header = "{\"dropped\":0,\"entries\":1,\"schema\":\"locert-journal/v1\"}\n";
+        assert!(from_jsonl(&format!("{ok_header}not json\n")).is_err());
+        assert!(from_jsonl(&format!("{ok_header}{{\"type\":\"martian\",\"seq\":0}}\n")).is_err());
+        assert!(
+            from_jsonl(&format!(
+                "{ok_header}{{\"type\":\"marker\",\"label\":\"x\"}}\n"
+            ))
+            .is_err(),
+            "entry without seq must fail"
+        );
+        let err = from_jsonl(&format!("{ok_header}null\n")).expect_err("fails");
+        assert_eq!(err.line, 2);
+    }
+
+    /// A light property test (vendored proptest has no trace dep here):
+    /// random event streams survive the JSONL round trip.
+    #[test]
+    fn randomized_streams_roundtrip() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let len = (next() % 20) as usize;
+            let entries: Vec<Entry> = (0..len)
+                .map(|i| {
+                    let event = match next() % 5 {
+                        0 => Event::Verdict {
+                            vertex: next() % 1000,
+                            accepted: next() % 2 == 0,
+                            reason: if next() % 2 == 0 {
+                                None
+                            } else {
+                                Some(format!("reason-{}", next() % 8))
+                            },
+                            bits_read: next() % 4096,
+                        },
+                        1 => Event::FaultInjected {
+                            model: format!("model-{}", next() % 10),
+                            site: next() % 1000,
+                            effective: next() % 2 == 0,
+                        },
+                        2 => Event::Detection {
+                            model: format!("model-{}", next() % 10),
+                            site: next() % 1000,
+                            detector: next() % 1000,
+                            reason: format!("reason \"{}\" π", next() % 8),
+                            distance: if next() % 2 == 0 {
+                                None
+                            } else {
+                                Some(next() % 64)
+                            },
+                        },
+                        3 => Event::ProverEnd {
+                            scheme: format!("scheme[{}]", next() % 4),
+                            ok: next() % 2 == 0,
+                            max_bits: next() % 100_000,
+                        },
+                        _ => Event::Marker {
+                            label: format!("mark\n{}", next() % 100),
+                        },
+                    };
+                    Entry {
+                        seq: i as u64,
+                        event,
+                    }
+                })
+                .collect();
+            let snap = JournalSnapshot {
+                entries,
+                dropped: next() % 3,
+            };
+            let text = to_jsonl(&snap);
+            assert_eq!(from_jsonl(&text).expect("parses"), snap);
+        }
+    }
+}

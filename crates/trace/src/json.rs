@@ -114,7 +114,12 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "null"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 9e15 {
+                if !x.is_finite() {
+                    // JSON has no NaN/Infinity literal; `null` is the
+                    // only representable degradation (and the parser
+                    // rejects non-finite numbers anyway).
+                    write!(f, "null")
+                } else if x.fract() == 0.0 && x.abs() < 9e15 {
                     write!(f, "{}", *x as i64)
                 } else {
                     write!(f, "{x}")
@@ -176,6 +181,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -186,9 +192,16 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per `[`/`{` level; bounding it turns
+/// adversarial inputs like `"[".repeat(1 << 20)` into a [`ParseError`]
+/// instead of a stack overflow.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -216,6 +229,28 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.err(&format!("expected '{}'", b as char)))
         }
+    }
+
+    /// Bumps the container nesting depth, failing past [`MAX_DEPTH`].
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
+    }
+
+    /// Reads exactly four hex digits at the cursor (the payload of a
+    /// `\u` escape) and advances past them.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
@@ -264,17 +299,34 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogates are not emitted by our writer;
-                            // map unpaired ones to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            self.pos += 1; // past 'u'
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..=0xDBFF).contains(&unit) {
+                                // High surrogate: combine with a
+                                // following \uXXXX low surrogate;
+                                // unpaired → replacement char.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let save = self.pos;
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..=0xDFFF).contains(&low) {
+                                        let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(cp).unwrap_or('\u{fffd}')
+                                    } else {
+                                        self.pos = save;
+                                        '\u{fffd}'
+                                    }
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                // Lone low surrogates are also unpaired.
+                                char::from_u32(unit).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
+                            continue;
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -304,17 +356,25 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
+        let x = text.parse::<f64>().map_err(|_| self.err("bad number"))?;
+        if !x.is_finite() {
+            // `1e999` overflows to +inf; JSON numbers must stay finite.
+            return Err(ParseError {
+                offset: start,
+                message: "non-finite number".to_string(),
+            });
+        }
+        Ok(Value::Num(x))
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -325,6 +385,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -334,10 +395,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(map));
         }
         loop {
@@ -353,6 +416,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -426,5 +490,73 @@ mod tests {
         let err = parse("[1, @]").expect_err("must fail");
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn rejects_malformed_escapes() {
+        for bad in [
+            r#""\x""#,
+            r#""\u12""#,
+            r#""\u12zz""#,
+            r#""\u""#,
+            "\"\\",
+            r#""\"#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // U+1D11E (musical G clef) = 𝄞.
+        let v = parse(r#""𝄞""#).expect("parses");
+        assert_eq!(v.as_str(), Some("\u{1D11E}"));
+        // Unpaired high surrogate → replacement char, rest of string kept.
+        let v = parse(r#""\ud834x""#).expect("parses");
+        assert_eq!(v.as_str(), Some("\u{fffd}x"));
+        // High surrogate followed by a non-surrogate escape: replacement
+        // char, then the decoded escape.
+        let v = parse(r#""\ud834A""#).expect("parses");
+        assert_eq!(v.as_str(), Some("\u{fffd}A"));
+        // Lone low surrogate → replacement char.
+        let v = parse(r#""\udd1e""#).expect("parses");
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn bounds_recursion_depth() {
+        // Just inside the bound parses; one level past it fails cleanly.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = parse(&deep).expect_err("too deep");
+        assert!(err.message.contains("MAX_DEPTH"), "msg: {}", err.message);
+        // An adversarial prefix with no closers must not overflow the
+        // stack either.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+        assert!(parse(&"{\"a\":".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        for bad in ["NaN", "Infinity", "-Infinity", "1e999", "-1e999"] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+        // The writer degrades non-finite values to null rather than
+        // emitting text the parser would reject.
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+        let arr = Value::Arr(vec![Value::Num(f64::NEG_INFINITY), Value::Num(1.0)]);
+        assert_eq!(
+            parse(&arr.to_string())
+                .expect("parses")
+                .as_arr()
+                .map(<[Value]>::len),
+            Some(2)
+        );
     }
 }

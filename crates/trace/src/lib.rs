@@ -46,6 +46,7 @@
 //! ```
 
 pub mod export;
+pub mod journal;
 pub mod json;
 
 use std::cell::RefCell;
