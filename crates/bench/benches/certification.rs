@@ -113,6 +113,19 @@ fn bench_f1_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The parallel-runtime workload: an exhaustive soundness sweep over
+/// ~118k certificate assignments, enumerated on the locert-par pool.
+/// CI runs this suite at LOCERT_THREADS=1 and =4 and records both
+/// BENCH_certification.json artifacts; on multi-core hosts the
+/// multi-thread median for this group should be >= 2x faster.
+fn bench_s1_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s1_exhaustive");
+    g.bench_function("acyclicity_cycle6_b2", |b| {
+        b.iter(|| black_box(locert_bench::s1_soundness::exhaustive_once(6, 2)));
+    });
+    g.finish();
+}
+
 fn bench_prover_vs_verifier(c: &mut Criterion) {
     use locert_core::framework::{run_verification, Instance, Prover};
     use locert_core::schemes::common::id_bits_for;
@@ -163,5 +176,6 @@ criterion_group!(
     bench_e8_words,
     bench_f1_paths,
     bench_p34_spanning_tree,
+    bench_s1_exhaustive,
 );
 criterion_main!(benches);

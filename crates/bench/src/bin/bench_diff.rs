@@ -11,8 +11,11 @@
 //!
 //! - `locert-criterion/v1` (`BENCH_*.json` from the vendored criterion
 //!   stub): compares `median_ns` per benchmark name;
-//! - `locert-trace/v1` (`metrics.json` from the experiments binary):
-//!   compares `wall_s` per experiment id.
+//! - `locert-trace/v1` (legacy `metrics.json`): compares `wall_s` per
+//!   experiment id (inline in `experiments`);
+//! - `locert-trace/v2` (current `metrics.json`): compares `wall_s` per
+//!   experiment id from the `timings` section — the deterministic
+//!   `experiments` section carries no wall-clock by design.
 //!
 //! Entries present in only one file are reported but never fail the gate
 //! (benchmarks come and go; the gate is about the ones that persist). A
@@ -34,9 +37,10 @@ usage: bench-diff BASELINE CURRENT [--threshold FACTOR]
        bench-diff scale FACTOR IN OUT
 
 Compares two benchmark artifacts (BENCH_*.json with schema
-locert-criterion/v1, or metrics.json with schema locert-trace/v1),
-prints a markdown delta table, and exits 1 if any shared entry in
-CURRENT exceeds BASELINE by more than FACTOR (default 1.5).
+locert-criterion/v1, or metrics.json with schema locert-trace/v1 or
+/v2 — v2 wall-clock lives in the \"timings\" section), prints a
+markdown delta table, and exits 1 if any shared entry in CURRENT
+exceeds BASELINE by more than FACTOR (default 1.5).
 
 The scale form multiplies every metric in IN by FACTOR and writes
 OUT; CI uses it to inject a synthetic regression.";
@@ -105,11 +109,19 @@ fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
                 .collect::<Result<Vec<_>, &str>>()?;
             Ok((Kind::Criterion, entries))
         }
-        "locert-trace/v1" => {
+        "locert-trace/v1" | "locert-trace/v2" => {
+            // v1 kept wall_s inline in "experiments"; v2 moved every
+            // wall-clock key to the "timings" section so the committed
+            // deterministic section never diffs on regeneration.
+            let list_key = if schema == "locert-trace/v1" {
+                "experiments"
+            } else {
+                "timings"
+            };
             let items = doc
-                .get("experiments")
+                .get(list_key)
                 .and_then(Value::as_arr)
-                .ok_or("missing \"experiments\" array")?;
+                .ok_or("missing wall-clock entry array")?;
             let entries = items
                 .iter()
                 .map(|e| {
@@ -135,9 +147,11 @@ fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
 /// Multiplies every metric in the artifact by `factor`, in place.
 fn scale_doc(doc: &mut Value, factor: f64) -> Result<(), String> {
     let (kind, _) = extract(doc)?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
     let (list_key, metric_key) = match kind {
         Kind::Criterion => ("benchmarks", "median_ns"),
-        Kind::Metrics => ("experiments", "wall_s"),
+        Kind::Metrics if schema == "locert-trace/v1" => ("experiments", "wall_s"),
+        Kind::Metrics => ("timings", "wall_s"),
     };
     let Value::Obj(map) = doc else {
         unreachable!("extract checked")

@@ -4,22 +4,32 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--out PATH] [--quick] [--metrics [PATH]] [--baseline]
-//!             [--journal [PATH]] [--chrome-trace [PATH]] [only-ids…]
+//! experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
+//!             [--baseline] [--journal [PATH]] [--chrome-trace [PATH]]
+//!             [only-ids…]
 //! ```
 //!
 //! `--quick` shrinks the size grids (used by CI-style smoke runs);
-//! `--metrics` enables the locert-trace subscriber and writes a
-//! machine-readable telemetry dump (default `target/metrics.json`) plus
-//! a Telemetry appendix in the report; `--baseline` writes the dump to
-//! the committed workspace-root `metrics.json` instead (baseline
-//! regeneration); `--journal` records the replayable verification
-//! journal as JSONL (default `target/journal.jsonl`); `--chrome-trace`
-//! exports the span tree in Chrome trace-event format (default
-//! `target/trace.json`, load via `chrome://tracing` or Perfetto);
-//! trailing arguments select experiment ids (`e1`, `e4`, `f1`, …).
-//! Unknown `--` flags and unknown ids are usage errors; unwritable
-//! output paths are IO errors (exit 1), not panics.
+//! `--threads N` sets the worker count of the `locert-par` pool
+//! (default: `LOCERT_THREADS`, then available parallelism) — every
+//! deterministic artifact is byte-identical at any value; `--metrics`
+//! enables the locert-trace subscriber and writes a machine-readable
+//! telemetry dump (default `target/metrics.json`) plus a Telemetry
+//! appendix in the report; `--baseline` writes the dump to the committed
+//! workspace-root `metrics.json` instead (baseline regeneration);
+//! `--journal` records the replayable verification journal as JSONL
+//! (default `target/journal.jsonl`); `--chrome-trace` exports the span
+//! tree in Chrome trace-event format (default `target/trace.json`, load
+//! via `chrome://tracing` or Perfetto); trailing arguments select
+//! experiment ids (`e1`, `e4`, `f1`, …). Unknown `--` flags and unknown
+//! ids are usage errors; unwritable output paths are IO errors (exit 1),
+//! not panics.
+//!
+//! The metrics dump (`locert-trace/v2`) keeps seed-deterministic
+//! telemetry (counters, value histograms) in `experiments` and
+//! run-varying telemetry (wall time, `par.*` scheduling counters, `.ns`
+//! histograms, span trees) in `timings`, so committed baselines and CI
+//! byte-comparisons read only the deterministic section.
 
 use locert_bench::*;
 use locert_trace::json::Value;
@@ -31,11 +41,15 @@ const KNOWN_IDS: [&str; 14] = [
 ];
 
 const USAGE: &str = "\
-usage: experiments [--out PATH] [--quick] [--metrics [PATH]] [--baseline]
-                   [--journal [PATH]] [--chrome-trace [PATH]] [only-ids…]
+usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
+                   [--baseline] [--journal [PATH]] [--chrome-trace [PATH]]
+                   [only-ids…]
 
   --out PATH            report destination (default EXPERIMENTS.md)
   --quick               shrink size grids for a fast smoke run
+  --threads N           worker count for the locert-par pool (default:
+                        LOCERT_THREADS env, then available parallelism);
+                        deterministic artifacts are byte-identical at any N
   --metrics [PATH]      record spans/counters/histograms via locert-trace
                         and write them as JSON (default
                         target/metrics.json); also appends a Telemetry
@@ -108,6 +122,17 @@ fn main() {
                 }
             }
             "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|a| a.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| fail_usage("--threads needs a positive integer"));
+                if !locert_par::configure_threads(n) {
+                    fail_usage("--threads must come before the pool is first used");
+                }
+            }
             "--metrics" => match optional_path(&args, i) {
                 Some(p) => {
                     i += 1;
@@ -254,7 +279,10 @@ fn main() {
     run_exp!("a1", vec![a1_radius::run(&small)]);
     run_exp!("s1", {
         let rounds = if quick { 60 } else { 300 };
-        vec![s1_soundness::run(12, rounds, 0x51)]
+        vec![
+            s1_soundness::run(12, rounds, 0x51),
+            s1_soundness::run_exhaustive(),
+        ]
     });
     run_exp!("s2", {
         let runs = if quick { 40 } else { 200 };
@@ -344,30 +372,46 @@ fn main() {
     eprintln!("wrote {out_path} ({} tables)", tables.len());
 }
 
-/// Serializes per-experiment telemetry as the `locert-trace/v1` document
+/// Serializes per-experiment telemetry as the `locert-trace/v2` document
 /// checked by `trace-check` (see `crates/trace/src/bin/trace_check.rs`).
+///
+/// Each snapshot is split (`export::split_deterministic`) into the
+/// seed-deterministic half (counters and value histograms — byte-stable
+/// at any thread count, under `experiments`) and the run-varying half
+/// (`wall_s`, `par.*` scheduling counters, `.ns` histograms, span trees —
+/// under `timings`). Baseline regeneration commits the whole file, but
+/// regression tooling (`trace-check --compare`, `bench_diff`, the CI
+/// `cmp`) reads only the deterministic section.
 fn write_metrics_json(
     path: &str,
     quick: bool,
     telemetry: &[(String, f64, locert_trace::Snapshot)],
 ) {
-    let experiments: Vec<Value> = telemetry
-        .iter()
-        .map(|(id, secs, snap)| {
-            Value::obj([
-                ("id".to_string(), Value::from(id.as_str())),
-                ("wall_s".to_string(), Value::Num(*secs)),
-                (
-                    "telemetry".to_string(),
-                    locert_trace::export::snapshot_to_json(snap),
-                ),
-            ])
-        })
-        .collect();
+    let mut experiments: Vec<Value> = Vec::new();
+    let mut timing_entries: Vec<Value> = Vec::new();
+    for (id, secs, snap) in telemetry {
+        let (deterministic, timing) = locert_trace::export::split_deterministic(snap);
+        experiments.push(Value::obj([
+            ("id".to_string(), Value::from(id.as_str())),
+            (
+                "telemetry".to_string(),
+                locert_trace::export::snapshot_to_json(&deterministic),
+            ),
+        ]));
+        timing_entries.push(Value::obj([
+            ("id".to_string(), Value::from(id.as_str())),
+            ("wall_s".to_string(), Value::Num(*secs)),
+            (
+                "telemetry".to_string(),
+                locert_trace::export::snapshot_to_json(&timing),
+            ),
+        ]));
+    }
     let doc = Value::obj([
-        ("schema".to_string(), Value::from("locert-trace/v1")),
+        ("schema".to_string(), Value::from("locert-trace/v2")),
         ("quick".to_string(), Value::Bool(quick)),
         ("experiments".to_string(), Value::Arr(experiments)),
+        ("timings".to_string(), Value::Arr(timing_entries)),
     ]);
     write_artifact("metrics", path, &format!("{doc}\n"));
 }

@@ -158,6 +158,112 @@ pub fn run(n: usize, rounds: usize, seed: u64) -> Table {
     table
 }
 
+/// One row of the exhaustive sweep: a scheme, a tiny no-instance, and
+/// the certificate width to enumerate up to.
+struct ExhaustiveCase {
+    scheme: Box<dyn Scheme>,
+    no_instance: Graph,
+    max_bits: usize,
+}
+
+fn exhaustive_cases(b: u32) -> Vec<ExhaustiveCase> {
+    vec![
+        ExhaustiveCase {
+            scheme: Box::new(AcyclicityScheme::new(b)),
+            no_instance: generators::cycle(4),
+            max_bits: 2,
+        },
+        ExhaustiveCase {
+            scheme: Box::new(VertexCountScheme::new(b, 5)),
+            no_instance: generators::path(4),
+            max_bits: 2,
+        },
+        ExhaustiveCase {
+            scheme: Box::new(TreeDiameterScheme::new(b, 1)),
+            no_instance: generators::path(4),
+            max_bits: 2,
+        },
+        ExhaustiveCase {
+            scheme: Box::new(TreeDepthBoundScheme::new(1)),
+            no_instance: generators::path(4),
+            max_bits: 2,
+        },
+    ]
+}
+
+/// S1b — exhaustive soundness on tiny no-instances.
+///
+/// Unlike the sampled campaign of [`run`], a clean row here is a *proof*
+/// of soundness for that instance and certificate width: every one of
+/// the `(2^{max_bits+1} - 1)^n` assignments was enumerated and rejected
+/// somewhere. The sweep runs on the `locert-par` pool
+/// ([`exhaustive_soundness`] parallelises the enumeration with a
+/// deterministic least-witness early exit), which is what makes widths
+/// beyond a handful of bits affordable.
+pub fn run_exhaustive() -> Table {
+    use locert_core::attacks::exhaustive_soundness;
+
+    let mut table = Table::new(
+        "S1b",
+        "Exhaustive soundness sweep",
+        "For tiny no-instances the soundness quantifier is decidable by \
+         brute force: enumerate every certificate assignment up to the \
+         stated width (certificates ordered by (length, value), combined \
+         as a mixed-radix counter) and check that each is rejected by some \
+         vertex. The enumeration runs on the locert-par pool; the checked \
+         count and any witness are byte-identical at every thread count. \
+         Reproduce with: cargo run --release -p locert-bench --bin \
+         experiments -- s1",
+        "verdict column identically sound; checked = full space everywhere",
+        &[
+            "scheme",
+            "no-instance",
+            "max bits",
+            "space",
+            "checked",
+            "verdict",
+        ],
+    );
+    let b = 6;
+    for case in exhaustive_cases(b) {
+        let g = &case.no_instance;
+        let n = g.num_nodes();
+        let ids = IdAssignment::contiguous(n);
+        let inst = Instance::new(g, &ids);
+        assert!(b >= id_bits_for(&inst));
+        let certs_per_vertex = (1u64 << (case.max_bits + 1)) - 1;
+        let space = certs_per_vertex.pow(n as u32);
+        let (checked, verdict) =
+            match exhaustive_soundness(case.scheme.as_ref(), &inst, case.max_bits, 10_000_000) {
+                Ok(checked) => (checked, "sound".to_string()),
+                Err(e) => (0, format!("UNSOUND: {e}")),
+            };
+        table.push([
+            case.scheme.name(),
+            format!("{n}-vertex"),
+            case.max_bits.to_string(),
+            space.to_string(),
+            checked.to_string(),
+            verdict,
+        ]);
+    }
+    table
+}
+
+/// One exhaustive sweep for the criterion benchmark: acyclicity on a
+/// cycle, enumerated to `max_bits`, returning the checked count. The
+/// space is `(2^{max_bits+1} - 1)^n`; with `n = 6, max_bits = 2` that is
+/// 7^6 ≈ 118k full-graph verifications — enough work for the pool's
+/// speedup to be measurable on multi-core hosts.
+pub fn exhaustive_once(n: usize, max_bits: usize) -> u64 {
+    let g = generators::cycle(n);
+    let ids = IdAssignment::contiguous(n);
+    let inst = Instance::new(&g, &ids);
+    let scheme = AcyclicityScheme::new(id_bits_for(&inst));
+    locert_core::attacks::exhaustive_soundness(&scheme, &inst, max_bits, 100_000_000)
+        .expect("acyclicity is sound on a cycle")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +275,28 @@ mod tests {
         for row in &t.rows {
             assert_eq!(row[4], "0", "scheme {} was fooled", row[0]);
         }
+    }
+
+    #[test]
+    fn exhaustive_sweep_proves_every_case_sound() {
+        let t = run_exhaustive();
+        assert!(t.rows.len() >= 4);
+        for row in &t.rows {
+            assert_eq!(
+                row[5], "sound",
+                "scheme {} exhaustive sweep: {}",
+                row[0], row[5]
+            );
+            assert_eq!(
+                row[3], row[4],
+                "scheme {} early-exited a sound sweep",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_once_checks_the_full_space() {
+        assert_eq!(exhaustive_once(4, 1), 3u64.pow(4));
     }
 }

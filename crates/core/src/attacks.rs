@@ -9,7 +9,7 @@
 //! their role in the test suite.
 
 use crate::bits::{BitWriter, Certificate};
-use crate::framework::{run_verification, Assignment, Instance, Verifier};
+use crate::framework::{run_verification, view_of, Assignment, Instance, Verifier};
 use locert_graph::NodeId;
 use rand::{Rng, RngExt};
 use std::error::Error;
@@ -55,9 +55,11 @@ impl fmt::Display for SoundnessError {
 impl Error for SoundnessError {}
 
 /// Exhaustively checks that **no** assignment with per-vertex certificates
-/// of at most `max_bits` bits is accepted on `instance`.
+/// of at most `max_bits` bits is accepted on `instance`, enumerating on
+/// the global [`locert_par`] pool.
 ///
-/// Returns `Ok(checked)` with the number of assignments tried.
+/// Returns `Ok(checked)` with the number of assignments tried (under the
+/// canonical enumeration order — see [`exhaustive_soundness_in`]).
 ///
 /// # Errors
 ///
@@ -71,8 +73,37 @@ pub fn exhaustive_soundness(
     max_bits: usize,
     budget: u64,
 ) -> Result<u64, SoundnessError> {
+    exhaustive_soundness_in(locert_par::global(), verifier, instance, max_bits, budget)
+}
+
+/// [`exhaustive_soundness`] on an explicit pool (tests pin worker counts
+/// in-process with it).
+///
+/// Assignments are enumerated in a canonical order — certificates sorted
+/// by (length, value), combined as a mixed-radix counter with vertex 0 as
+/// the least-significant digit — and the early exit always reports the
+/// **least** fooling assignment under that order, whatever the worker
+/// count or steal schedule. `SoundnessError::Fooled` payloads, the
+/// `checked` count, and the `core.attacks.exhaustive.assignments` counter
+/// are therefore byte-identical to a sequential sweep.
+///
+/// Candidate checks are journal-silent (no per-candidate `Verdict`
+/// events) and uncounted; the single deterministic counter above is the
+/// sweep's trace footprint.
+///
+/// # Errors
+///
+/// As [`exhaustive_soundness`].
+pub fn exhaustive_soundness_in(
+    pool: &locert_par::Pool,
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    max_bits: usize,
+    budget: u64,
+) -> Result<u64, SoundnessError> {
+    let _span = locert_trace::span!("core.attacks.exhaustive");
     let n = instance.graph().num_nodes();
-    // All bit strings of length 0..=max_bits.
+    // All bit strings of length 0..=max_bits, sorted by (length, value).
     let mut space: Vec<Certificate> = Vec::new();
     for len in 0..=max_bits {
         for value in 0..(1u64 << len) {
@@ -81,34 +112,45 @@ pub fn exhaustive_soundness(
             space.push(w.finish());
         }
     }
-    let total = (space.len() as u64).checked_pow(n as u32);
+    let m = space.len();
+    let total = (m as u64).checked_pow(n as u32);
     if total.is_none_or(|t| t > budget) {
         return Err(SoundnessError::BudgetExceeded {
             space: total,
             budget,
         });
     }
-    let mut indices = vec![0usize; n];
-    let mut checked = 0u64;
-    loop {
-        let asg = Assignment::new(indices.iter().map(|&i| space[i].clone()).collect());
-        checked += 1;
-        if run_verification(verifier, instance, &asg).accepted() {
-            return Err(SoundnessError::Fooled(Box::new(asg)));
+    let total = total.expect("guarded above");
+    // Decodes enumeration index -> assignment (vertex v reads digit v).
+    let assignment_at = |mut idx: usize| -> Assignment {
+        let mut certs = Vec::with_capacity(n);
+        for _ in 0..n {
+            certs.push(space[idx % m].clone());
+            idx /= m;
         }
-        // Increment mixed-radix counter.
-        let mut i = 0;
-        loop {
-            if i == n {
-                return Ok(checked);
-            }
-            indices[i] += 1;
-            if indices[i] < space.len() {
-                break;
-            }
-            indices[i] = 0;
-            i += 1;
-        }
+        Assignment::new(certs)
+    };
+    // One candidate: journal-silent accept-all probe (short-circuits on
+    // the first rejecting vertex).
+    let fooled = |idx: usize| -> Option<Assignment> {
+        let asg = assignment_at(idx);
+        instance
+            .graph()
+            .nodes()
+            .all(|v| verifier.verify(&view_of(instance, &asg, v)))
+            .then_some(asg)
+    };
+    // Small chunks keep the least-index pruning responsive: a fooling
+    // certificate found early cancels most of the remaining space.
+    let chunk = (total as usize / (pool.threads() * 16)).clamp(1, 64);
+    let found = pool.par_find_first(total as usize, chunk, fooled);
+    let checked = found.as_ref().map_or(total, |(idx, _)| *idx as u64 + 1);
+    if locert_trace::enabled() {
+        locert_trace::add("core.attacks.exhaustive.assignments", checked);
+    }
+    match found {
+        Some((_, asg)) => Err(SoundnessError::Fooled(Box::new(asg))),
+        None => Ok(checked),
     }
 }
 
@@ -197,6 +239,7 @@ mod tests {
     use super::*;
     use crate::framework::{LocalView, RejectReason};
     use locert_graph::{generators, IdAssignment};
+    use locert_par::Pool;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -270,6 +313,118 @@ mod tests {
         match exhaustive_soundness(&TokenVerifier, &inst, 1, 1_000_000) {
             Err(SoundnessError::Fooled(asg)) => assert_eq!(asg.max_bits(), 1),
             other => panic!("expected Fooled, got {other:?}"),
+        }
+    }
+
+    /// Accepts iff degree 2 and the certificate *starts* with a 1-bit —
+    /// deliberately sloppy, so many certificates ("1", "10", "11", …)
+    /// fool it on a cycle and the early exit has real choices to make.
+    struct PrefixTokenVerifier;
+
+    impl Verifier for PrefixTokenVerifier {
+        fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
+            if view.degree() == 2 && view.cert.len_bits() >= 1 && view.cert.bit(0) {
+                Ok(())
+            } else {
+                Err(RejectReason::PropertyViolation)
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_early_exit_reports_least_witness_at_any_thread_count() {
+        let g = generators::cycle(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        // Sanity: the sloppy verifier has at least two distinct fooling
+        // assignments in the max_bits = 2 space.
+        let count_fooling = || {
+            let mut space = Vec::new();
+            for len in 0..=2usize {
+                for value in 0..(1u64 << len) {
+                    let mut w = BitWriter::new();
+                    w.write(value, len as u32);
+                    space.push(w.finish());
+                }
+            }
+            let mut fooling = Vec::new();
+            let m = space.len();
+            for idx in 0..m * m * m {
+                let certs = vec![
+                    space[idx % m].clone(),
+                    space[(idx / m) % m].clone(),
+                    space[(idx / m / m) % m].clone(),
+                ];
+                let asg = Assignment::new(certs);
+                if run_verification(&PrefixTokenVerifier, &inst, &asg).accepted() {
+                    fooling.push(idx);
+                }
+            }
+            fooling
+        };
+        let fooling = count_fooling();
+        assert!(
+            fooling.len() >= 2,
+            "test premise: multiple fooling assignments, got {fooling:?}"
+        );
+        // The sequential pool is the reference semantics.
+        let sequential = Pool::new(1);
+        let reference =
+            match exhaustive_soundness_in(&sequential, &PrefixTokenVerifier, &inst, 2, 1_000_000) {
+                Err(SoundnessError::Fooled(asg)) => *asg,
+                other => panic!("expected Fooled, got {other:?}"),
+            };
+        // The reference is the least fooling index's assignment.
+        let least = fooling[0];
+        let expected_certs: Vec<Certificate> =
+            (0..3).map(|v| reference.cert(NodeId(v)).clone()).collect();
+        {
+            let mut space = Vec::new();
+            for len in 0..=2usize {
+                for value in 0..(1u64 << len) {
+                    let mut w = BitWriter::new();
+                    w.write(value, len as u32);
+                    space.push(w.finish());
+                }
+            }
+            let m = space.len();
+            let least_certs: Vec<Certificate> = vec![
+                space[least % m].clone(),
+                space[(least / m) % m].clone(),
+                space[(least / m / m) % m].clone(),
+            ];
+            assert_eq!(expected_certs, least_certs, "least witness mismatch");
+        }
+        // Parallel pools must report the exact same witness, every time.
+        let parallel = Pool::new(4);
+        for round in 0..10 {
+            match exhaustive_soundness_in(&parallel, &PrefixTokenVerifier, &inst, 2, 1_000_000) {
+                Err(SoundnessError::Fooled(asg)) => {
+                    for v in 0..3 {
+                        assert_eq!(
+                            asg.cert(NodeId(v)),
+                            reference.cert(NodeId(v)),
+                            "witness diverged at vertex {v}, round {round}"
+                        );
+                    }
+                }
+                other => panic!("expected Fooled, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_checked_count_matches_sequential_at_any_thread_count() {
+        // No fooling assignment exists on a path (degree-1 endpoints):
+        // the count is the full space at every width.
+        let g = generators::path(3);
+        let ids = IdAssignment::contiguous(3);
+        let inst = Instance::new(&g, &ids);
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let checked = exhaustive_soundness_in(&pool, &TokenVerifier, &inst, 2, 1_000_000)
+                .expect("no fooling assignment exists");
+            assert_eq!(checked, 7u64.pow(3), "threads = {threads}");
         }
     }
 

@@ -557,15 +557,27 @@ pub fn run_campaign(
     let _span = locert_trace::span!("core.faults.run_campaign");
     let n = instance.graph().num_nodes();
     let mut stats = CampaignStats::default();
-    for r in 0..runs {
-        let plan = FaultPlan::single_at_random_site(model, n, base_seed.wrapping_add(r as u64));
-        let outcome = run_with_faults(verifier, instance, honest, &plan);
-        locert_trace::journal::record_with(|| locert_trace::journal::Event::CampaignRound {
-            model: model.name().to_string(),
-            run: r as u64,
-            detected: outcome.detected(),
-            locality: outcome.locality.map(|d| d as u64),
-        });
+    // Rounds are independent (each derives its plan from `base_seed + r`),
+    // so they run in parallel; every round captures its journal events
+    // locally and the flush below appends them in round order — the
+    // journal is byte-identical to a sequential sweep at any worker
+    // count. Stats merge in round order too, so tallies never depend on
+    // the schedule.
+    let rounds = locert_par::global().par_map_collect(runs, |r| {
+        locert_trace::journal::capture(|| {
+            let plan = FaultPlan::single_at_random_site(model, n, base_seed.wrapping_add(r as u64));
+            let outcome = run_with_faults(verifier, instance, honest, &plan);
+            locert_trace::journal::record_with(|| locert_trace::journal::Event::CampaignRound {
+                model: model.name().to_string(),
+                run: r as u64,
+                detected: outcome.detected(),
+                locality: outcome.locality.map(|d| d as u64),
+            });
+            outcome
+        })
+    });
+    for (outcome, events) in rounds {
+        locert_trace::journal::append_events(events);
         if !outcome.effective {
             stats.noop_runs += 1;
             continue;

@@ -375,7 +375,13 @@ pub struct Verdict {
 }
 
 /// The local verification algorithm of a scheme.
-pub trait Verifier {
+///
+/// `Sync` is a supertrait because [`run_verification`] runs vertices in
+/// parallel sharing one `&dyn Verifier` — faithful to the model, where
+/// every vertex runs the *same* stateless decision procedure on its own
+/// radius-1 view. Interior mutability (memo caches) must be thread-safe
+/// (`Mutex`, atomics), not `RefCell`.
+pub trait Verifier: Sync {
     /// The decision of one vertex given its radius-1 view, with a
     /// [`RejectReason`] on rejection.
     ///
@@ -455,9 +461,13 @@ pub fn run_verification(
             locert_trace::Histogram::named("core.framework.verifier.ns"),
         )
     });
-    let mut rejecting = Vec::new();
-    let mut verdicts = Vec::with_capacity(instance.graph().num_nodes());
-    for v in instance.graph().nodes() {
+    // Decide every vertex in parallel: vertices are independent by
+    // construction (each sees only its radius-1 view), and the results
+    // land in per-vertex slots, so the outcome is identical to the
+    // sequential loop at any worker count.
+    let n = instance.graph().num_nodes();
+    let decided = locert_par::global().par_map_collect(n, |i| {
+        let v = NodeId(i);
         let view = view_of(instance, assignment, v);
         let bits_read = view.cert.len_bits()
             + view
@@ -475,10 +485,18 @@ pub fn run_verification(
                 rejections.add(1);
             }
         }
+        (reason, bits_read)
+    });
+    // Emit verdicts sequentially in vertex order, off the hot path: the
+    // journal stays byte-identical to a single-threaded run.
+    let mut rejecting = Vec::new();
+    let mut verdicts = Vec::with_capacity(n);
+    for (i, (reason, bits_read)) in decided.into_iter().enumerate() {
+        let v = NodeId(i);
         locert_trace::journal::record_with(|| locert_trace::journal::Event::Verdict {
             vertex: v.0 as u64,
             accepted: reason.is_none(),
-            reason: reason.map(|r| r.code().to_string()),
+            reason: reason.as_ref().map(|r| r.code().to_string()),
             bits_read: bits_read as u64,
         });
         if reason.is_some() {

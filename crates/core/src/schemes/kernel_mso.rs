@@ -37,12 +37,13 @@ use locert_kernel::{k_reduce, TypeId};
 use locert_logic::depth::{is_fo, quantifier_depth};
 use locert_logic::eval::models;
 use locert_logic::Formula;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A fast decision procedure for `φ` on expanded kernels (see
-/// [`KernelMsoScheme::with_evaluator`]).
-pub type KernelEvaluator = Box<dyn Fn(&Graph) -> bool>;
+/// [`KernelMsoScheme::with_evaluator`]). `Send + Sync` because verifiers
+/// run concurrently across vertices (`locert-par`).
+pub type KernelEvaluator = Box<dyn Fn(&Graph) -> bool + Send + Sync>;
 
 /// Hard cap on the expanded kernel size a verifier will accept; beyond it
 /// the certificate is rejected (the bound `f(t, φ)` is a constant for
@@ -215,7 +216,9 @@ pub struct KernelMsoScheme {
     /// sentence `¬∃x₁…x_t path` has quantifier depth `t` and brute-force
     /// evaluation is `|H|^t`, while a bounded path search is cheap.
     evaluator: Option<KernelEvaluator>,
-    phi_cache: RefCell<HashMap<(u64, u32), bool>>,
+    /// Memo for [`KernelMsoScheme::kernel_satisfies_phi`]; a `Mutex`
+    /// (not `RefCell`) because verification runs vertices in parallel.
+    phi_cache: Mutex<HashMap<(u64, u32), bool>>,
 }
 
 impl std::fmt::Debug for KernelMsoScheme {
@@ -251,7 +254,7 @@ impl KernelMsoScheme {
             formula: phi,
             strategy: ModelStrategy::Auto,
             evaluator: None,
-            phi_cache: RefCell::new(HashMap::new()),
+            phi_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -263,7 +266,10 @@ impl KernelMsoScheme {
 
     /// Installs a fast kernel evaluator equivalent to `φ` (see the field
     /// docs; the caller owns the equivalence proof).
-    pub fn with_evaluator(mut self, evaluator: impl Fn(&Graph) -> bool + 'static) -> Self {
+    pub fn with_evaluator(
+        mut self,
+        evaluator: impl Fn(&Graph) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.evaluator = Some(Box::new(evaluator));
         self
     }
@@ -310,7 +316,7 @@ impl KernelMsoScheme {
         use std::hash::{Hash, Hasher};
         table.hash(&mut hasher);
         let key = (hasher.finish(), root);
-        if let Some(&hit) = self.phi_cache.borrow().get(&key) {
+        if let Some(&hit) = self.phi_cache.lock().expect("phi cache").get(&key) {
             return hit;
         }
         let result = table.expand(root, KERNEL_EXPANSION_CAP).is_some_and(|h| {
@@ -320,7 +326,10 @@ impl KernelMsoScheme {
                     None => models(&h, &self.formula),
                 }
         });
-        self.phi_cache.borrow_mut().insert(key, result);
+        self.phi_cache
+            .lock()
+            .expect("phi cache")
+            .insert(key, result);
         result
     }
 }

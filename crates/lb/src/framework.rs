@@ -139,37 +139,33 @@ impl<'v, F: GadgetFamily> ExtractedProtocol<'v, F> {
             total.is_some_and(|t| t <= 1_000_000),
             "simulation space too large; shrink q or the gadget"
         );
+        let total = total.expect("guarded above") as usize;
         let inst = Instance::new(g, ids);
-        let mut counters = vec![0u64; private.len()];
-        loop {
-            if locert_trace::enabled() {
-                locert_trace::add("lb.framework.labelings_enumerated", 1);
-            }
+        // Enumerate labelings in parallel (mixed-radix index, private
+        // vertex 0 as the least-significant digit — the same order the
+        // sequential loop used). `par_find_first` stops at the *least*
+        // accepting index, so the enumeration count below matches a
+        // sequential stop-at-first-success sweep at any worker count.
+        let accepting = |mut idx: usize| -> Option<()> {
             let mut asg = base.clone();
-            for (i, &v) in private.iter().enumerate() {
+            for &v in private {
                 let mut w = BitWriter::new();
-                w.write(counters[i], q as u32);
+                w.write(idx as u64 % options, q as u32);
+                idx /= options as usize;
                 *asg.cert_mut(v) = w.finish();
             }
-            if checked
+            checked
                 .iter()
                 .all(|&v| self.verifier.verify(&view_of(&inst, &asg, v)))
-            {
-                return true;
-            }
-            let mut i = 0;
-            loop {
-                if i == private.len() {
-                    return false;
-                }
-                counters[i] += 1;
-                if counters[i] < options {
-                    break;
-                }
-                counters[i] = 0;
-                i += 1;
-            }
+                .then_some(())
+        };
+        let chunk = (total / (locert_par::global().threads() * 16)).clamp(1, 64);
+        let found = locert_par::global().par_find_first(total, chunk, accepting);
+        if locert_trace::enabled() {
+            let enumerated = found.map_or(total, |(idx, ())| idx + 1);
+            locert_trace::add("lb.framework.labelings_enumerated", enumerated as u64);
         }
+        found.is_some()
     }
 }
 

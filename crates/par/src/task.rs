@@ -1,0 +1,82 @@
+//! Type-erased heap tasks.
+//!
+//! Deque and injector slots hold one machine word: a raw pointer to a
+//! heap [`Header`] whose first fields are the run/dispose function
+//! pointers for the concrete closure behind it. Erasing through a thin
+//! pointer (rather than a fat `Box<dyn FnOnce>`) is what lets the
+//! Chase–Lev buffer store tasks in single atomic words.
+
+use std::mem::ManuallyDrop;
+
+/// The erased prefix of every task allocation.
+pub(crate) struct Header {
+    /// Runs the closure and frees the allocation.
+    run: unsafe fn(*mut Header),
+    /// Frees the allocation without running (shutdown drain).
+    dispose: unsafe fn(*mut Header),
+}
+
+#[repr(C)]
+struct TaskBox<F> {
+    header: Header,
+    f: ManuallyDrop<F>,
+}
+
+/// An owned, type-erased task. Exactly one of [`run`](RawTask::run) or
+/// [`dispose`](RawTask::dispose) must eventually be called.
+pub(crate) struct RawTask(pub(crate) *mut Header);
+
+// SAFETY: construction requires `F: Send`, so the erased closure may be
+// executed on any thread.
+unsafe impl Send for RawTask {}
+
+impl RawTask {
+    /// Boxes `f` behind an erased header pointer.
+    ///
+    /// # Safety
+    ///
+    /// `f` may borrow non-`'static` data; the caller must guarantee that
+    /// everything it borrows outlives the task's execution (the pool's
+    /// batch latch provides this: submitters block until every task of
+    /// their batch has run).
+    pub(crate) unsafe fn new<F: FnOnce() + Send>(f: F) -> RawTask {
+        unsafe fn run<F: FnOnce()>(ptr: *mut Header) {
+            let mut b = Box::from_raw(ptr.cast::<TaskBox<F>>());
+            let f = ManuallyDrop::take(&mut b.f);
+            drop(b);
+            f();
+        }
+        unsafe fn dispose<F>(ptr: *mut Header) {
+            let mut b = Box::from_raw(ptr.cast::<TaskBox<F>>());
+            ManuallyDrop::drop(&mut b.f);
+            drop(b);
+        }
+        let b = Box::new(TaskBox {
+            header: Header {
+                run: run::<F>,
+                dispose: dispose::<F>,
+            },
+            f: ManuallyDrop::new(f),
+        });
+        RawTask(Box::into_raw(b).cast::<Header>())
+    }
+
+    /// Runs the closure and frees the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must have come from [`RawTask::new`] and not have been
+    /// run or disposed already.
+    pub(crate) unsafe fn run(self) {
+        ((*self.0).run)(self.0);
+    }
+
+    /// Frees the allocation without running the closure.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RawTask::run`].
+    pub(crate) unsafe fn dispose(self) {
+        ((*self.0).dispose)(self.0);
+    }
+}

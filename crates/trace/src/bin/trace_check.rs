@@ -1,18 +1,42 @@
 //! `trace-check` — CI gate for telemetry artifacts.
 //!
-//! Usage: `trace-check METRICS_JSON`
+//! Usage:
 //!
-//! Exits non-zero (with a diagnostic) unless the file exists, parses as
-//! JSON, and contains a non-empty `experiments` array in which every
-//! entry carries an `id`, a span tree, and a counters object — the shape
-//! `experiments --metrics` writes.
+//! ```text
+//! trace-check METRICS_JSON
+//! trace-check --compare A_JSON B_JSON
+//! ```
+//!
+//! The single-file mode exits non-zero (with a diagnostic) unless the
+//! file exists, parses as JSON, and has the shape `experiments --metrics`
+//! writes: a `locert-trace/v2` document with a non-empty `experiments`
+//! array (per entry: `id` + non-empty deterministic counters) and a
+//! matching `timings` array (per entry: `id` + `wall_s` + span tree).
+//! The legacy `locert-trace/v1` shape (wall_s and spans inline in
+//! `experiments`) is still accepted.
+//!
+//! `--compare` checks that two dumps have byte-identical *deterministic*
+//! sections (`quick` + `experiments`, serialized with sorted keys) — the
+//! CI determinism gate between `LOCERT_THREADS=1` and `=4` runs. The
+//! `timings` sections are expected to differ and are ignored.
 
 use locert_trace::json::{self, Value};
 use std::process::ExitCode;
 
-fn check(path: &str) -> Result<String, String> {
+fn parse_doc(path: &str) -> Result<(Value, usize), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((doc, text.len()))
+}
+
+fn check(path: &str) -> Result<String, String> {
+    let (doc, bytes) = parse_doc(path)?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    let v2 = match schema {
+        "locert-trace/v2" => true,
+        "locert-trace/v1" => false,
+        other => return Err(format!("{path}: unknown schema {other:?}")),
+    };
     let experiments = doc
         .get("experiments")
         .and_then(Value::as_arr)
@@ -25,32 +49,118 @@ fn check(path: &str) -> Result<String, String> {
             .get("id")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("{path}: experiments[{i}] has no \"id\""))?;
-        let spans = exp
-            .get("telemetry")
-            .and_then(|t| t.get("spans"))
-            .and_then(Value::as_arr)
-            .ok_or_else(|| format!("{path}: experiment {id} has no span tree"))?;
-        if spans.is_empty() {
-            return Err(format!("{path}: experiment {id} recorded no spans"));
-        }
         match exp.get("telemetry").and_then(|t| t.get("counters")) {
             Some(Value::Obj(counters)) if !counters.is_empty() => {}
             _ => return Err(format!("{path}: experiment {id} recorded no counters")),
         }
+        if !v2 {
+            // v1 carried wall_s and the span tree inline.
+            let spans = exp
+                .get("telemetry")
+                .and_then(|t| t.get("spans"))
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: experiment {id} has no span tree"))?;
+            if spans.is_empty() {
+                return Err(format!("{path}: experiment {id} recorded no spans"));
+            }
+        }
+    }
+    if v2 {
+        let timings = doc
+            .get("timings")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{path}: missing top-level \"timings\" array"))?;
+        if timings.len() != experiments.len() {
+            return Err(format!(
+                "{path}: timings has {} entries, experiments {}",
+                timings.len(),
+                experiments.len()
+            ));
+        }
+        for (i, t) in timings.iter().enumerate() {
+            let id = t
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: timings[{i}] has no \"id\""))?;
+            if t.get("wall_s").and_then(Value::as_num).is_none() {
+                return Err(format!("{path}: timing {id} has no wall_s"));
+            }
+            let spans = t
+                .get("telemetry")
+                .and_then(|tel| tel.get("spans"))
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("{path}: timing {id} has no span tree"))?;
+            if spans.is_empty() {
+                return Err(format!("{path}: timing {id} recorded no spans"));
+            }
+        }
     }
     Ok(format!(
-        "{path}: OK ({} experiments, {} bytes)",
+        "{path}: OK ({schema}, {} experiments, {bytes} bytes)",
         experiments.len(),
-        text.len()
     ))
 }
 
+/// The deterministic section of a dump, re-serialized (sorted keys, so
+/// formatting differences don't matter — only content does).
+fn deterministic_section(path: &str) -> Result<String, String> {
+    let (doc, _) = parse_doc(path)?;
+    let quick = doc
+        .get("quick")
+        .cloned()
+        .ok_or_else(|| format!("{path}: missing \"quick\""))?;
+    let experiments = doc
+        .get("experiments")
+        .cloned()
+        .ok_or_else(|| format!("{path}: missing \"experiments\""))?;
+    Ok(Value::obj([
+        ("quick".to_string(), quick),
+        ("experiments".to_string(), experiments),
+    ])
+    .to_string())
+}
+
+fn compare(a: &str, b: &str) -> Result<String, String> {
+    let sa = deterministic_section(a)?;
+    let sb = deterministic_section(b)?;
+    if sa == sb {
+        Ok(format!(
+            "deterministic sections identical ({a} vs {b}, {} bytes)",
+            sa.len()
+        ))
+    } else {
+        // Locate the first divergence for the diagnostic.
+        let at = sa
+            .bytes()
+            .zip(sb.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| sa.len().min(sb.len()));
+        let ctx = |s: &str| {
+            let start = at.saturating_sub(40);
+            let end = (at + 40).min(s.len());
+            s.get(start..end)
+                .unwrap_or("<non-utf8 boundary>")
+                .to_string()
+        };
+        Err(format!(
+            "deterministic sections differ at byte {at}:\n  {a}: …{}…\n  {b}: …{}…",
+            ctx(&sa),
+            ctx(&sb)
+        ))
+    }
+}
+
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace-check METRICS_JSON");
-        return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [path] => check(path),
+        [flag, a, b] if flag == "--compare" => compare(a, b),
+        _ => {
+            eprintln!("usage: trace-check METRICS_JSON | trace-check --compare A_JSON B_JSON");
+            return ExitCode::FAILURE;
+        }
     };
-    match check(&path) {
+    match result {
         Ok(msg) => {
             println!("{msg}");
             ExitCode::SUCCESS

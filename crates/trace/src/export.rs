@@ -92,6 +92,56 @@ pub fn snapshot_json_string(snap: &Snapshot) -> String {
     snapshot_to_json(snap).to_string()
 }
 
+/// Whether `name` names a *timing* quantity — one that legitimately
+/// varies between runs, machines, or worker counts, and therefore must
+/// not appear in committed baselines or byte-compared artifacts:
+///
+/// - `par.*` counters describe scheduling (tasks stolen, workers parked),
+///   which depends on the thread count and the OS scheduler;
+/// - `*.ns` histograms record wall time.
+///
+/// Everything else in this workspace is a pure function of the seed.
+/// (Span trees are always timing: their payload is `total_ns`, and their
+/// shape depends on which thread ran which task.)
+pub fn is_timing_key(name: &str) -> bool {
+    name.starts_with("par.") || name.ends_with(".ns")
+}
+
+/// Splits a snapshot into `(deterministic, timing)` halves: counters and
+/// histograms partitioned by [`is_timing_key`], and every span assigned
+/// to the timing half. The deterministic half is byte-stable for a fixed
+/// seed at any worker count — it is what CI compares and what `--baseline`
+/// commits; the timing half is diagnostic.
+pub fn split_deterministic(snap: &Snapshot) -> (Snapshot, Snapshot) {
+    let mut deterministic = Snapshot {
+        counters: Default::default(),
+        histograms: Default::default(),
+        spans: Vec::new(),
+    };
+    let mut timing = Snapshot {
+        counters: Default::default(),
+        histograms: Default::default(),
+        spans: snap.spans.clone(),
+    };
+    for (name, &value) in &snap.counters {
+        let side = if is_timing_key(name) {
+            &mut timing
+        } else {
+            &mut deterministic
+        };
+        side.counters.insert(name.clone(), value);
+    }
+    for (name, hist) in &snap.histograms {
+        let side = if is_timing_key(name) {
+            &mut timing
+        } else {
+            &mut deterministic
+        };
+        side.histograms.insert(name.clone(), hist.clone());
+    }
+    (deterministic, timing)
+}
+
 fn chrome_event(name: &str, ts_us: f64, dur_us: f64, calls: u64) -> Value {
     Value::obj([
         ("name".to_string(), Value::from(name)),

@@ -22,6 +22,7 @@
 //! anyway. Core's `RejectReason::code()` is the bridge.
 
 use crate::json::{self, Value};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -199,16 +200,42 @@ pub fn reset() {
     b.dropped = 0;
 }
 
+thread_local! {
+    /// Active [`capture`] buffer for this thread, if any. A stack via
+    /// the saved outer value in `capture` itself, so captures nest.
+    static CAPTURE: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+}
+
 /// Records the event produced by `make` — *if* the journal is enabled.
 /// When disabled this is exactly one relaxed atomic load; the closure
 /// is never called, so callers may capture freely and build strings
 /// inside it without a disabled-path cost.
+///
+/// Inside a [`capture`] on this thread, the event is diverted to the
+/// capture buffer instead of the global ring.
 #[inline]
 pub fn record_with(make: impl FnOnce() -> Event) {
     if !enabled() {
         return;
     }
     let event = make();
+    let diverted = CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.as_mut() {
+            Some(buffer) => {
+                buffer.push(event.clone());
+                true
+            }
+            None => false,
+        }
+    });
+    if diverted {
+        return;
+    }
+    append_one(event);
+}
+
+fn append_one(event: Event) {
     let mut b = buf().lock().expect("journal buffer");
     let seq = b.next_seq;
     b.next_seq += 1;
@@ -217,6 +244,50 @@ pub fn record_with(make: impl FnOnce() -> Event) {
         b.dropped += 1;
     }
     b.entries.push_back(Entry { seq, event });
+}
+
+/// Runs `f` with this thread's journal writes diverted into a private
+/// buffer, returning `f`'s result together with the captured events (in
+/// the order they were recorded). Nothing reaches the global ring until
+/// the caller hands the buffer to [`append_events`].
+///
+/// This is the determinism seam for parallel work: tasks that may run
+/// in any order and on any thread capture their events locally, and the
+/// coordinator appends the buffers in a canonical order — the resulting
+/// journal is byte-identical to a sequential run. When the journal is
+/// disabled `f` runs unwrapped and the returned buffer is empty.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+    if !enabled() {
+        return (f(), Vec::new());
+    }
+    /// Restores the outer buffer even if `f` unwinds, so a panicking
+    /// task on a long-lived worker thread can't leave the diversion
+    /// installed (captured events are dropped with the panic).
+    struct Restore(Option<Vec<Event>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let outer = self.0.take();
+            CAPTURE.with(|c| *c.borrow_mut() = outer);
+        }
+    }
+    let mut guard = Restore(CAPTURE.with(|c| c.borrow_mut().replace(Vec::new())));
+    let result = f();
+    let events = CAPTURE
+        .with(|c| std::mem::replace(&mut *c.borrow_mut(), guard.0.take()))
+        .unwrap_or_default();
+    std::mem::forget(guard);
+    (result, events)
+}
+
+/// Appends pre-recorded events to the journal in order, assigning
+/// sequence numbers at append time. The flush half of [`capture`].
+pub fn append_events(events: impl IntoIterator<Item = Event>) {
+    if !enabled() {
+        return;
+    }
+    for event in events {
+        append_one(event);
+    }
 }
 
 /// Copies the current contents out of the ring buffer.
@@ -574,6 +645,62 @@ mod tests {
             snap.entries.last().map(|e| &e.event),
             Some(&Event::CertMutated { vertex: 9 })
         );
+    }
+
+    #[test]
+    fn capture_diverts_and_append_flushes_in_order() {
+        let _g = crate::tests::serial();
+        reset();
+        enable();
+        record_with(|| Event::Marker { label: "a".into() });
+        let ((), captured) = capture(|| {
+            record_with(|| Event::CertMutated { vertex: 1 });
+            record_with(|| Event::CertMutated { vertex: 2 });
+        });
+        assert_eq!(captured.len(), 2);
+        // Nothing reached the ring yet.
+        assert_eq!(snapshot().entries.len(), 1);
+        record_with(|| Event::Marker { label: "b".into() });
+        append_events(captured);
+        disable();
+        let snap = snapshot();
+        reset();
+        let kinds: Vec<u64> = snap
+            .entries
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::CertMutated { vertex } => Some(*vertex),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 2]);
+        assert_eq!(snap.entries.len(), 4);
+        // Seqs are assigned at flush time, monotone over the whole ring.
+        assert!(snap.entries.windows(2).all(|w| w[0].seq < w[1].seq));
+        // A panicking capture restores the outer (global) sink.
+        enable();
+        let _ = std::panic::catch_unwind(|| {
+            capture(|| {
+                record_with(|| Event::Marker {
+                    label: "doomed".into(),
+                });
+                panic!("boom");
+            })
+        });
+        record_with(|| Event::Marker {
+            label: "after".into(),
+        });
+        disable();
+        let snap = snapshot();
+        reset();
+        assert!(snap
+            .entries
+            .iter()
+            .any(|e| matches!(&e.event, Event::Marker { label } if label == "after")));
+        assert!(!snap
+            .entries
+            .iter()
+            .any(|e| matches!(&e.event, Event::Marker { label } if label == "doomed")));
     }
 
     #[test]
