@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Compares two benchmark artifacts and exits nonzero when any entry in
-//! CURRENT is slower than its BASELINE counterpart by more than the noise
-//! threshold (default 1.5x). Two artifact schemas are auto-detected:
+//! CURRENT is slower than its BASELINE counterpart by the noise threshold
+//! or more (default 1.5x). Two artifact schemas are auto-detected:
 //!
 //! - `locert-criterion/v1` (`BENCH_*.json` from the vendored criterion
 //!   stub): compares `median_ns` per benchmark name;
@@ -29,7 +29,7 @@
 use locert_trace::json::{parse, Value};
 use std::process::ExitCode;
 
-/// Noise tolerance: current/baseline ratios up to this factor pass.
+/// Noise tolerance: current/baseline ratios strictly below this factor pass.
 const DEFAULT_THRESHOLD: f64 = 1.5;
 
 const USAGE: &str = "\
@@ -40,7 +40,7 @@ Compares two benchmark artifacts (BENCH_*.json with schema
 locert-criterion/v1, or metrics.json with schema locert-trace/v1 or
 /v2 — v2 wall-clock lives in the \"timings\" section), prints a
 markdown delta table, and exits 1 if any shared entry in CURRENT
-exceeds BASELINE by more than FACTOR (default 1.5).
+reaches or exceeds BASELINE times FACTOR (default 1.5).
 
 The scale form multiplies every metric in IN by FACTOR and writes
 OUT; CI uses it to inject a synthetic regression.";
@@ -216,7 +216,7 @@ fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode
 
     println!("## bench-diff: {baseline_path} vs {current_path}");
     println!();
-    println!("Threshold: current/baseline > {threshold:.2} on any shared entry fails the gate.");
+    println!("Threshold: current/baseline >= {threshold:.2} on any shared entry fails the gate.");
     println!();
     println!(
         "| benchmark | baseline ({u}) | current ({u}) | ratio | status |",
@@ -243,7 +243,10 @@ fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode
         } else {
             c.value / b.value
         };
-        let status = if ratio > threshold {
+        // A regression exactly at the threshold counts: the gate promises
+        // "ratios up to FACTOR pass", so landing on the factor fails. The
+        // `ratio > 1.0` guard keeps identical inputs green at threshold 1.
+        let status = if ratio >= threshold && ratio > 1.0 {
             regressions.push(b.name.clone());
             "**REGRESSION**"
         } else if ratio < 1.0 / threshold {
@@ -274,7 +277,7 @@ fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode
         ExitCode::SUCCESS
     } else {
         println!(
-            "{} regression(s) beyond {threshold:.2}x: {}",
+            "{} regression(s) at or beyond {threshold:.2}x: {}",
             regressions.len(),
             regressions.join(", ")
         );

@@ -36,8 +36,8 @@ use locert_trace::json::Value;
 use std::fmt::Write as _;
 
 /// Every experiment id the binary knows how to run, in report order.
-const KNOWN_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2",
+const KNOWN_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2", "s3",
 ];
 
 const USAGE: &str = "\
@@ -63,7 +63,7 @@ usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
                         (default target/trace.json)
   --help                print this message
   only-ids…             run only the listed experiments (e1 e2 e3 e4 e5 e6
-                        e7 e8 f1 f4 p34 a1 s1 s2)";
+                        e7 e8 f1 f4 p34 a1 s1 s2 s3)";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("experiments: {msg}\n{USAGE}");
@@ -289,6 +289,7 @@ fn main() {
         let (rates, provenance) = s2_faults::run_with_provenance(12, runs, 0x52);
         vec![rates, provenance]
     });
+    run_exp!("s3", vec![s3_oracle::run(quick, 0x53)]);
 
     // Assemble the report.
     let mut md = String::new();

@@ -35,5 +35,6 @@ pub mod f4_cops;
 pub mod p34_spanning_tree;
 pub mod s1_soundness;
 pub mod s2_faults;
+pub mod s3_oracle;
 
 pub use report::Table;

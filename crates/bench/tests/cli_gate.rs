@@ -85,6 +85,50 @@ fn injected_2x_regression_fails_the_gate() {
 }
 
 #[test]
+fn regression_exactly_at_threshold_fails_the_gate() {
+    let base = scratch("exact_base.json");
+    let edge = scratch("exact_edge.json");
+    std::fs::write(&base, CRITERION_FIXTURE).unwrap();
+    // 1000.0 * 1.5 and 5000.0 * 1.5 are exact in f64, so the ratio lands
+    // precisely on the default threshold.
+    let scaled = bench_diff()
+        .args(["scale", "1.5"])
+        .arg(&base)
+        .arg(&edge)
+        .output()
+        .unwrap();
+    assert!(
+        scaled.status.success(),
+        "scale must succeed: {}",
+        String::from_utf8_lossy(&scaled.stderr)
+    );
+
+    let out = bench_diff().arg(&base).arg(&edge).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        // Regression: `ratio > threshold` let delta == threshold slip by.
+        "regression equal to the threshold must exit 1: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+
+    // Identical inputs still pass even at the tightest legal threshold:
+    // a ratio of exactly 1.0 is "unchanged", not a regression.
+    let out = bench_diff()
+        .arg(&base)
+        .arg(&base)
+        .args(["--threshold", "1.0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "identical inputs at threshold 1.0 must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
 fn improvements_and_renames_do_not_fail_the_gate() {
     let base = scratch("ren_base.json");
     let cur = scratch("ren_cur.json");

@@ -234,6 +234,41 @@ pub fn random_assignments(
     None
 }
 
+/// The bundled adversarial battery the differential oracle runs on every
+/// no-instance: the all-empty assignment first (catches accept-everything
+/// verifiers for free), then [`mutation_attacks`] off `base` when one is
+/// available, then [`random_assignments`] at a few widths. Returns the
+/// first fooling assignment found, or `None` when every attack was
+/// rejected.
+///
+/// Like the individual attacks this can only *falsify* soundness; a
+/// `None` is evidence, not proof.
+pub fn attack_battery(
+    verifier: &dyn Verifier,
+    instance: &Instance<'_>,
+    base: Option<&Assignment>,
+    rng: &mut impl Rng,
+    rounds: usize,
+) -> Option<Assignment> {
+    let _span = locert_trace::span!("core.attacks.battery");
+    let n = instance.graph().num_nodes();
+    let empty = Assignment::empty(n);
+    if run_verification(verifier, instance, &empty).accepted() {
+        return Some(empty);
+    }
+    if let Some(base) = base {
+        if let Some(asg) = mutation_attacks(verifier, instance, base, rng, rounds) {
+            return Some(asg);
+        }
+    }
+    for bits in [1usize, 4, 16] {
+        if let Some(asg) = random_assignments(verifier, instance, bits, rng, rounds) {
+            return Some(asg);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +473,29 @@ mod tests {
         let base = Assignment::new(vec![w.finish(); 4]);
         let mut rng = StdRng::seed_from_u64(61);
         assert!(mutation_attacks(&TokenVerifier, &inst, &base, &mut rng, 200).is_none());
+    }
+
+    /// Accepts every view — the battery's empty-assignment probe alone
+    /// must catch it.
+    struct AcceptAllVerifier;
+
+    impl Verifier for AcceptAllVerifier {
+        fn decide(&self, _view: &LocalView<'_>) -> Result<(), RejectReason> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn battery_catches_accept_all_and_clears_sound_verifier() {
+        let g = generators::path(4);
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let mut rng = StdRng::seed_from_u64(63);
+        let fooled = attack_battery(&AcceptAllVerifier, &inst, None, &mut rng, 10)
+            .expect("accept-all verifier must be fooled");
+        assert_eq!(fooled.max_bits(), 0, "the empty assignment suffices");
+        // TokenVerifier on a path is unfoolable (degree-1 endpoints).
+        assert!(attack_battery(&TokenVerifier, &inst, None, &mut rng, 50).is_none());
     }
 
     #[test]

@@ -475,10 +475,10 @@ pub fn run_verification(
                 .iter()
                 .map(|&(_, _, c)| c.len_bits())
                 .sum::<usize>();
-        let start = handles.as_ref().map(|_| std::time::Instant::now());
+        let start = std::time::Instant::now();
         let reason = verifier.decide(&view).err();
         if let Some((invocations, rejections, cert_bits, per_vertex_ns)) = &handles {
-            per_vertex_ns.record(start.expect("timer started").elapsed().as_nanos() as u64);
+            per_vertex_ns.record(start.elapsed().as_nanos() as u64);
             cert_bits.record(assignment.cert(v).len_bits() as u64);
             invocations.add(1);
             if reason.is_some() {

@@ -27,7 +27,7 @@ use crate::framework::{
     Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
 };
 use crate::schemes::spanning_tree::{
-    honest_count_fields, honest_tree_fields, verify_count_fields, verify_tree_position,
+    try_honest_count_fields, try_honest_tree_fields, verify_count_fields, verify_tree_position,
     CountFields, TreeFields,
 };
 use locert_graph::{generators, Graph, NodeId};
@@ -151,6 +151,16 @@ impl Prover for Depth2FoScheme {
     fn assign(&self, instance: &Instance<'_>) -> Result<Assignment, ProverError> {
         let _span = locert_trace::span!("core.schemes.depth2_fo.prover");
         let g = instance.graph();
+        // Lemma A.3's region dichotomy only holds on connected graphs;
+        // classify() reads degrees alone and would mislabel disconnected
+        // inputs, and the spanning-tree helpers below require
+        // connectivity. (The single-vertex graph is connected; the empty
+        // graph is not.)
+        if !g.is_connected() {
+            return Err(ProverError::WitnessUnavailable(
+                "instance is empty or disconnected (connected-graph promise)".into(),
+            ));
+        }
         let region = classify(g);
         if !self.truth[region.tag() as usize] {
             return Err(ProverError::NotAYesInstance);
@@ -163,7 +173,8 @@ impl Prover for Depth2FoScheme {
                 vec![w.finish()]
             }
             Region::Clique | Region::Neither => {
-                let counts = honest_count_fields(instance, NodeId(0));
+                let counts = try_honest_count_fields(instance, NodeId(0))
+                    .ok_or(ProverError::NotAYesInstance)?;
                 g.nodes()
                     .map(|v| {
                         let mut w = BitWriter::new();
@@ -177,13 +188,15 @@ impl Prover for Depth2FoScheme {
                 let dom = g
                     .nodes()
                     .find(|&v| g.degree(v) == n - 1)
-                    .expect("classified DomOnly");
+                    .ok_or(ProverError::NotAYesInstance)?;
                 let witness = g
                     .nodes()
                     .find(|&v| g.degree(v) < n - 1)
-                    .expect("classified non-clique");
-                let counts = honest_count_fields(instance, dom);
-                let wtree = honest_tree_fields(instance, witness);
+                    .ok_or(ProverError::NotAYesInstance)?;
+                let counts =
+                    try_honest_count_fields(instance, dom).ok_or(ProverError::NotAYesInstance)?;
+                let wtree = try_honest_tree_fields(instance, witness)
+                    .ok_or(ProverError::NotAYesInstance)?;
                 g.nodes()
                     .map(|v| {
                         let mut w = BitWriter::new();
@@ -396,6 +409,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(112);
         let bits = 2 + 8 * id_bits_for(&inst) as usize;
         assert!(attacks::random_assignments(&scheme, &inst, bits, &mut rng, 400).is_none());
+    }
+
+    #[test]
+    fn disconnected_instance_is_a_typed_error_not_a_panic() {
+        // Regression: classify() reads degrees only, so 2 x K_2 was
+        // labeled Clique and the prover panicked inside the spanning-tree
+        // helpers ("connected instance").
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let scheme = Depth2FoScheme::from_truth_table(id_bits_for(&inst), [true; 4]);
+        assert!(matches!(
+            run_scheme(&scheme, &inst).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
+        // The empty graph is not connected either.
+        let empty = Graph::empty(0);
+        let ids0 = IdAssignment::contiguous(0);
+        let inst0 = Instance::new(&empty, &ids0);
+        assert!(matches!(
+            run_scheme(&scheme, &inst0).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
     }
 
     #[test]

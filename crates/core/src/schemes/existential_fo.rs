@@ -19,7 +19,7 @@ use crate::framework::{
     Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
 };
 use crate::schemes::common::{read_ident, write_ident};
-use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
+use crate::schemes::spanning_tree::{try_honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{Ident, NodeId};
 use locert_logic::ast::{Formula, Var};
 use locert_logic::depth::existential_prefix;
@@ -142,6 +142,11 @@ impl Prover for ExistentialFoScheme {
         let ids = instance.ids();
         let k = self.arity();
         let n = g.num_nodes();
+        if n == 0 && k > 0 {
+            // ∃-sentences are false over an empty domain; the witness
+            // loop below would index vertex 0.
+            return Err(ProverError::NotAYesInstance);
+        }
         // Brute-force witness search (n^k; experiment workloads keep k small).
         let mut choice = vec![0usize; k];
         let found = 'search: loop {
@@ -178,10 +183,18 @@ impl Prover for ExistentialFoScheme {
             .flat_map(|i| (0..k).map(move |j| (i, j)))
             .map(|(i, j)| g.has_edge(NodeId(witnesses_idx[i]), NodeId(witnesses_idx[j])))
             .collect();
+        // Witnesses can exist in a disconnected graph, but the witness
+        // spanning trees cannot: surface the broken connected-graph
+        // promise as a typed error instead of panicking.
         let trees: Vec<Vec<TreeFields>> = witnesses_idx
             .iter()
-            .map(|&w| honest_tree_fields(instance, NodeId(w)))
-            .collect();
+            .map(|&w| try_honest_tree_fields(instance, NodeId(w)))
+            .collect::<Option<_>>()
+            .ok_or_else(|| {
+                ProverError::WitnessUnavailable(
+                    "instance is disconnected (connected-graph promise)".into(),
+                )
+            })?;
         let certs = g
             .nodes()
             .map(|v| {
@@ -279,6 +292,7 @@ mod tests {
     use crate::attacks;
     use crate::framework::{run_scheme, run_verification};
     use crate::schemes::common::id_bits_for;
+    use crate::schemes::spanning_tree::honest_tree_fields;
     use locert_graph::{generators, IdAssignment};
     use locert_logic::props;
     use rand::rngs::StdRng;
@@ -407,6 +421,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(102);
         let bits = 3 * id_bits_for(&inst) as usize + 9 + 9 * id_bits_for(&inst) as usize;
         assert!(attacks::random_assignments(&scheme, &inst, bits, &mut rng, 200).is_none());
+    }
+
+    #[test]
+    fn disconnected_and_empty_instances_are_typed_errors() {
+        // Regression: a disconnected graph can satisfy ∃x∃y. x ~ y, but
+        // building the witness spanning trees used to panic ("connected
+        // instance").
+        let phi = props::has_clique(2);
+        let g = locert_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let scheme = ExistentialFoScheme::new(id_bits_for(&inst), &phi).unwrap();
+        assert!(matches!(
+            run_scheme(&scheme, &inst).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
+        // Regression: the witness loop used to index vertex 0 of the
+        // empty graph.
+        let empty = locert_graph::Graph::empty(0);
+        let ids0 = IdAssignment::contiguous(0);
+        let inst0 = Instance::new(&empty, &ids0);
+        let scheme0 = ExistentialFoScheme::new(4, &phi).unwrap();
+        assert_eq!(
+            run_scheme(&scheme0, &inst0).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
     }
 
     #[test]

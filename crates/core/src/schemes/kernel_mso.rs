@@ -316,7 +316,15 @@ impl KernelMsoScheme {
         use std::hash::{Hash, Hasher};
         table.hash(&mut hasher);
         let key = (hasher.finish(), root);
-        if let Some(&hit) = self.phi_cache.lock().expect("phi cache").get(&key) {
+        // A panicked sibling thread poisons the mutex; the cache itself
+        // is always in a consistent state, so keep going instead of
+        // cascading the panic through every later verification.
+        if let Some(&hit) = self
+            .phi_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             return hit;
         }
         let result = table.expand(root, KERNEL_EXPANSION_CAP).is_some_and(|h| {
@@ -328,7 +336,7 @@ impl KernelMsoScheme {
         });
         self.phi_cache
             .lock()
-            .expect("phi cache")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, result);
         result
     }
@@ -484,8 +492,12 @@ impl Verifier for KernelMsoScheme {
                 return Err(RejectReason::CounterMismatch);
             }
         }
-        // 7. The kernel satisfies φ.
-        let root_type = *mine.types.last().expect("non-empty list");
+        // 7. The kernel satisfies φ. The list is non-empty by parse
+        // (TdCert enforces 1 ≤ len), but an adversarial certificate
+        // should never be able to panic the verifier, so reject instead.
+        let Some(&root_type) = mine.types.last() else {
+            return Err(RejectReason::MalformedCertificate);
+        };
         if self.kernel_satisfies_phi(&mine.table, root_type) {
             Ok(())
         } else {
@@ -577,7 +589,9 @@ impl KernelMsoGlobalScheme {
         let full = self.inner.assign(instance)?;
         let n = instance.graph().num_nodes();
         let first = full.cert(locert_graph::NodeId(0));
-        let tbits = self.table_bits(first).expect("honest certificates parse");
+        let tbits = self.table_bits(first).ok_or_else(|| {
+            ProverError::WitnessUnavailable("honest certificate failed to re-parse".into())
+        })?;
         let global = Self::slice(first, first.len_bits() - tbits, first.len_bits());
         let locals = Assignment::new(
             (0..n)
@@ -643,6 +657,28 @@ mod tests {
     use locert_logic::props;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn disconnected_instance_is_a_typed_error_not_a_panic() {
+        // Regression: model_for handed disconnected graphs straight to
+        // the treedepth solvers, which assert connectivity.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let scheme =
+            KernelMsoScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex()).unwrap();
+        assert!(matches!(
+            run_scheme(&scheme, &inst).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
+        let split =
+            KernelMsoGlobalScheme::new(id_bits_for(&inst), 2, props::has_dominating_vertex())
+                .unwrap();
+        assert!(matches!(
+            split.run(&inst).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
+    }
 
     fn check_matches_ground_truth(g: &Graph, t: usize, phi: &Formula, strategy: ModelStrategy) {
         let ids = IdAssignment::contiguous(g.num_nodes());

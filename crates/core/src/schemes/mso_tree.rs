@@ -55,7 +55,9 @@ pub struct MsoTreeScheme {
 impl MsoTreeScheme {
     /// Builds the scheme for `automaton`.
     pub fn new(automaton: TreeAutomaton) -> Self {
-        let state_bits = width_for(automaton.num_states() as u64 - 1);
+        // max(1) guards the subtraction: a degenerate automaton with no
+        // states (which accepts nothing) must not underflow the width.
+        let state_bits = width_for((automaton.num_states() as u64).max(1) - 1);
         let fp = fingerprint(&automaton);
         MsoTreeScheme {
             automaton,

@@ -49,19 +49,36 @@ impl TreeFields {
 }
 
 /// Computes the honest BFS spanning-tree fields for every vertex, rooted
-/// at `root`.
-pub fn honest_tree_fields(instance: &Instance<'_>, root: NodeId) -> Vec<TreeFields> {
+/// at `root`. Returns `None` when `root` is out of range or some vertex
+/// is unreachable from it (no spanning tree rooted there exists).
+pub fn try_honest_tree_fields(instance: &Instance<'_>, root: NodeId) -> Option<Vec<TreeFields>> {
     let g = instance.graph();
     let ids = instance.ids();
+    if root.0 >= g.num_nodes() {
+        return None;
+    }
     let dist = traversal::bfs_distances(g, root);
     let parent = traversal::bfs_parents(g, root);
     g.nodes()
-        .map(|v| TreeFields {
-            root: ids.ident(root),
-            dist: dist[v.0].expect("connected instance") as u64,
-            parent: parent[v.0].map_or(ids.ident(root), |p| ids.ident(p)),
+        .map(|v| {
+            Some(TreeFields {
+                root: ids.ident(root),
+                dist: dist[v.0]? as u64,
+                parent: parent[v.0].map_or(ids.ident(root), |p| ids.ident(p)),
+            })
         })
         .collect()
+}
+
+/// Computes the honest BFS spanning-tree fields for every vertex, rooted
+/// at `root`.
+///
+/// # Panics
+///
+/// On a disconnected instance or an out-of-range root; provers should
+/// prefer [`try_honest_tree_fields`] and surface a typed error.
+pub fn honest_tree_fields(instance: &Instance<'_>, root: NodeId) -> Vec<TreeFields> {
+    try_honest_tree_fields(instance, root).expect("connected instance")
 }
 
 /// Verifies the spanning-tree fields of one vertex against its view.
@@ -210,7 +227,9 @@ impl Prover for SpanningTreeScheme {
             Some(sel) => sel(instance).ok_or(ProverError::NotAYesInstance)?,
             None => NodeId(0),
         };
-        let fields = honest_tree_fields(instance, root);
+        // A rooted spanning tree exists iff the instance is non-empty and
+        // connected: anything else is a no-instance, not a panic.
+        let fields = try_honest_tree_fields(instance, root).ok_or(ProverError::NotAYesInstance)?;
         let certs = fields
             .iter()
             .map(|f| {
@@ -270,10 +289,11 @@ impl CountFields {
 }
 
 /// Honest count fields rooted at `root` (BFS tree + subtree sizes).
-pub fn honest_count_fields(instance: &Instance<'_>, root: NodeId) -> Vec<CountFields> {
+/// Returns `None` exactly when [`try_honest_tree_fields`] does.
+pub fn try_honest_count_fields(instance: &Instance<'_>, root: NodeId) -> Option<Vec<CountFields>> {
     let g = instance.graph();
     let n = g.num_nodes() as u64;
-    let fields = honest_tree_fields(instance, root);
+    let fields = try_honest_tree_fields(instance, root)?;
     let parent = traversal::bfs_parents(g, root);
     let dist = traversal::bfs_distances(g, root);
     let mut size = vec![1u64; g.num_nodes()];
@@ -284,13 +304,25 @@ pub fn honest_count_fields(instance: &Instance<'_>, root: NodeId) -> Vec<CountFi
             size[p.0] += size[v.0];
         }
     }
-    g.nodes()
-        .map(|v| CountFields {
-            tree: fields[v.0],
-            total: n,
-            sub: size[v.0],
-        })
-        .collect()
+    Some(
+        g.nodes()
+            .map(|v| CountFields {
+                tree: fields[v.0],
+                total: n,
+                sub: size[v.0],
+            })
+            .collect(),
+    )
+}
+
+/// Honest count fields rooted at `root` (BFS tree + subtree sizes).
+///
+/// # Panics
+///
+/// On a disconnected instance or an out-of-range root; provers should
+/// prefer [`try_honest_count_fields`] and surface a typed error.
+pub fn honest_count_fields(instance: &Instance<'_>, root: NodeId) -> Vec<CountFields> {
+    try_honest_count_fields(instance, root).expect("connected instance")
 }
 
 /// Verifies count fields at one vertex with a caller-supplied extractor
@@ -375,7 +407,8 @@ impl Prover for VertexCountScheme {
         if self.expected.is_some_and(|e| e != n) {
             return Err(ProverError::NotAYesInstance);
         }
-        let fields = honest_count_fields(instance, NodeId(0));
+        let fields =
+            try_honest_count_fields(instance, NodeId(0)).ok_or(ProverError::NotAYesInstance)?;
         let certs = fields
             .iter()
             .map(|f| {
@@ -542,6 +575,42 @@ mod tests {
         let pinned = VertexCountScheme::new(2, 3);
         let res = attacks::exhaustive_soundness(&pinned, &inst, 3, 10_000_000);
         assert!(res.is_ok(), "found fooling assignment: {res:?}");
+    }
+
+    #[test]
+    fn disconnected_instance_is_a_typed_refusal_not_a_panic() {
+        // Regression: both provers used to panic on "connected instance"
+        // when handed a disconnected graph.
+        let g = locert_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        let tree = SpanningTreeScheme::new(id_bits_for(&inst));
+        assert_eq!(
+            run_scheme(&tree, &inst).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+        let count = VertexCountScheme::new(id_bits_for(&inst), 4);
+        assert_eq!(
+            run_scheme(&count, &inst).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+        assert!(try_honest_tree_fields(&inst, NodeId(0)).is_none());
+        assert!(try_honest_count_fields(&inst, NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn empty_instance_is_a_typed_refusal_not_a_panic() {
+        // Regression: VertexCountScheme rooted the tree at NodeId(0),
+        // which does not exist in the empty graph.
+        let g = locert_graph::Graph::empty(0);
+        let ids = IdAssignment::contiguous(0);
+        let inst = Instance::new(&g, &ids);
+        let count = VertexCountScheme::new(4, 0);
+        assert_eq!(
+            run_scheme(&count, &inst).unwrap_err(),
+            ProverError::NotAYesInstance
+        );
+        assert!(try_honest_tree_fields(&inst, NodeId(0)).is_none());
     }
 
     #[test]

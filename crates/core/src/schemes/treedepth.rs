@@ -303,6 +303,14 @@ pub fn model_for(
     strategy: &ModelStrategy,
 ) -> Result<EliminationTree, ProverError> {
     let g = instance.graph();
+    // Treedepth and elimination trees are defined on non-empty connected
+    // graphs (the paper's standing convention); the solvers assert this,
+    // so refuse with a typed error before dispatching to them.
+    if g.num_nodes() == 0 || !g.is_connected() {
+        return Err(ProverError::WitnessUnavailable(
+            "instance is empty or disconnected (connected-graph promise)".into(),
+        ));
+    }
     let model = match strategy {
         ModelStrategy::Explicit(parents) => EliminationTree::new(g, parents)
             .map_err(|e| ProverError::WitnessUnavailable(e.to_string()))?,
@@ -657,6 +665,29 @@ mod tests {
         let inst = Instance::new(&g, &ids);
         let scheme = TreedepthScheme::new(id_bits_for(&inst), 2);
         assert!(run_scheme(&scheme, &inst).unwrap().accepted());
+    }
+
+    #[test]
+    fn disconnected_and_empty_instances_are_typed_errors() {
+        // Regression: model_for used to hand disconnected graphs to the
+        // exact/heuristic solvers, which assert connectivity and panicked.
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let ids = IdAssignment::contiguous(4);
+        let inst = Instance::new(&g, &ids);
+        for strategy in [ModelStrategy::Auto, ModelStrategy::Dfs] {
+            let scheme = TreedepthScheme::new(id_bits_for(&inst), 3).with_strategy(strategy);
+            assert!(matches!(
+                run_scheme(&scheme, &inst).unwrap_err(),
+                ProverError::WitnessUnavailable(_)
+            ));
+        }
+        let empty = Graph::empty(0);
+        let ids0 = IdAssignment::contiguous(0);
+        let inst0 = Instance::new(&empty, &ids0);
+        assert!(matches!(
+            model_for(&inst0, 1, &ModelStrategy::Auto).unwrap_err(),
+            ProverError::WitnessUnavailable(_)
+        ));
     }
 
     #[test]

@@ -39,6 +39,10 @@ impl Error for ParseGraphError {}
 /// endpoints (with a `p` header), or self-loops.
 pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
     let mut declared_n: Option<usize> = None;
+    // Each edge remembers its source line so endpoint range errors —
+    // only detectable once the final vertex count is known — can point
+    // at the offending line rather than line 0.
+    let mut edge_lines: Vec<usize> = Vec::new();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut max_seen = 0usize;
     let mut any_vertex = false;
@@ -82,12 +86,26 @@ pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
                 }
                 max_seen = max_seen.max(u).max(v);
                 any_vertex = true;
+                edge_lines.push(line_no);
                 edges.push((u, v));
             }
             None => unreachable!("non-empty line has a token"),
         }
     }
     let n = declared_n.unwrap_or(if any_vertex { max_seen + 1 } else { 0 });
+    // Without a header, n = max endpoint + 1, so every endpoint is in
+    // range; with one, the first out-of-range edge is the culprit.
+    if let Some((&(u, v), &line)) = edges
+        .iter()
+        .zip(&edge_lines)
+        .find(|(&(u, v), _)| u >= n || v >= n)
+    {
+        let node = if u >= n { u } else { v };
+        return Err(ParseGraphError {
+            line,
+            message: format!("node {node} out of range for {n} vertices"),
+        });
+    }
     Graph::from_edges(n, edges).map_err(|e| ParseGraphError {
         line: 0,
         message: e.to_string(),
@@ -157,5 +175,107 @@ mod tests {
     fn out_of_range_with_header() {
         let e = parse_edge_list("p 2\n0 5\n").unwrap_err();
         assert!(e.message.contains("out of range"));
+        // Regression: the range check used to run after parsing, losing
+        // the line number (it reported line 0).
+        assert_eq!(e.line, 2);
+        let e2 = parse_edge_list("p 4\n0 1\n2 3\n1 9\n").unwrap_err();
+        assert_eq!(e2.line, 4);
+        assert!(e2.message.contains('9'));
+        // A trailing header still pins the count — and the error still
+        // points at the edge line, not the header.
+        let e3 = parse_edge_list("0 5\np 2\n").unwrap_err();
+        assert_eq!(e3.line, 1);
+    }
+
+    #[test]
+    fn crlf_input_parses_and_roundtrips() {
+        let src = "p 4\r\n# comment\r\n0 1\r\n1 2\r\n2 3\r\n";
+        let g = parse_edge_list(src).unwrap();
+        assert_eq!(g, generators::path(4));
+        assert_eq!(parse_edge_list(&to_edge_list(&g)).unwrap(), g);
+        // Errors keep their line numbers under CRLF too.
+        let e = parse_edge_list("0 1\r\n2 2\r\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_and_roundtrip() {
+        let g = parse_edge_list("0 1\n1 0\n0 1\n1 2\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // Serialization normalizes: a second round-trip is a fixpoint.
+        let text = to_edge_list(&g);
+        assert_eq!(parse_edge_list(&text).unwrap(), g);
+        assert_eq!(to_edge_list(&parse_edge_list(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn header_vs_implied_count_agree_when_tight() {
+        // Same edges with and without a tight header parse identically.
+        let with = parse_edge_list("p 3\n0 1\n1 2\n").unwrap();
+        let without = parse_edge_list("0 1\n1 2\n").unwrap();
+        assert_eq!(with, without);
+        // A loose header adds isolated vertices the implied count lacks.
+        let loose = parse_edge_list("p 6\n0 1\n1 2\n").unwrap();
+        assert_ne!(loose, without);
+        assert_eq!(loose.num_nodes(), 6);
+        assert_eq!(parse_edge_list(&to_edge_list(&loose)).unwrap(), loose);
+    }
+
+    /// Seeded fuzz of the `parse ∘ to_edge_list` round-trip: random
+    /// graphs (including isolated vertices), duplicated and flipped edge
+    /// lines, comment noise, and CRLF rewrites must all converge to the
+    /// same graph; injected bad lines must be reported at their line.
+    #[test]
+    fn fuzz_roundtrip_with_noise() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x10F2);
+        for case in 0..60u64 {
+            let n = 1 + rng.random_range(0..12usize);
+            let g = if n == 1 {
+                Graph::empty(1)
+            } else if rng.random_bool(0.5) {
+                generators::random_connected(n, rng.random_range(0..3usize), &mut rng)
+            } else {
+                // Forests with isolated vertices: drop some tree edges.
+                let tree = generators::random_tree(n, &mut rng);
+                let kept: Vec<_> = tree
+                    .edges()
+                    .filter(|_| rng.random_bool(0.7))
+                    .map(|(u, v)| (u.0, v.0))
+                    .collect();
+                Graph::from_edges(n, kept).unwrap()
+            };
+            // Clean round-trip.
+            let text = to_edge_list(&g);
+            assert_eq!(parse_edge_list(&text).unwrap(), g, "case {case}");
+            // Noisy rewrite: duplicate and flip edge lines, sprinkle
+            // comments, optionally switch to CRLF.
+            let mut noisy = String::from("# fuzz header\n");
+            for line in text.lines() {
+                noisy.push_str(line);
+                noisy.push('\n');
+                if line.contains(' ') && !line.starts_with('p') && rng.random_bool(0.4) {
+                    let mut it = line.split_whitespace();
+                    let (u, v) = (it.next().unwrap(), it.next().unwrap());
+                    let _ = writeln!(noisy, "{v} {u}");
+                }
+                if rng.random_bool(0.2) {
+                    noisy.push_str("c noise\n\n");
+                }
+            }
+            let noisy = if rng.random_bool(0.5) {
+                noisy.replace('\n', "\r\n")
+            } else {
+                noisy
+            };
+            assert_eq!(parse_edge_list(&noisy).unwrap(), g, "case {case}");
+            // Error line numbers survive the noise: append a self-loop
+            // and check the reported line is the last line.
+            let mut broken = noisy.clone();
+            broken.push_str("3 3\n");
+            let e = parse_edge_list(&broken).unwrap_err();
+            assert_eq!(e.line, broken.lines().count(), "case {case}");
+        }
     }
 }

@@ -104,6 +104,26 @@ pub enum Event {
         /// Distance from fault site to the nearest rejector.
         locality: Option<u64>,
     },
+    /// The differential oracle observed a disagreement between a scheme
+    /// run and ground truth, a sibling scheme, or a metamorphic relation.
+    OracleDisagreement {
+        /// Oracle case name.
+        case: String,
+        /// Which relation broke (e.g. `completeness`, `sibling:<name>`,
+        /// `relabel`, `union`).
+        relation: String,
+        /// Vertex count of the disagreeing instance.
+        vertices: u64,
+    },
+    /// One accepted step of the counterexample shrinker.
+    ShrinkStep {
+        /// Oracle case name.
+        case: String,
+        /// What was removed (`drop-vertex` or `drop-edge`).
+        action: String,
+        /// Vertex count after the step.
+        vertices: u64,
+    },
     /// A free-form boundary marker (experiment start, phase change).
     Marker {
         /// Marker label.
@@ -394,6 +414,30 @@ pub fn event_to_json(event: &Event) -> Value {
                 ("locality".to_string(), opt_u64(*locality)),
             ],
         ),
+        Event::OracleDisagreement {
+            case,
+            relation,
+            vertices,
+        } => typed(
+            "oracle-disagreement",
+            vec![
+                ("case".to_string(), Value::from(case.as_str())),
+                ("relation".to_string(), Value::from(relation.as_str())),
+                ("vertices".to_string(), Value::from(*vertices)),
+            ],
+        ),
+        Event::ShrinkStep {
+            case,
+            action,
+            vertices,
+        } => typed(
+            "shrink-step",
+            vec![
+                ("case".to_string(), Value::from(case.as_str())),
+                ("action".to_string(), Value::from(action.as_str())),
+                ("vertices".to_string(), Value::from(*vertices)),
+            ],
+        ),
         Event::Marker { label } => typed(
             "marker",
             vec![("label".to_string(), Value::from(label.as_str()))],
@@ -468,6 +512,16 @@ pub fn event_from_json(v: &Value) -> Option<Event> {
             run: get_u64(v, "run")?,
             detected: get_bool(v, "detected")?,
             locality: get_opt_u64(v, "locality")?,
+        }),
+        "oracle-disagreement" => Some(Event::OracleDisagreement {
+            case: get_str(v, "case")?,
+            relation: get_str(v, "relation")?,
+            vertices: get_u64(v, "vertices")?,
+        }),
+        "shrink-step" => Some(Event::ShrinkStep {
+            case: get_str(v, "case")?,
+            action: get_str(v, "action")?,
+            vertices: get_u64(v, "vertices")?,
         }),
         "marker" => Some(Event::Marker {
             label: get_str(v, "label")?,
@@ -598,6 +652,16 @@ mod tests {
                 run: 0,
                 detected: true,
                 locality: Some(1),
+            },
+            Event::OracleDisagreement {
+                case: "spanning-tree".into(),
+                relation: "sibling:vertex-count".into(),
+                vertices: 7,
+            },
+            Event::ShrinkStep {
+                case: "spanning-tree".into(),
+                action: "drop-vertex".into(),
+                vertices: 6,
             },
         ]
     }

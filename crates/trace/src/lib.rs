@@ -530,6 +530,41 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_pinned() {
+        // The bucket mapping is part of the export format: pin the
+        // documented contract (bucket 0 = value 0; bucket i ≥ 1 holds
+        // ⌊log₂ v⌋ = i − 1; the last bucket absorbs everything above).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Exact powers of two open a new bucket: 2^k lands in bucket k+1.
+        for k in 0..38u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "v = 2^{k}");
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), k as usize, "v = 2^{k} - 1");
+            }
+        }
+        // Everything from 2^38 up saturates into the overflow bucket.
+        assert_eq!(bucket_index(1u64 << 38), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_le_matches_bucket_index() {
+        // bucket_le(i) is the largest value mapped to bucket i, and its
+        // successor starts bucket i + 1.
+        assert_eq!(bucket_le(0), 0);
+        assert_eq!(bucket_le(NUM_BUCKETS - 1), u64::MAX);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_le(i)), i, "upper bound of {i}");
+            if i < NUM_BUCKETS - 1 {
+                assert_eq!(bucket_index(bucket_le(i) + 1), i + 1, "successor of {i}");
+            }
+        }
+    }
+
+    #[test]
     fn disabled_records_nothing() {
         let _g = fresh();
         {
