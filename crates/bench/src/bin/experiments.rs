@@ -36,8 +36,8 @@ use locert_trace::json::Value;
 use std::fmt::Write as _;
 
 /// Every experiment id the binary knows how to run, in report order.
-const KNOWN_IDS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2", "s3",
+const KNOWN_IDS: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2", "s3", "s4",
 ];
 
 const USAGE: &str = "\
@@ -63,11 +63,20 @@ usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
                         (default target/trace.json)
   --help                print this message
   only-ids…             run only the listed experiments (e1 e2 e3 e4 e5 e6
-                        e7 e8 f1 f4 p34 a1 s1 s2 s3)";
+                        e7 e8 f1 f4 p34 a1 s1 s2 s3 s4)";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("experiments: {msg}\n{USAGE}");
     std::process::exit(2);
+}
+
+/// A zero worker count (flag or environment) exits 1: constructing a
+/// zero-worker pool would deadlock the first parallel region, and the
+/// silent fall-back the environment variable used to get hid typos in
+/// CI matrices.
+fn fail_zero_threads(source: &str) -> ! {
+    eprintln!("experiments: {source}: thread count must be at least 1\n{USAGE}");
+    std::process::exit(1);
 }
 
 fn fail_io(what: &str, path: &str, err: &std::io::Error) -> ! {
@@ -91,6 +100,9 @@ fn write_artifact(what: &str, path: &str, content: &str) {
 }
 
 fn main() {
+    if std::env::var("LOCERT_THREADS").is_ok_and(|v| v.trim().parse::<usize>() == Ok(0)) {
+        fail_zero_threads("LOCERT_THREADS=0");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "EXPERIMENTS.md".to_string();
     let mut quick = false;
@@ -127,8 +139,10 @@ fn main() {
                 let n = args
                     .get(i)
                     .and_then(|a| a.parse::<usize>().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| fail_usage("--threads needs a positive integer"));
+                    .unwrap_or_else(|| fail_usage("--threads needs an integer"));
+                if n == 0 {
+                    fail_zero_threads("--threads 0");
+                }
                 if !locert_par::configure_threads(n) {
                     fail_usage("--threads must come before the pool is first used");
                 }
@@ -290,6 +304,7 @@ fn main() {
         vec![rates, provenance]
     });
     run_exp!("s3", vec![s3_oracle::run(quick, 0x53)]);
+    run_exp!("s4", vec![s4_net::run(quick, 0x54)]);
 
     // Assemble the report.
     let mut md = String::new();

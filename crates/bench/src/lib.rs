@@ -36,5 +36,6 @@ pub mod p34_spanning_tree;
 pub mod s1_soundness;
 pub mod s2_faults;
 pub mod s3_oracle;
+pub mod s4_net;
 
 pub use report::Table;

@@ -199,3 +199,32 @@ fn threads_flag_matches_environment_variable() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A zero worker count — through the flag or the environment — is a
+/// usage error (exit 1), not a silently ignored value: a zero-worker
+/// pool would deadlock the first parallel region, and the old fallback
+/// hid typos in CI matrices.
+#[test]
+fn zero_threads_is_a_usage_error() {
+    let flag = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["e3", "--quick", "--threads", "0"])
+        .env_remove("LOCERT_THREADS")
+        .output()
+        .expect("spawn experiments binary");
+    assert_eq!(flag.status.code(), Some(1), "--threads 0 must exit 1");
+    assert!(
+        String::from_utf8_lossy(&flag.stderr).contains("thread count must be at least 1"),
+        "stderr names the problem"
+    );
+
+    let env = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["e3", "--quick"])
+        .env("LOCERT_THREADS", "0")
+        .output()
+        .expect("spawn experiments binary");
+    assert_eq!(env.status.code(), Some(1), "LOCERT_THREADS=0 must exit 1");
+    assert!(
+        String::from_utf8_lossy(&env.stderr).contains("LOCERT_THREADS=0"),
+        "stderr names the source"
+    );
+}

@@ -197,6 +197,25 @@ impl FaultyWorld {
     pub fn is_effective(&self) -> bool {
         self.effective
     }
+
+    /// The identifier `v` presents to its neighbors (differs from the
+    /// honest one under identifier faults). Transport layers that carry
+    /// `(id, certificate)` frames — `locert-net` — must source the id
+    /// here, not from the honest assignment, so identifier faults survive
+    /// the trip across the wire.
+    pub fn presented_ident(&self, v: NodeId) -> Ident {
+        self.presented_id[v.0]
+    }
+
+    /// The neighbor-list index dropped from `v`'s view, if any.
+    pub fn dropped_entry(&self, v: NodeId) -> Option<usize> {
+        self.drop_neighbor[v.0]
+    }
+
+    /// The neighbor-list index duplicated in `v`'s view, if any.
+    pub fn duplicated_entry(&self, v: NodeId) -> Option<usize> {
+        self.dup_neighbor[v.0]
+    }
 }
 
 /// Applies `plan` to the honest world, producing a [`FaultyWorld`].

@@ -295,6 +295,12 @@ impl TreedepthScheme {
     }
 }
 
+/// Branch-expansion budget for the exact solver on the Auto path. Far
+/// above anything the ≤ [`exact::EXACT_LIMIT`]-vertex instances of this
+/// workspace need, so it only trips on a runaway search, which surfaces
+/// as a typed [`ProverError`] instead of an unbounded hang.
+const EXACT_BRANCH_BUDGET: u64 = 1 << 28;
+
 /// Finds a coherent model of height ≤ `t` per `strategy` (shared with
 /// [`crate::schemes::kernel_mso`]).
 pub fn model_for(
@@ -317,7 +323,8 @@ pub fn model_for(
         ModelStrategy::Dfs => heuristic::dfs_elimination_tree(g),
         ModelStrategy::Auto => {
             if g.num_nodes() <= exact::EXACT_LIMIT {
-                exact::optimal_elimination_tree(g)
+                exact::optimal_elimination_tree_within(g, EXACT_BRANCH_BUDGET)
+                    .map_err(|e| ProverError::WitnessUnavailable(e.to_string()))?
             } else {
                 heuristic::separator_elimination_tree(g)
             }

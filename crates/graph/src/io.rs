@@ -31,12 +31,23 @@ impl fmt::Display for ParseGraphError {
 
 impl Error for ParseGraphError {}
 
+/// Largest vertex count a `.graph` file may declare in its `p` header or
+/// imply through an endpoint. A hostile header like `p 99999999999` would
+/// otherwise make the parser allocate that many adjacency lists before a
+/// single edge is read.
+pub const MAX_VERTICES: usize = 1 << 22;
+
+/// Largest number of edge lines a `.graph` file may carry.
+pub const MAX_EDGES: usize = 1 << 24;
+
 /// Parses the edge-list format described in the module docs.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseGraphError`] on malformed lines, out-of-range
-/// endpoints (with a `p` header), or self-loops.
+/// endpoints (with a `p` header), self-loops, or inputs whose declared
+/// or implied size exceeds [`MAX_VERTICES`]/[`MAX_EDGES`] (the error
+/// names the offending line).
 pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
     let mut declared_n: Option<usize> = None;
     // Each edge remembers its source line so endpoint range errors —
@@ -64,6 +75,11 @@ pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
                     .ok_or_else(|| err("header `p` needs a vertex count".into()))?
                     .parse()
                     .map_err(|_| err("invalid vertex count".into()))?;
+                if n > MAX_VERTICES {
+                    return Err(err(format!(
+                        "header declares {n} vertices, cap is {MAX_VERTICES}"
+                    )));
+                }
                 if declared_n.replace(n).is_some() {
                     return Err(err("duplicate `p` header".into()));
                 }
@@ -83,6 +99,15 @@ pub fn parse_edge_list(src: &str) -> Result<Graph, ParseGraphError> {
                 }
                 if u == v {
                     return Err(err(format!("self-loop at {u}")));
+                }
+                if u >= MAX_VERTICES || v >= MAX_VERTICES {
+                    let node = if u >= MAX_VERTICES { u } else { v };
+                    return Err(err(format!(
+                        "endpoint {node} exceeds the vertex cap {MAX_VERTICES}"
+                    )));
+                }
+                if edges.len() == MAX_EDGES {
+                    return Err(err(format!("more than {MAX_EDGES} edge lines")));
                 }
                 max_seen = max_seen.max(u).max(v);
                 any_vertex = true;
@@ -185,6 +210,23 @@ mod tests {
         // points at the edge line, not the header.
         let e3 = parse_edge_list("0 5\np 2\n").unwrap_err();
         assert_eq!(e3.line, 1);
+    }
+
+    #[test]
+    fn hostile_sizes_are_rejected_with_line_numbers() {
+        // A huge header must fail before any allocation keyed on it.
+        let e = parse_edge_list("# ok\np 99999999999\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("cap"), "{}", e.message);
+        // A huge endpoint implies a huge vertex count just the same.
+        let big = MAX_VERTICES;
+        let e2 = parse_edge_list(&format!("0 1\n0 {big}\n")).unwrap_err();
+        assert_eq!(e2.line, 2);
+        assert!(e2.message.contains("cap"), "{}", e2.message);
+        // The cap itself is usable: MAX_VERTICES - 1 is a legal endpoint.
+        let g = parse_edge_list(&format!("0 {}\n", big - 1)).unwrap();
+        assert_eq!(g.num_nodes(), big);
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

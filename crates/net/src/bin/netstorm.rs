@@ -1,0 +1,286 @@
+//! netstorm — the network fault-grid campaign CLI.
+//!
+//! ```text
+//! netstorm [--seed N] [--quick] [--threads N] [--runs N] [--size N]
+//!          [--out DIR] [--list]
+//! ```
+//!
+//! Drives every catalogued (scheme, yes-instance) target through the
+//! fault grid — packet loss, duplication, delay, transit corruption,
+//! stored-certificate corruption, crash-restart, healing partitions —
+//! and prints one row per (target, point): detection rate over effective
+//! runs, false-reject and false-inconclusive tallies, mean time to
+//! detection, and transport cost. Exits 0 when the acceptance grid
+//! holds (benign points never reject, corrupting points always detect,
+//! reliable points always complete), 1 on any violation, 2 on usage
+//! errors.
+//!
+//! Output is deterministic for a fixed seed at any thread count — the
+//! simulator has no wall clock and the journal is flushed in task
+//! order — so CI byte-compares `--out` artifacts at `LOCERT_THREADS=1`
+//! and `4`. With `--out DIR` the run writes the replayable
+//! `net-journal.jsonl` and a `locert-trace/v2` `net-metrics.json` whose
+//! deterministic section `trace-check --compare` can diff.
+
+use locert_net::campaign::{fault_grid, run_net_campaign, CampaignConfig};
+use locert_net::catalogue::catalogue;
+use locert_trace::journal;
+use locert_trace::json::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: netstorm [--seed N] [--quick] [--threads N] [--runs N] [--size N]
+                [--out DIR] [--list]
+
+Seeded, deterministic message-passing simulation of every catalogued
+certification scheme under a grid of network faults: loss, duplication,
+reordering delay, in-transit and stored-certificate corruption,
+crash-restart with certificate loss, and healing partitions.
+
+  --seed N     base RNG seed; every run derives its own (default 1)
+  --quick      2 runs per point on ~8-vertex instances (CI smoke mode)
+  --threads N  worker threads (also honours LOCERT_THREADS; must be >= 1)
+  --runs N     seeded runs per (target, point) cell
+  --size N     approximate instance size in vertices (>= 7)
+  --out DIR    write net-journal.jsonl and net-metrics.json
+  --list       print the target catalogue and fault grid, then exit";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("netstorm: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// A zero worker count (flag or environment) exits 1 rather than
+/// constructing a zero-worker pool (matches `experiments`).
+fn fail_zero_threads(source: &str) -> ! {
+    eprintln!("netstorm: {source}: thread count must be at least 1");
+    eprintln!("{USAGE}");
+    std::process::exit(1);
+}
+
+struct Args {
+    seed: u64,
+    quick: bool,
+    runs: Option<usize>,
+    size: Option<usize>,
+    out: Option<std::path::PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        quick: false,
+        runs: None,
+        size: None,
+        out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if n == 0 {
+                    fail_zero_threads("--threads 0");
+                }
+                if !locert_par::configure_threads(n) {
+                    return Err("--threads must come before any parallel work".into());
+                }
+            }
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad run count {v:?}"))?;
+                if n == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+                args.runs = Some(n);
+            }
+            "--size" => {
+                let v = it.next().ok_or("--size needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad size {v:?}"))?;
+                if n < 7 {
+                    return Err("--size must be at least 7".into());
+                }
+                args.size = Some(n);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a directory")?;
+                args.out = Some(v.into());
+            }
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Serializes the run's telemetry as a single-section `locert-trace/v2`
+/// document so `trace-check --compare` can diff the deterministic half
+/// against a second run.
+fn metrics_json(quick: bool, wall_s: f64, snap: &locert_trace::Snapshot) -> String {
+    let (deterministic, timing) = locert_trace::export::split_deterministic(snap);
+    let doc = Value::obj([
+        ("schema".to_string(), Value::from("locert-trace/v2")),
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "experiments".to_string(),
+            Value::Arr(vec![Value::obj([
+                ("id".to_string(), Value::from("s4")),
+                (
+                    "telemetry".to_string(),
+                    locert_trace::export::snapshot_to_json(&deterministic),
+                ),
+            ])]),
+        ),
+        (
+            "timings".to_string(),
+            Value::Arr(vec![Value::obj([
+                ("id".to_string(), Value::from("s4")),
+                ("wall_s".to_string(), Value::Num(wall_s)),
+                (
+                    "telemetry".to_string(),
+                    locert_trace::export::snapshot_to_json(&timing),
+                ),
+            ])]),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+fn write_artifacts(dir: &std::path::Path, quick: bool, wall_s: f64) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let journal_path = dir.join("net-journal.jsonl");
+    std::fs::write(&journal_path, journal::to_jsonl(&journal::snapshot()))
+        .map_err(|e| format!("cannot write {}: {e}", journal_path.display()))?;
+    let metrics_path = dir.join("net-metrics.json");
+    std::fs::write(
+        &metrics_path,
+        metrics_json(quick, wall_s, &locert_trace::snapshot()),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", metrics_path.display()))?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    if std::env::var("LOCERT_THREADS").is_ok_and(|v| v.trim().parse::<usize>() == Ok(0)) {
+        fail_zero_threads("LOCERT_THREADS=0");
+    }
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    if args.list {
+        for target in catalogue(args.size.unwrap_or(12)) {
+            println!(
+                "target {:<22} {:>3} vertices",
+                target.name,
+                target.graph.num_nodes()
+            );
+        }
+        for point in fault_grid() {
+            let class = if point.corrupting {
+                "corrupting"
+            } else if point.benign {
+                "benign"
+            } else {
+                "measured"
+            };
+            println!("point  {:<22} [{class}]", point.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    journal::set_capacity(1 << 20);
+    journal::enable();
+    locert_trace::enable();
+    let mut cfg = if args.quick {
+        CampaignConfig::quick(args.seed)
+    } else {
+        CampaignConfig::new(args.seed)
+    };
+    if let Some(runs) = args.runs {
+        cfg.runs_per_point = runs;
+    }
+    if let Some(size) = args.size {
+        cfg.target_size = size;
+    }
+    println!(
+        "netstorm: {} targets x {} fault points x {} runs (seed {}, ~{} vertices)",
+        catalogue(cfg.target_size).len(),
+        fault_grid().len(),
+        cfg.runs_per_point,
+        cfg.seed,
+        cfg.target_size
+    );
+    let start = std::time::Instant::now();
+    let rows = run_net_campaign(&cfg);
+    let wall_s = start.elapsed().as_secs_f64();
+    let mut violations = 0usize;
+    for row in &rows {
+        let ttd = row
+            .mean_detection_time()
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<22} {:<20} runs {:>3}  effective {:>3}  detected {:>3}  inconclusive {:>3}  \
+             msgs/run {:>7.1}  retries/run {:>6.1}  mean-ttd {ttd}",
+            row.scheme,
+            row.point,
+            row.runs,
+            row.effective,
+            row.detected,
+            row.inconclusive,
+            row.mean_messages(),
+            row.mean_retries(),
+        );
+        if row.benign && row.detected > 0 {
+            violations += 1;
+            println!(
+                "VIOLATION {}/{}: false reject on a yes-instance under a benign fault",
+                row.scheme, row.point
+            );
+        }
+        if row.corrupting && row.detected < row.effective {
+            violations += 1;
+            println!(
+                "VIOLATION {}/{}: detection rate {:.2} ({} of {} effective runs)",
+                row.scheme,
+                row.point,
+                row.detection_rate(),
+                row.detected,
+                row.effective
+            );
+        }
+        if row.expect_complete && row.inconclusive > 0 {
+            violations += 1;
+            println!(
+                "VIOLATION {}/{}: false inconclusive under reliable delivery",
+                row.scheme, row.point
+            );
+        }
+    }
+    if let Some(dir) = &args.out {
+        if let Err(e) = write_artifacts(dir, args.quick, wall_s) {
+            return fail(&e);
+        }
+        println!("artifacts written to {}", dir.display());
+    }
+    if violations == 0 {
+        println!("netstorm: clean ({} rows)", rows.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("netstorm: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -124,6 +124,63 @@ pub enum Event {
         /// Vertex count after the step.
         vertices: u64,
     },
+    /// A network frame was handed to the link layer (`locert-net`).
+    NetSend {
+        /// Sending vertex (NodeId index).
+        src: u64,
+        /// Receiving vertex (NodeId index).
+        dst: u64,
+        /// Logical send time in the discrete-event clock.
+        time: u64,
+        /// Frame payload size in bits (header + certificate).
+        bits: u64,
+        /// Frame kind: `data` or `ack`.
+        kind: String,
+    },
+    /// The link layer discarded a frame.
+    NetDrop {
+        /// Sending vertex.
+        src: u64,
+        /// Intended receiver.
+        dst: u64,
+        /// Logical send time.
+        time: u64,
+        /// Why the frame died: `loss`, `partition`, or `dead-receiver`.
+        cause: String,
+    },
+    /// A node's retransmit timer fired and it resent a data frame.
+    NetRetry {
+        /// Retransmitting vertex.
+        node: u64,
+        /// Neighbor index (position in the adjacency list, not NodeId).
+        neighbor: u64,
+        /// Retry attempt number (1 = first retransmit).
+        attempt: u64,
+        /// Logical time of the retransmit.
+        time: u64,
+    },
+    /// A node crashed (losing its certificate) or restarted.
+    NetCrash {
+        /// The affected vertex.
+        node: u64,
+        /// Logical time of the transition.
+        time: u64,
+        /// `true` on crash, `false` on restart.
+        down: bool,
+    },
+    /// A node's final network verdict at quiescence.
+    NetVerdict {
+        /// The vertex.
+        vertex: u64,
+        /// `accepted`, `rejected`, or `inconclusive`.
+        status: String,
+        /// Rejection reason code when `status == "rejected"`.
+        reason: Option<String>,
+        /// Count of neighbors never heard from (inconclusive only).
+        missing: u64,
+        /// Logical time the verdict last changed.
+        time: u64,
+    },
     /// A free-form boundary marker (experiment start, phase change).
     Marker {
         /// Marker label.
@@ -438,6 +495,77 @@ pub fn event_to_json(event: &Event) -> Value {
                 ("vertices".to_string(), Value::from(*vertices)),
             ],
         ),
+        Event::NetSend {
+            src,
+            dst,
+            time,
+            bits,
+            kind,
+        } => typed(
+            "net-send",
+            vec![
+                ("src".to_string(), Value::from(*src)),
+                ("dst".to_string(), Value::from(*dst)),
+                ("time".to_string(), Value::from(*time)),
+                ("bits".to_string(), Value::from(*bits)),
+                ("kind".to_string(), Value::from(kind.as_str())),
+            ],
+        ),
+        Event::NetDrop {
+            src,
+            dst,
+            time,
+            cause,
+        } => typed(
+            "net-drop",
+            vec![
+                ("src".to_string(), Value::from(*src)),
+                ("dst".to_string(), Value::from(*dst)),
+                ("time".to_string(), Value::from(*time)),
+                ("cause".to_string(), Value::from(cause.as_str())),
+            ],
+        ),
+        Event::NetRetry {
+            node,
+            neighbor,
+            attempt,
+            time,
+        } => typed(
+            "net-retry",
+            vec![
+                ("node".to_string(), Value::from(*node)),
+                ("neighbor".to_string(), Value::from(*neighbor)),
+                ("attempt".to_string(), Value::from(*attempt)),
+                ("time".to_string(), Value::from(*time)),
+            ],
+        ),
+        Event::NetCrash { node, time, down } => typed(
+            "net-crash",
+            vec![
+                ("node".to_string(), Value::from(*node)),
+                ("time".to_string(), Value::from(*time)),
+                ("down".to_string(), Value::from(*down)),
+            ],
+        ),
+        Event::NetVerdict {
+            vertex,
+            status,
+            reason,
+            missing,
+            time,
+        } => typed(
+            "net-verdict",
+            vec![
+                ("vertex".to_string(), Value::from(*vertex)),
+                ("status".to_string(), Value::from(status.as_str())),
+                (
+                    "reason".to_string(),
+                    reason.as_deref().map_or(Value::Null, Value::from),
+                ),
+                ("missing".to_string(), Value::from(*missing)),
+                ("time".to_string(), Value::from(*time)),
+            ],
+        ),
         Event::Marker { label } => typed(
             "marker",
             vec![("label".to_string(), Value::from(label.as_str()))],
@@ -522,6 +650,40 @@ pub fn event_from_json(v: &Value) -> Option<Event> {
             case: get_str(v, "case")?,
             action: get_str(v, "action")?,
             vertices: get_u64(v, "vertices")?,
+        }),
+        "net-send" => Some(Event::NetSend {
+            src: get_u64(v, "src")?,
+            dst: get_u64(v, "dst")?,
+            time: get_u64(v, "time")?,
+            bits: get_u64(v, "bits")?,
+            kind: get_str(v, "kind")?,
+        }),
+        "net-drop" => Some(Event::NetDrop {
+            src: get_u64(v, "src")?,
+            dst: get_u64(v, "dst")?,
+            time: get_u64(v, "time")?,
+            cause: get_str(v, "cause")?,
+        }),
+        "net-retry" => Some(Event::NetRetry {
+            node: get_u64(v, "node")?,
+            neighbor: get_u64(v, "neighbor")?,
+            attempt: get_u64(v, "attempt")?,
+            time: get_u64(v, "time")?,
+        }),
+        "net-crash" => Some(Event::NetCrash {
+            node: get_u64(v, "node")?,
+            time: get_u64(v, "time")?,
+            down: get_bool(v, "down")?,
+        }),
+        "net-verdict" => Some(Event::NetVerdict {
+            vertex: get_u64(v, "vertex")?,
+            status: get_str(v, "status")?,
+            reason: match v.get("reason")? {
+                Value::Null => None,
+                r => Some(r.as_str()?.to_string()),
+            },
+            missing: get_u64(v, "missing")?,
+            time: get_u64(v, "time")?,
         }),
         "marker" => Some(Event::Marker {
             label: get_str(v, "label")?,
@@ -662,6 +824,44 @@ mod tests {
                 case: "spanning-tree".into(),
                 action: "drop-vertex".into(),
                 vertices: 6,
+            },
+            Event::NetSend {
+                src: 0,
+                dst: 1,
+                time: 0,
+                bits: 44,
+                kind: "data".into(),
+            },
+            Event::NetDrop {
+                src: 1,
+                dst: 0,
+                time: 2,
+                cause: "loss".into(),
+            },
+            Event::NetRetry {
+                node: 0,
+                neighbor: 0,
+                attempt: 1,
+                time: 8,
+            },
+            Event::NetCrash {
+                node: 2,
+                time: 4,
+                down: true,
+            },
+            Event::NetVerdict {
+                vertex: 0,
+                status: "inconclusive".into(),
+                reason: None,
+                missing: 1,
+                time: 96,
+            },
+            Event::NetVerdict {
+                vertex: 1,
+                status: "rejected".into(),
+                reason: Some("malformed-certificate".into()),
+                missing: 0,
+                time: 12,
             },
         ]
     }

@@ -15,9 +15,37 @@
 use crate::elimination::EliminationTree;
 use locert_graph::{Graph, NodeId};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Maximum vertex count accepted by the exact solver.
 pub const EXACT_LIMIT: usize = 28;
+
+/// The branch-and-bound search ran out of its expansion budget.
+///
+/// Returned by [`treedepth_exact_within`] and
+/// [`optimal_elimination_tree_within`] when the number of branch
+/// expansions exceeds the caller's budget. The partial search state is
+/// discarded: treedepth lower/upper bounds obtained before exhaustion
+/// are not trustworthy as exact values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The branch budget the search was given.
+    pub budget: u64,
+    /// Branch expansions performed before giving up.
+    pub branches: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact treedepth search exceeded its budget of {} branch expansions",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
 
 /// Exact treedepth of `g` (vertex-count convention; `td(K_1) = 1`).
 ///
@@ -25,6 +53,18 @@ pub const EXACT_LIMIT: usize = 28;
 ///
 /// Panics if `g` is empty or has more than [`EXACT_LIMIT`] vertices.
 pub fn treedepth_exact(g: &Graph) -> usize {
+    treedepth_exact_within(g, u64::MAX).expect("unbounded search cannot exhaust its budget")
+}
+
+/// Exact treedepth of `g`, abandoning the search after `budget` branch
+/// expansions. A budget of `u64::MAX` is effectively unbounded; at any
+/// size within [`EXACT_LIMIT`] a budget of a few million suffices for
+/// every instance the workspace generates.
+///
+/// # Panics
+///
+/// Panics if `g` is empty or has more than [`EXACT_LIMIT`] vertices.
+pub fn treedepth_exact_within(g: &Graph, budget: u64) -> Result<usize, BudgetExceeded> {
     let n = g.num_nodes();
     assert!(n >= 1, "treedepth of the empty graph is undefined");
     assert!(
@@ -32,7 +72,7 @@ pub fn treedepth_exact(g: &Graph) -> usize {
         "exact treedepth limited to {EXACT_LIMIT} vertices"
     );
     let _span = locert_trace::span!("treedepth.exact");
-    let mut solver = Solver::new(g);
+    let mut solver = Solver::new(g, budget);
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let td = solver.treedepth(full);
     solver.flush_stats();
@@ -47,34 +87,59 @@ pub fn treedepth_exact(g: &Graph) -> usize {
 ///
 /// Panics if `g` is empty, disconnected, or exceeds [`EXACT_LIMIT`].
 pub fn optimal_elimination_tree(g: &Graph) -> EliminationTree {
+    optimal_elimination_tree_within(g, u64::MAX)
+        .expect("unbounded search cannot exhaust its budget")
+}
+
+/// An optimal elimination tree of a **connected** graph `g`, abandoning
+/// the search after `budget` branch expansions (see
+/// [`treedepth_exact_within`]).
+///
+/// # Panics
+///
+/// Panics if `g` is empty, disconnected, or exceeds [`EXACT_LIMIT`].
+pub fn optimal_elimination_tree_within(
+    g: &Graph,
+    budget: u64,
+) -> Result<EliminationTree, BudgetExceeded> {
     let n = g.num_nodes();
     assert!((1..=EXACT_LIMIT).contains(&n), "size out of range");
     assert!(g.is_connected(), "optimal model requires a connected graph");
     let _span = locert_trace::span!("treedepth.exact.optimal_model");
-    let mut solver = Solver::new(g);
+    let mut solver = Solver::new(g, budget);
     let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut parent = vec![None; n];
-    solver.build(full, None, &mut parent);
+    let built = solver.build(full, None, &mut parent);
     solver.flush_stats();
-    EliminationTree::new(g, &parent).expect("solver output is a model")
+    built?;
+    Ok(EliminationTree::new(g, &parent).expect("solver output is a model"))
 }
 
 struct Solver<'g> {
     g: &'g Graph,
     memo: HashMap<u64, usize>,
+    budget: u64,
     branches: u64,
     prunes: u64,
     memo_hits: u64,
 }
 
 impl<'g> Solver<'g> {
-    fn new(g: &'g Graph) -> Self {
+    fn new(g: &'g Graph, budget: u64) -> Self {
         Solver {
             g,
             memo: HashMap::new(),
+            budget,
             branches: 0,
             prunes: 0,
             memo_hits: 0,
+        }
+    }
+
+    fn exceeded(&self) -> BudgetExceeded {
+        BudgetExceeded {
+            budget: self.budget,
+            branches: self.branches,
         }
     }
 
@@ -144,26 +209,25 @@ impl<'g> Solver<'g> {
     /// Exact treedepth of the sub-vertex-set `mask` (vertex-count
     /// convention). Handles disconnected masks by taking the max over
     /// components.
-    fn treedepth(&mut self, mask: u64) -> usize {
-        let comps = self.components(mask);
-        comps
-            .into_iter()
-            .map(|c| self.treedepth_connected(c))
-            .max()
-            .unwrap_or(0)
+    fn treedepth(&mut self, mask: u64) -> Result<usize, BudgetExceeded> {
+        let mut best = 0;
+        for c in self.components(mask) {
+            best = best.max(self.treedepth_connected(c)?);
+        }
+        Ok(best)
     }
 
-    fn treedepth_connected(&mut self, mask: u64) -> usize {
+    fn treedepth_connected(&mut self, mask: u64) -> Result<usize, BudgetExceeded> {
         let count = mask.count_ones() as usize;
         if count <= 1 {
-            return count;
+            return Ok(count);
         }
         if count == 2 {
-            return 2;
+            return Ok(2);
         }
         if let Some(&hit) = self.memo.get(&mask) {
             self.memo_hits += 1;
-            return hit;
+            return Ok(hit);
         }
         let lb = self.lower_bound(mask);
         let mut best = count; // chain model upper bound.
@@ -172,6 +236,9 @@ impl<'g> Solver<'g> {
             let v = m.trailing_zeros() as usize;
             m &= m - 1;
             self.branches += 1;
+            if self.branches > self.budget {
+                return Err(self.exceeded());
+            }
             let rest = mask & !(1u64 << v);
             // td = 1 + max over components of rest; prune component-wise.
             let mut worst = 0usize;
@@ -186,7 +253,7 @@ impl<'g> Solver<'g> {
                     worst = best; // will fail the bound below.
                     break;
                 }
-                worst = worst.max(self.treedepth_connected(comp));
+                worst = worst.max(self.treedepth_connected(comp)?);
             }
             if 1 + worst < best {
                 best = 1 + worst;
@@ -196,18 +263,23 @@ impl<'g> Solver<'g> {
             }
         }
         self.memo.insert(mask, best);
-        best
+        Ok(best)
     }
 
     /// Reconstructs an optimal elimination tree of the connected set
     /// `mask`, attaching its root below `above`.
-    fn build(&mut self, mask: u64, above: Option<usize>, parent: &mut [Option<usize>]) {
-        let target = self.treedepth_connected(mask);
+    fn build(
+        &mut self,
+        mask: u64,
+        above: Option<usize>,
+        parent: &mut [Option<usize>],
+    ) -> Result<(), BudgetExceeded> {
+        let target = self.treedepth_connected(mask)?;
         let count = mask.count_ones() as usize;
         if count == 1 {
             let v = mask.trailing_zeros() as usize;
             parent[v] = above;
-            return;
+            return Ok(());
         }
         // Find a root achieving the optimum.
         let mut m = mask;
@@ -216,17 +288,16 @@ impl<'g> Solver<'g> {
             m &= m - 1;
             let rest = mask & !(1u64 << v);
             let comps = self.components(rest);
-            let worst = comps
-                .iter()
-                .map(|&c| self.treedepth_connected(c))
-                .max()
-                .unwrap_or(0);
+            let mut worst = 0;
+            for &c in &comps {
+                worst = worst.max(self.treedepth_connected(c)?);
+            }
             if 1 + worst == target {
                 parent[v] = above;
                 for comp in comps {
-                    self.build(comp, Some(v), parent);
+                    self.build(comp, Some(v), parent)?;
                 }
-                return;
+                return Ok(());
             }
         }
         unreachable!("some root must achieve the memoized optimum");
@@ -344,6 +415,29 @@ mod tests {
             let g = b.build();
             assert_eq!(treedepth_exact(&g), m + 1, "K_{{{m},{m}}}");
         }
+    }
+
+    #[test]
+    fn tiny_budget_is_reported_as_exceeded() {
+        // C_16 needs well over ten branch expansions; the search must
+        // give up with the typed error, not a wrong value.
+        let g = generators::cycle(16);
+        let err = treedepth_exact_within(&g, 10).unwrap_err();
+        assert_eq!(err.budget, 10);
+        assert!(err.branches > err.budget);
+        assert!(optimal_elimination_tree_within(&g, 10).is_err());
+        // The same search succeeds under a generous budget.
+        assert_eq!(treedepth_exact_within(&g, 1 << 20).unwrap(), 5);
+        let model = optimal_elimination_tree_within(&g, 1 << 20).unwrap();
+        assert_eq!(model.height(), 5);
+    }
+
+    #[test]
+    fn budget_counts_branches_not_vertices() {
+        // A star resolves in one branch per leaf; a budget of the vertex
+        // count is ample.
+        let g = generators::star(8);
+        assert_eq!(treedepth_exact_within(&g, 8).unwrap(), 2);
     }
 
     #[test]

@@ -32,4 +32,7 @@ pub mod exact;
 pub mod heuristic;
 
 pub use elimination::{EliminationTree, ModelError};
-pub use exact::{optimal_elimination_tree, treedepth_exact};
+pub use exact::{
+    optimal_elimination_tree, optimal_elimination_tree_within, treedepth_exact,
+    treedepth_exact_within, BudgetExceeded,
+};

@@ -15,7 +15,10 @@
 //! - [`kernel`]: the Section 6 kernelization (k-reduced graphs);
 //! - [`cert`]: the local-certification framework and every scheme in the
 //!   paper;
-//! - [`lb`]: the Section 7 communication-complexity lower bounds.
+//! - [`lb`]: the Section 7 communication-complexity lower bounds;
+//! - [`net`]: seeded message-passing simulation of verification over an
+//!   unreliable network (drop/duplicate/reorder/corrupt/crash), with
+//!   retransmit, backoff, and the `netstorm` fault campaign.
 //!
 //! # Quickstart
 //!
@@ -41,4 +44,5 @@ pub use locert_graph as graph;
 pub use locert_kernel as kernel;
 pub use locert_lb as lb;
 pub use locert_logic as logic;
+pub use locert_net as net;
 pub use locert_treedepth as treedepth;
