@@ -1,0 +1,281 @@
+//! `boundcheck` — the asymptotic-bound conformance gate.
+//!
+//! Sweeps every catalogue scheme over its growing instance family under
+//! a bit-ledger capture (see `locert_bench::e9_bounds`) and fails when
+//!
+//! 1. any certificate bit is unattributed (the ledger must tile),
+//! 2. the measured size curve grows faster than the scheme's declared
+//!    asymptotic bound (least-squares slope tolerance), or
+//! 3. the numbers drift off the committed `BOUNDS_baseline.json` —
+//!    per-point sizes and declared families exactly, component shares
+//!    within half a percentage point.
+//!
+//! Usage:
+//!
+//! ```text
+//! boundcheck [--baseline [PATH]] [--compare PATH] [--tolerance X]
+//!            [--threads N] [--quick] [--mutants] [--list]
+//! ```
+//!
+//! `--baseline` regenerates the committed baseline instead of gating;
+//! `--mutants` (requires the `mutants` feature) self-tests the gate by
+//! poisoning catalogue targets with known size bugs and demanding every
+//! one is caught. Exit codes: 0 conforming, 1 violations (or IO
+//! failure), 2 usage error.
+
+use locert_bench::e9_bounds::{self, baseline, fit_sweep, DEFAULT_TOLERANCE};
+use locert_trace::json;
+
+const DEFAULT_BASELINE: &str = "BOUNDS_baseline.json";
+
+const USAGE: &str = "\
+usage: boundcheck [--baseline [PATH]] [--compare PATH] [--tolerance X]
+                  [--threads N] [--quick] [--mutants] [--list]
+
+  --baseline [PATH]  write the bounds baseline (default BOUNDS_baseline.json)
+                     instead of gating against it
+  --compare PATH     gate against PATH instead of BOUNDS_baseline.json
+  --tolerance X      least-squares slope tolerance for the conformance
+                     fit (default 0.15)
+  --threads N        worker count for the locert-par pool (default:
+                     LOCERT_THREADS env, then available parallelism)
+  --quick            shrink the size grids (smoke mode; skips the
+                     baseline compare, whose grids are full-size)
+  --mutants          self-test: poison targets with known size bugs and
+                     verify the gate catches every one (needs the
+                     `mutants` build feature)
+  --list             list sweep targets with grids and declared bounds
+  --help             print this message";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("boundcheck: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail_io(context: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("boundcheck: {context}: {err}");
+    std::process::exit(1);
+}
+
+struct Options {
+    write_baseline: Option<String>,
+    compare_path: String,
+    tolerance: f64,
+    threads: Option<usize>,
+    quick: bool,
+    mutants: bool,
+    list: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        write_baseline: None,
+        compare_path: DEFAULT_BASELINE.to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        threads: None,
+        quick: false,
+        mutants: false,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    let optional_path = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                         default: &str| {
+        match args.peek() {
+            Some(a) if !a.starts_with("--") => args.next().unwrap(),
+            _ => default.to_string(),
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => opts.write_baseline = Some(optional_path(&mut args, DEFAULT_BASELINE)),
+            "--compare" => {
+                opts.compare_path = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--compare needs a path"));
+            }
+            "--tolerance" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--tolerance needs a value"));
+                opts.tolerance = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("bad tolerance {raw:?}")));
+            }
+            "--threads" => {
+                let raw = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--threads needs a count"));
+                let n: usize = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("bad thread count {raw:?}")));
+                if n == 0 {
+                    fail_usage("thread count must be at least 1");
+                }
+                opts.threads = Some(n);
+            }
+            "--quick" => opts.quick = true,
+            "--mutants" => opts.mutants = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => fail_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    opts
+}
+
+fn list_targets() {
+    for target in e9_bounds::targets() {
+        let (point, declared) = e9_bounds::measure(&target, 16, false);
+        println!(
+            "{:24} declared {:14} components at n=16: {}",
+            target.name,
+            declared.family(),
+            point
+                .components
+                .keys()
+                .copied()
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}
+
+/// Gates one sweep set: attribution + fit (+ optional baseline
+/// compare). Returns violations.
+fn gate(
+    results: &[e9_bounds::SweepResult],
+    tolerance: f64,
+    committed: Option<&json::Value>,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in results {
+        for p in &r.points {
+            if !p.fully_attributed {
+                violations.push(format!(
+                    "{}: unattributed certificate bits at n = {}",
+                    r.name, p.n_actual
+                ));
+            }
+        }
+        let fit = fit_sweep(r, tolerance);
+        if !fit.conforms {
+            violations.push(format!(
+                "{}: measured growth exceeds declared {} (rel slope {:+.3} > {:.3})",
+                r.name,
+                r.declared.family(),
+                fit.rel_slope,
+                tolerance
+            ));
+        }
+    }
+    if let Some(committed) = committed {
+        violations.extend(baseline::compare(results, committed));
+    }
+    violations
+}
+
+#[cfg(feature = "mutants")]
+fn run_mutants(tolerance: f64, committed: &json::Value) -> ! {
+    let mut escaped = 0usize;
+    for mutant in e9_bounds::mutants::mutants() {
+        let targets = e9_bounds::mutants::apply(&mutant);
+        // Mutant verifiers are vacuous; sweep provers only.
+        let results: Vec<_> = targets
+            .iter()
+            .map(|t| e9_bounds::sweep(t, false, false))
+            .collect();
+        // The honest sweep verifies read amplification; the mutant sweep
+        // does not, so exempt read-amp from the compare by gating the
+        // poisoned case's size data only.
+        let violations: Vec<String> = gate(&results, tolerance, Some(committed))
+            .into_iter()
+            .filter(|v| v.starts_with(mutant.case) && !v.contains("read amplification"))
+            .collect();
+        let caught = !violations.is_empty();
+        let fit_failed = violations.iter().any(|v| v.contains("exceeds declared"));
+        println!(
+            "mutant {:16} on {:16} {} ({})",
+            mutant.name,
+            mutant.case,
+            if caught { "caught" } else { "ESCAPED" },
+            violations
+                .first()
+                .map_or_else(|| "no violation".to_string(), Clone::clone)
+        );
+        if !caught || (mutant.caught_by_fit && !fit_failed) {
+            escaped += 1;
+        }
+    }
+    if escaped > 0 {
+        eprintln!("boundcheck: {escaped} mutant(s) escaped the gate");
+        std::process::exit(1);
+    }
+    println!("all mutants caught");
+    std::process::exit(0);
+}
+
+#[cfg(not(feature = "mutants"))]
+fn run_mutants(_tolerance: f64, _committed: &json::Value) -> ! {
+    fail_usage("--mutants needs a build with `--features mutants`");
+}
+
+fn read_committed(path: &str) -> json::Value {
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail_io(&format!("reading {path}"), &e));
+    json::parse(&raw).unwrap_or_else(|e| fail_io(&format!("parsing {path}"), &e))
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.list {
+        list_targets();
+        return;
+    }
+    if let Some(n) = opts.threads {
+        locert_par::configure_threads(n);
+    }
+    if opts.mutants {
+        let committed = read_committed(&opts.compare_path);
+        run_mutants(opts.tolerance, &committed);
+    }
+    let results = e9_bounds::sweep_all(opts.quick, true);
+    if let Some(path) = opts.write_baseline {
+        let doc = baseline::to_json(&results);
+        std::fs::write(&path, format!("{doc}\n"))
+            .unwrap_or_else(|e| fail_io(&format!("writing {path}"), &e));
+        println!(
+            "wrote {path} ({} schemes, {} points)",
+            results.len(),
+            results.iter().map(|r| r.points.len()).sum::<usize>()
+        );
+        return;
+    }
+    let committed = if opts.quick {
+        // Quick grids don't match the committed full-size baseline.
+        None
+    } else {
+        Some(read_committed(&opts.compare_path))
+    };
+    let violations = gate(&results, opts.tolerance, committed.as_ref());
+    for v in &violations {
+        eprintln!("boundcheck: {v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "bounds conform: {} schemes, tolerance {}, baseline {}",
+            results.len(),
+            opts.tolerance,
+            if opts.quick {
+                "skipped (quick)"
+            } else {
+                &opts.compare_path
+            }
+        );
+    } else {
+        eprintln!("boundcheck: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

@@ -36,8 +36,9 @@ use locert_trace::json::Value;
 use std::fmt::Write as _;
 
 /// Every experiment id the binary knows how to run, in report order.
-const KNOWN_IDS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "f1", "f4", "p34", "a1", "s1", "s2", "s3", "s4",
+const KNOWN_IDS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f4", "p34", "a1", "s1", "s2",
+    "s3", "s4",
 ];
 
 const USAGE: &str = "\
@@ -63,7 +64,7 @@ usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
                         (default target/trace.json)
   --help                print this message
   only-ids…             run only the listed experiments (e1 e2 e3 e4 e5 e6
-                        e7 e8 f1 f4 p34 a1 s1 s2 s3 s4)";
+                        e7 e8 e9 f1 f4 p34 a1 s1 s2 s3 s4)";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("experiments: {msg}\n{USAGE}");
@@ -287,6 +288,7 @@ fn main() {
         ]
     });
     run_exp!("e8", vec![e8_words::run(&small)]);
+    run_exp!("e9", e9_bounds::run(quick));
     run_exp!("f1", vec![f1_figure1::run(if quick { 6 } else { 12 })]);
     run_exp!("f4", vec![f4_cops::run()]);
     run_exp!("p34", vec![p34_spanning_tree::run(&medium, 0x34)]);

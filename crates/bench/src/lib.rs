@@ -14,6 +14,7 @@
 //! | [`e6_minor_free`] | Cor 2.7: O(log n) minor-freeness |
 //! | [`e7_fo_fragments`] | Lemma 2.1: O(log n) FO fragments |
 //! | [`e8_words`] | §4 warm-up: O(1) MSO-on-words on paths |
+//! | [`e9_bounds`] | bit-ledger size curves vs. declared bounds |
 //! | [`f1_figure1`] | Fig. 1: td(P_{2^k − 1}) = k |
 //! | [`f4_cops`] | Fig. 4: 5-cop capture on the gadget |
 //! | [`p34_spanning_tree`] | Prop 3.4: O(log n) spanning tree + count |
@@ -30,6 +31,7 @@ pub mod e5_kernel;
 pub mod e6_minor_free;
 pub mod e7_fo_fragments;
 pub mod e8_words;
+pub mod e9_bounds;
 pub mod f1_figure1;
 pub mod f4_cops;
 pub mod p34_spanning_tree;

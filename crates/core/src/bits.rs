@@ -140,10 +140,19 @@ impl fmt::Display for Certificate {
 }
 
 /// Writes fixed-width fields MSB-first.
+///
+/// Writers double as the prover-side attribution point of the bit
+/// ledger (`locert_trace::ledger`): [`BitWriter::component`] marks the
+/// start of a named witness component, and [`BitWriter::finish_for`]
+/// hands the marks to an active ledger capture. While no capture is
+/// active anywhere, both cost one relaxed atomic load.
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
     len_bits: usize,
+    /// `(component, start-bit)` attribution marks, kept only while a
+    /// ledger capture is active.
+    marks: Vec<(&'static str, usize)>,
 }
 
 impl BitWriter {
@@ -194,12 +203,44 @@ impl BitWriter {
         self.len_bits
     }
 
+    /// Marks the bits written from here on as belonging to the witness
+    /// component `name` (until the next mark or the end). A no-op —
+    /// one relaxed atomic load — unless a `locert_trace::ledger`
+    /// capture is active.
+    pub fn component(&mut self, name: &'static str) -> &mut Self {
+        if locert_trace::ledger::active() {
+            self.marks.push((name, self.len_bits));
+        }
+        self
+    }
+
     /// Finalizes into a [`Certificate`].
     pub fn finish(self) -> Certificate {
         Certificate {
             bytes: self.bytes,
             len_bits: self.len_bits,
         }
+    }
+
+    /// Finalizes into a [`Certificate`] and, when a ledger capture is
+    /// active on this thread, records the component attribution for
+    /// `vertex` (a `NodeId` index). Every scheme prover finishes its
+    /// per-vertex writers through this so captured runs yield a
+    /// complete [`locert_trace::ledger::BitLedger`].
+    ///
+    /// Debug builds enforce the tiling invariant at the source: inside
+    /// a capture, a non-empty certificate must open with a component
+    /// mark at bit 0 so the attributed spans tile the whole
+    /// certificate.
+    pub fn finish_for(self, vertex: usize) -> Certificate {
+        if locert_trace::ledger::active() {
+            debug_assert!(
+                self.len_bits == 0 || self.marks.first().is_some_and(|&(_, start)| start == 0),
+                "certificate for vertex {vertex} has bits before the first component mark"
+            );
+            locert_trace::ledger::record_cert(vertex, self.len_bits, &self.marks);
+        }
+        self.finish()
     }
 }
 
@@ -382,6 +423,55 @@ mod tests {
         assert_eq!(width_for(255), 8);
         assert_eq!(width_for(256), 9);
         assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn component_marks_flow_into_ledger_captures() {
+        // Outside a capture: marks are not even stored.
+        let mut w = BitWriter::new();
+        w.component("a").write(1, 3);
+        assert!(w.marks.is_empty());
+        let c = w.finish_for(0);
+        assert_eq!(c.len_bits(), 3);
+        // Inside a capture: spans tile the certificate.
+        let (cert, ledger) = locert_trace::ledger::capture(|| {
+            let mut w = BitWriter::new();
+            w.component("root-id");
+            w.write(5, 4);
+            w.component("distance");
+            w.write(2, 6);
+            w.finish_for(7)
+        });
+        assert_eq!(cert.len_bits(), 10);
+        assert_eq!(ledger.certs.len(), 1);
+        let entry = &ledger.certs[0];
+        assert_eq!(entry.vertex, 7);
+        assert_eq!(entry.total_bits, 10);
+        assert!(entry.fully_attributed());
+        assert_eq!(entry.component_bits()["root-id"], 4);
+        assert_eq!(entry.component_bits()["distance"], 6);
+    }
+
+    #[test]
+    fn empty_certificate_needs_no_marks() {
+        let ((), ledger) = locert_trace::ledger::capture(|| {
+            let _ = BitWriter::new().finish_for(0);
+        });
+        assert!(ledger.certs[0].fully_attributed());
+        assert_eq!(ledger.certs[0].total_bits, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "before the first component mark")]
+    fn unmarked_bits_violate_the_tiling_invariant_in_debug() {
+        let ((), _ledger) = locert_trace::ledger::capture(|| {
+            let mut w = BitWriter::new();
+            w.write(1, 2); // no component mark at bit 0.
+            w.component("late");
+            w.write(1, 2);
+            let _ = w.finish_for(0);
+        });
     }
 
     #[test]

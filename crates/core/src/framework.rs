@@ -136,6 +136,12 @@ impl Assignment {
 
     /// The size of the assignment: the maximum certificate length in bits
     /// (the paper's measure).
+    ///
+    /// Zero-length certificates contribute 0, so
+    /// [`Assignment::empty`]`(n).max_bits() == 0` for every `n` —
+    /// including `n == 0`, where there is no certificate at all. A
+    /// certificate-free scheme genuinely has size 0 in the paper's
+    /// measure; callers must not treat 0 as "no assignment".
     pub fn max_bits(&self) -> usize {
         self.certs
             .iter()
@@ -145,6 +151,10 @@ impl Assignment {
     }
 
     /// Total bits across all vertices (for redundancy analyses).
+    ///
+    /// Like [`Assignment::max_bits`], this is 0 both for the empty
+    /// assignment (`n == 0`) and for assignments of all-empty
+    /// certificates.
     pub fn total_bits(&self) -> usize {
         self.certs.iter().map(Certificate::len_bits).sum()
     }
@@ -397,10 +407,125 @@ pub trait Verifier: Sync {
     }
 }
 
+/// The asymptotic certificate-size family a scheme claims, as a
+/// machine-readable value the conformance observatory (`boundcheck`,
+/// experiment E9) can fit measured sizes against.
+///
+/// The taxonomy mirrors the paper's bound table: `O(1)` for MSO on
+/// trees and words (Thm 2.2, §4), `O(log k)` for parameterized bounds
+/// independent of `n`, `O(log n)` for the FO fragments, spanning-tree
+/// and minor-freeness schemes (Lemma 2.1, Prop 3.4, Cor 2.7), and
+/// `poly(td)·log n` for the treedepth routes (Thm 2.4, Thm 2.6). The
+/// universal fallback broadcasts the whole graph and is quadratic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclaredBound {
+    /// `O(1)`: size independent of `n` and of every parameter.
+    Constant,
+    /// `O(log k)`: grows only with the named parameter bound `k`,
+    /// never with `n`.
+    LogK {
+        /// The parameter value the scheme was instantiated with.
+        k: u64,
+    },
+    /// `O(log n)`.
+    LogN,
+    /// `poly(td)·log n` with the treedepth parameter fixed.
+    PolyTdLogN {
+        /// The treedepth (or minor-order) bound `t`.
+        td: u32,
+    },
+    /// `O(n²)`: the universal scheme's full-graph broadcast.
+    QuadraticN,
+}
+
+impl DeclaredBound {
+    /// Rank in the dominance order `O(1) < O(log k) < O(log n) <
+    /// poly(td)·log n < O(n²)`, used to combine operand bounds.
+    fn rank(&self) -> u8 {
+        match self {
+            DeclaredBound::Constant => 0,
+            DeclaredBound::LogK { .. } => 1,
+            DeclaredBound::LogN => 2,
+            DeclaredBound::PolyTdLogN { .. } => 3,
+            DeclaredBound::QuadraticN => 4,
+        }
+    }
+
+    /// The stable family code (`o1`, `o-log-k`, `o-log-n`,
+    /// `poly-td-log-n`, `o-n2`) used in baselines and reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            DeclaredBound::Constant => "o1",
+            DeclaredBound::LogK { .. } => "o-log-k",
+            DeclaredBound::LogN => "o-log-n",
+            DeclaredBound::PolyTdLogN { .. } => "poly-td-log-n",
+            DeclaredBound::QuadraticN => "o-n2",
+        }
+    }
+
+    /// Human-readable bound with parameters filled in.
+    pub fn label(&self) -> String {
+        match self {
+            DeclaredBound::Constant => "O(1)".into(),
+            DeclaredBound::LogK { k } => format!("O(log k), k={k}"),
+            DeclaredBound::LogN => "O(log n)".into(),
+            DeclaredBound::PolyTdLogN { td } => format!("poly(td)·log n, td={td}"),
+            DeclaredBound::QuadraticN => "O(n²)".into(),
+        }
+    }
+
+    /// The growth envelope `g(n)` the bound permits, up to a constant:
+    /// `1` for `n`-independent families, `log₂ n` for the logarithmic
+    /// ones (the `poly(td)` factor is a constant once `td` is fixed),
+    /// `n²` for the universal fallback. Measured sizes conform when
+    /// `max_bits(n) / g(n)` stays bounded as `n` grows.
+    pub fn growth(&self, n: usize) -> f64 {
+        match self {
+            DeclaredBound::Constant | DeclaredBound::LogK { .. } => 1.0,
+            DeclaredBound::LogN | DeclaredBound::PolyTdLogN { .. } => (n.max(2) as f64).log2(),
+            DeclaredBound::QuadraticN => {
+                let n = n.max(1) as f64;
+                n * n
+            }
+        }
+    }
+
+    /// The bound of a scheme combining two sub-schemes: the dominating
+    /// family, with parameters merged by maximum when the families tie.
+    pub fn combine(self, other: DeclaredBound) -> DeclaredBound {
+        match (self, other) {
+            (DeclaredBound::LogK { k: a }, DeclaredBound::LogK { k: b }) => {
+                DeclaredBound::LogK { k: a.max(b) }
+            }
+            (DeclaredBound::PolyTdLogN { td: a }, DeclaredBound::PolyTdLogN { td: b }) => {
+                DeclaredBound::PolyTdLogN { td: a.max(b) }
+            }
+            (a, b) => {
+                if a.rank() >= b.rank() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for DeclaredBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// A complete certification scheme: prover + verifier + metadata.
 pub trait Scheme: Prover + Verifier {
     /// Human-readable name (for experiment reports).
     fn name(&self) -> String;
+
+    /// The certificate-size bound the scheme claims (the paper's
+    /// theorem statement for it), checked against measured sizes by
+    /// the conformance observatory.
+    fn declared_bound(&self) -> DeclaredBound;
 }
 
 /// The outcome of running the verifier at every vertex.
@@ -508,6 +633,18 @@ pub fn run_verification(
             bits_read,
         });
     }
+    if locert_trace::enabled() {
+        // Read amplification: certificate bits examined across all
+        // radius-1 views over bits stored, in fixed-point percent (100
+        // = every stored bit read exactly once). Each vertex's
+        // certificate is re-read once per incident edge, so this is
+        // 100·(1 + 2m/n) on certificates of uniform length. Undefined
+        // (and not recorded) for all-empty assignments.
+        let read: usize = verdicts.iter().map(|v| v.bits_read).sum();
+        if let Some(amp) = (read * 100).checked_div(assignment.total_bits()) {
+            locert_trace::record("core.framework.verify.read_amplification", amp as u64);
+        }
+    }
     VerificationOutcome {
         rejecting,
         verdicts,
@@ -569,8 +706,9 @@ mod tests {
                 .nodes()
                 .map(|v| {
                     let mut w = BitWriter::new();
+                    w.component("degree");
                     w.write(instance.graph().degree(v) as u64, 16);
-                    w.finish()
+                    w.finish_for(v.0)
                 })
                 .collect();
             Ok(Assignment::new(certs))
@@ -594,6 +732,11 @@ mod tests {
     impl Scheme for DegreeScheme {
         fn name(&self) -> String {
             "degree".into()
+        }
+
+        fn declared_bound(&self) -> DeclaredBound {
+            // A fixed 16-bit field regardless of n.
+            DeclaredBound::Constant
         }
     }
 
@@ -690,5 +833,103 @@ mod tests {
         let asg = Assignment::new(vec![w1.finish(), w2.finish()]);
         assert_eq!(asg.max_bits(), 9);
         assert_eq!(asg.total_bits(), 14);
+    }
+
+    #[test]
+    fn size_accounting_edge_cases() {
+        // No vertices at all: both measures are 0, not a panic.
+        let none = Assignment::empty(0);
+        assert!(none.is_empty());
+        assert_eq!(none.max_bits(), 0);
+        assert_eq!(none.total_bits(), 0);
+        // Vertices with zero-length certificates: still 0 — a
+        // certificate-free scheme has size 0 in the paper's measure.
+        let empty = Assignment::empty(5);
+        assert_eq!(empty.len(), 5);
+        assert_eq!(empty.max_bits(), 0);
+        assert_eq!(empty.total_bits(), 0);
+        // A mix of empty and non-empty certificates: empties count as
+        // length 0 on both measures.
+        let mut w = BitWriter::new();
+        w.write(1, 3);
+        let asg = Assignment::new(vec![Certificate::empty(), w.finish()]);
+        assert_eq!(asg.max_bits(), 3);
+        assert_eq!(asg.total_bits(), 3);
+    }
+
+    #[test]
+    fn declared_bounds_order_combine_and_describe() {
+        use DeclaredBound::*;
+        assert_eq!(Constant.combine(LogN), LogN);
+        assert_eq!(LogN.combine(Constant), LogN);
+        assert_eq!(LogK { k: 3 }.combine(LogK { k: 9 }), LogK { k: 9 });
+        assert_eq!(
+            PolyTdLogN { td: 2 }.combine(PolyTdLogN { td: 5 }),
+            PolyTdLogN { td: 5 }
+        );
+        assert_eq!(LogN.combine(QuadraticN), QuadraticN);
+        assert_eq!(PolyTdLogN { td: 4 }.combine(LogN), PolyTdLogN { td: 4 });
+        // Growth envelopes.
+        assert_eq!(Constant.growth(1 << 20), 1.0);
+        assert_eq!(LogK { k: 7 }.growth(1 << 20), 1.0);
+        assert_eq!(LogN.growth(256), 8.0);
+        assert_eq!(PolyTdLogN { td: 3 }.growth(256), 8.0);
+        assert_eq!(QuadraticN.growth(10), 100.0);
+        // Degenerate n never yields a zero or negative envelope.
+        assert!(LogN.growth(0) >= 1.0 && LogN.growth(1) >= 1.0);
+        // Stable codes and labels.
+        assert_eq!(LogN.family(), "o-log-n");
+        assert_eq!(PolyTdLogN { td: 3 }.to_string(), "poly(td)·log n, td=3");
+        assert_eq!(DegreeScheme.declared_bound(), Constant);
+    }
+
+    #[test]
+    fn honest_run_yields_a_fully_tiled_ledger() {
+        let g = generators::cycle(5);
+        let ids = IdAssignment::contiguous(5);
+        let inst = Instance::new(&g, &ids);
+        let (result, ledger) = locert_trace::ledger::capture(|| run_scheme(&DegreeScheme, &inst));
+        assert!(result.unwrap().accepted());
+        assert!(ledger.fully_attributed());
+        let finals = ledger.final_certs();
+        assert_eq!(finals.len(), 5);
+        for v in 0..5 {
+            assert_eq!(finals[&v].total_bits, 16);
+            assert_eq!(finals[&v].component_bits()["degree"], 16);
+        }
+        assert_eq!(ledger.max_bits(), 16);
+    }
+
+    #[test]
+    fn read_amplification_histogram_records_under_tracing() {
+        // Serialized against other trace-global tests via the registry
+        // lock inside locert-trace; use a throwaway metric window.
+        let g = generators::cycle(6);
+        let ids = IdAssignment::contiguous(6);
+        let inst = Instance::new(&g, &ids);
+        let asg = DegreeScheme.assign(&inst).unwrap();
+        locert_trace::enable();
+        locert_trace::reset();
+        let out = run_verification(&DegreeScheme, &inst, &asg);
+        locert_trace::disable();
+        let snap = locert_trace::snapshot();
+        locert_trace::reset();
+        assert!(out.accepted());
+        let hist = &snap.histograms["core.framework.verify.read_amplification"];
+        assert_eq!(hist.count, 1);
+        // On a cycle every vertex reads its own cert plus two
+        // neighbors': amplification is exactly 3x = 300.
+        assert_eq!(hist.min, Some(300));
+        assert_eq!(hist.max, Some(300));
+        // All-empty assignments record nothing (the ratio is undefined).
+        locert_trace::enable();
+        locert_trace::reset();
+        let _ = run_verification(&DegreeScheme, &inst, &Assignment::empty(6));
+        locert_trace::disable();
+        let snap = locert_trace::snapshot();
+        locert_trace::reset();
+        assert!(!snap
+            .histograms
+            .contains_key("core.framework.verify.read_amplification"));
     }
 }

@@ -32,6 +32,13 @@
 //! | [`schemes::kernel_mso`] | Theorem 2.6 / Prop 6.4 | `O(t log n + f(t,φ))` |
 //! | [`schemes::minor_free`] | Corollary 2.7 | `O(log n)` (fixed `t`) |
 //! | [`schemes::combinators`] | closure under ∧/∨ | sum |
+//!
+//! The size column is not just documentation: every scheme answers
+//! [`framework::Scheme::declared_bound`] with a machine-readable
+//! [`framework::DeclaredBound`], provers attribute each certificate bit
+//! span to a named component via [`bits::BitWriter::component`]
+//! (captured by `locert_trace::ledger`), and the `boundcheck` gate fits
+//! measured size curves against the declared family (DESIGN.md §10).
 
 pub mod attacks;
 pub mod bits;

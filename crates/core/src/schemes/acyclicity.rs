@@ -11,7 +11,8 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::NodeId;
@@ -45,10 +46,11 @@ impl Prover for AcyclicityScheme {
         Ok(Assignment::new(
             fields
                 .iter()
-                .map(|f| {
+                .enumerate()
+                .map(|(v, f)| {
                     let mut w = BitWriter::new();
                     f.write(&mut w, self.id_bits);
-                    w.finish()
+                    w.finish_for(v)
                 })
                 .collect(),
         ))
@@ -84,6 +86,11 @@ impl Verifier for AcyclicityScheme {
 impl Scheme for AcyclicityScheme {
     fn name(&self) -> String {
         "acyclicity".into()
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Folklore O(log n), tight by [31, 37].
+        DeclaredBound::LogN
     }
 }
 

@@ -9,7 +9,8 @@
 
 use crate::bits::{BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use locert_graph::NodeId;
 
@@ -62,10 +63,12 @@ impl<A: Scheme, B: Scheme> Prover for AndScheme<A, B> {
                 let ca = a.cert(v);
                 let cb = b.cert(v);
                 let mut w = BitWriter::new();
+                w.component("length-header");
                 w.write(ca.len_bits() as u64, self.len_bits);
+                w.component("embedded");
                 w.write_cert(ca);
                 w.write_cert(cb);
-                w.finish()
+                w.finish_for(v.0)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -108,6 +111,13 @@ impl<A: Scheme, B: Scheme> Scheme for AndScheme<A, B> {
     fn name(&self) -> String {
         format!("({} AND {})", self.first.name(), self.second.name())
     }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Concatenation: the larger asymptotic family dominates.
+        self.first
+            .declared_bound()
+            .combine(self.second.declared_bound())
+    }
 }
 
 /// At least one sub-property holds: one selector bit plus the selected
@@ -141,9 +151,11 @@ impl<A: Scheme, B: Scheme> Prover for OrScheme<A, B> {
                 (0..n)
                     .map(|v| {
                         let mut w = BitWriter::new();
+                        w.component("selector");
                         w.write_bit(selector);
+                        w.component("embedded");
                         w.write_cert(asg.cert(NodeId(v)));
-                        w.finish()
+                        w.finish_for(v)
                     })
                     .collect(),
             )
@@ -190,6 +202,13 @@ impl<A: Scheme, B: Scheme> Verifier for OrScheme<A, B> {
 impl<A: Scheme, B: Scheme> Scheme for OrScheme<A, B> {
     fn name(&self) -> String {
         format!("({} OR {})", self.first.name(), self.second.name())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // One selector bit plus whichever disjunct was chosen.
+        self.first
+            .declared_bound()
+            .combine(self.second.declared_bound())
     }
 }
 

@@ -24,7 +24,8 @@
 
 use crate::bits::{BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::spanning_tree::{
     try_honest_count_fields, try_honest_tree_fields, verify_count_fields, verify_tree_position,
@@ -169,8 +170,9 @@ impl Prover for Depth2FoScheme {
         let certs: Vec<Certificate> = match region {
             Region::Single => {
                 let mut w = BitWriter::new();
+                w.component("region-tag");
                 w.write(region.tag(), 2);
-                vec![w.finish()]
+                vec![w.finish_for(0)]
             }
             Region::Clique | Region::Neither => {
                 let counts = try_honest_count_fields(instance, NodeId(0))
@@ -178,9 +180,10 @@ impl Prover for Depth2FoScheme {
                 g.nodes()
                     .map(|v| {
                         let mut w = BitWriter::new();
+                        w.component("region-tag");
                         w.write(region.tag(), 2);
                         counts[v.0].write(&mut w, self.id_bits);
-                        w.finish()
+                        w.finish_for(v.0)
                     })
                     .collect()
             }
@@ -200,10 +203,11 @@ impl Prover for Depth2FoScheme {
                 g.nodes()
                     .map(|v| {
                         let mut w = BitWriter::new();
+                        w.component("region-tag");
                         w.write(region.tag(), 2);
                         counts[v.0].write(&mut w, self.id_bits);
                         wtree[v.0].write(&mut w, self.id_bits);
-                        w.finish()
+                        w.finish_for(v.0)
                     })
                     .collect()
             }
@@ -288,6 +292,11 @@ impl Verifier for Depth2FoScheme {
 impl Scheme for Depth2FoScheme {
     fn name(&self) -> String {
         format!("depth2-fo{:?}", self.truth)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Region tag plus count/tree fields at identifier width (Lemma A.3).
+        DeclaredBound::LogN
     }
 }
 

@@ -16,7 +16,8 @@
 
 use crate::bits::{BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::common::{read_ident, write_ident};
 use crate::schemes::spanning_tree::{try_honest_tree_fields, verify_tree_position, TreeFields};
@@ -199,16 +200,18 @@ impl Prover for ExistentialFoScheme {
             .nodes()
             .map(|v| {
                 let mut w = BitWriter::new();
+                w.component("witness-ids");
                 for &id in &witness_ids {
                     write_ident(&mut w, id, self.id_bits);
                 }
+                w.component("adjacency");
                 for &b in &matrix {
                     w.write_bit(b);
                 }
                 for tf in &trees {
                     tf[v.0].write(&mut w, self.id_bits);
                 }
-                w.finish()
+                w.finish_for(v.0)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -283,6 +286,12 @@ impl Verifier for ExistentialFoScheme {
 impl Scheme for ExistentialFoScheme {
     fn name(&self) -> String {
         format!("existential-fo[k={}]", self.arity())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // O(k log n) for fixed k (Lemma A.2): witness ids, matrix, and k
+        // spanning trees are each identifier-width per field.
+        DeclaredBound::LogN
     }
 }
 

@@ -25,7 +25,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::treedepth::{
     honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert,
@@ -384,15 +385,18 @@ impl Prover for KernelMsoScheme {
                 let ancs = model.ancestors(v);
                 let mut w = BitWriter::new();
                 td[v.0].write(&mut w, self.id_bits, self.t);
+                w.component("pruned-flags");
                 for &a in &ancs {
                     w.write_bit(red.pruned[a.0]);
                 }
+                w.component("end-types");
                 w.write(table.types.len() as u64, 12);
                 for &a in &ancs {
                     w.write(red.end_type[a.0].0 as u64, tb);
                 }
+                w.component("kernel-table");
                 table.write(&mut w, self.t, self.k);
-                w.finish()
+                w.finish_for(v.0)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -509,6 +513,11 @@ impl Verifier for KernelMsoScheme {
 impl Scheme for KernelMsoScheme {
     fn name(&self) -> String {
         format!("kernel-mso[t={}, k={}]", self.t, self.k)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Theorem 2.6: O(t log n) treedepth layer + f(t, φ) table.
+        DeclaredBound::PolyTdLogN { td: self.t as u32 }
     }
 }
 

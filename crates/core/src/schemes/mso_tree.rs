@@ -27,7 +27,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use locert_automata::trees::{LabeledTree, TreeAutomaton};
 use locert_graph::{NodeId, RootedTree};
@@ -102,10 +103,13 @@ impl Prover for MsoTreeScheme {
             .nodes()
             .map(|v| {
                 let mut w = BitWriter::new();
+                w.component("depth-mod-3");
                 w.write((tree.tree().depth(v) % 3) as u64, 2);
+                w.component("automaton-state");
                 w.write(run[v.0] as u64, self.state_bits);
+                w.component("automaton-fingerprint");
                 w.write(self.fp, 16);
-                w.finish()
+                w.finish_for(v.0)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -153,6 +157,11 @@ impl Verifier for MsoTreeScheme {
 impl Scheme for MsoTreeScheme {
     fn name(&self) -> String {
         format!("mso-tree[{} states]", self.automaton.num_states())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Theorem 2.2: 2 + ⌈log₂|Q|⌉ + 16 bits, independent of n.
+        DeclaredBound::Constant
     }
 }
 

@@ -14,7 +14,8 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{traversal, Ident, NodeId};
@@ -31,10 +32,15 @@ pub struct TreeFields {
 }
 
 impl TreeFields {
-    /// Serializes with identifier fields of `id_bits` bits.
+    /// Serializes with identifier fields of `id_bits` bits. Marks the
+    /// fields as ledger components (`root-id`, `distance`,
+    /// `parent-id`) for bit attribution.
     pub fn write(&self, w: &mut BitWriter, id_bits: u32) {
+        w.component("root-id");
         write_ident(w, self.root, id_bits);
+        w.component("distance");
         w.write(self.dist, id_bits);
+        w.component("parent-id");
         write_ident(w, self.parent, id_bits);
     }
 
@@ -232,10 +238,11 @@ impl Prover for SpanningTreeScheme {
         let fields = try_honest_tree_fields(instance, root).ok_or(ProverError::NotAYesInstance)?;
         let certs = fields
             .iter()
-            .map(|f| {
+            .enumerate()
+            .map(|(v, f)| {
                 let mut w = BitWriter::new();
                 f.write(&mut w, self.id_bits);
-                w.finish()
+                w.finish_for(v)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -256,6 +263,11 @@ impl Scheme for SpanningTreeScheme {
     fn name(&self) -> String {
         "spanning-tree".into()
     }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Prop 3.4: three identifier-width fields.
+        DeclaredBound::LogN
+    }
 }
 
 /// Parsed vertex-count certificate fields: tree fields plus the claimed
@@ -271,10 +283,14 @@ pub struct CountFields {
 }
 
 impl CountFields {
-    /// Serializes with identifier fields of `id_bits` bits.
+    /// Serializes with identifier fields of `id_bits` bits; the two
+    /// counters are marked as `total-count` / `subtree-count` ledger
+    /// components (the tree fields mark their own).
     pub fn write(&self, w: &mut BitWriter, id_bits: u32) {
         self.tree.write(w, id_bits);
+        w.component("total-count");
         w.write(self.total, id_bits);
+        w.component("subtree-count");
         w.write(self.sub, id_bits);
     }
 
@@ -411,10 +427,11 @@ impl Prover for VertexCountScheme {
             try_honest_count_fields(instance, NodeId(0)).ok_or(ProverError::NotAYesInstance)?;
         let certs = fields
             .iter()
-            .map(|f| {
+            .enumerate()
+            .map(|(v, f)| {
                 let mut w = BitWriter::new();
                 f.write(&mut w, self.id_bits);
-                w.finish()
+                w.finish_for(v)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -434,6 +451,11 @@ impl Verifier for VertexCountScheme {
 impl Scheme for VertexCountScheme {
     fn name(&self) -> String {
         "vertex-count".into()
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Prop 3.4: tree fields plus two counters, all O(log n).
+        DeclaredBound::LogN
     }
 }
 

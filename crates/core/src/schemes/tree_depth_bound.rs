@@ -14,7 +14,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 #[cfg(test)]
 use locert_graph::NodeId;
@@ -67,8 +68,9 @@ impl Prover for TreeDepthBoundScheme {
             g.nodes()
                 .map(|v| {
                     let mut w = BitWriter::new();
+                    w.component("depth");
                     w.write(rooted.depth(v) as u64, self.bits);
-                    w.finish()
+                    w.finish_for(v.0)
                 })
                 .collect(),
         ))
@@ -104,6 +106,11 @@ impl Verifier for TreeDepthBoundScheme {
 impl Scheme for TreeDepthBoundScheme {
     fn name(&self) -> String {
         format!("tree-depth<= {}", self.k)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // ⌈log₂(k+1)⌉ bits, independent of n (Section 2.4 remark).
+        DeclaredBound::LogK { k: self.k as u64 }
     }
 }
 

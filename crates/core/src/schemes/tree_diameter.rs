@@ -17,7 +17,8 @@
 
 use crate::bits::{BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::spanning_tree::{honest_tree_fields, verify_tree_position, TreeFields};
 use locert_graph::{NodeId, RootedTree};
@@ -73,8 +74,9 @@ impl Prover for TreeDiameterScheme {
                 .map(|v| {
                     let mut w = BitWriter::new();
                     fields[v.0].write(&mut w, self.id_bits);
+                    w.component("height");
                     w.write(height[v.0], self.id_bits);
-                    w.finish()
+                    w.finish_for(v.0)
                 })
                 .collect(),
         ))
@@ -123,6 +125,11 @@ impl Verifier for TreeDiameterScheme {
 impl Scheme for TreeDiameterScheme {
     fn name(&self) -> String {
         format!("tree-diameter<= {}", self.diameter)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Tree fields plus one height counter, all identifier-width.
+        DeclaredBound::LogN
     }
 }
 

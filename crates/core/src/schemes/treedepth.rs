@@ -30,7 +30,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{Ident, NodeId};
@@ -80,15 +81,20 @@ impl TdCert {
         &self.ancestors[m - j..]
     }
 
-    /// Serializes the certificate.
+    /// Serializes the certificate, marking the ledger components
+    /// (`list-len`, `ancestor-ids`, `exit-id`, `exit-distance`).
     pub fn write(&self, w: &mut BitWriter, id_bits: u32, t: usize) {
         let len_bits = width_for(t as u64);
+        w.component("list-len");
         w.write(self.ancestors.len() as u64, len_bits);
+        w.component("ancestor-ids");
         for &id in &self.ancestors {
             write_ident(w, id, id_bits);
         }
         for &(exit, dist) in &self.trees {
+            w.component("exit-id");
             write_ident(w, exit, id_bits);
+            w.component("exit-distance");
             w.write(dist, id_bits);
         }
     }
@@ -358,10 +364,11 @@ impl Prover for TreedepthScheme {
         let model = model_for(instance, self.t, &self.strategy)?;
         let certs = honest_td_certs(instance, &model)
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(v, c)| {
                 let mut w = BitWriter::new();
                 c.write(&mut w, self.id_bits, self.t);
-                w.finish()
+                w.finish_for(v)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -377,6 +384,12 @@ impl Verifier for TreedepthScheme {
 impl Scheme for TreedepthScheme {
     fn name(&self) -> String {
         format!("treedepth<= {}", self.t)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Theorem 2.4: O(t log n) — t ancestor ids plus t spanning-tree
+        // entries of identifier width.
+        DeclaredBound::PolyTdLogN { td: self.t as u32 }
     }
 }
 

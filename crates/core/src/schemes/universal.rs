@@ -20,7 +20,8 @@
 
 use crate::bits::{BitReader, BitWriter, Certificate};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use crate::schemes::common::{read_ident, write_ident};
 use locert_graph::{automorphism, Graph, Ident};
@@ -148,10 +149,13 @@ impl Prover for UniversalScheme {
             .nodes()
             .map(|v| {
                 let mut w = BitWriter::new();
+                w.component("size-field");
                 w.write(n as u64, self.n_bits);
+                w.component("id-list");
                 for u in g.nodes() {
                     write_ident(&mut w, ids.ident(u), self.id_bits);
                 }
+                w.component("adjacency");
                 match self.encoding {
                     MapEncoding::Matrix => {
                         for i in 0..n {
@@ -169,8 +173,9 @@ impl Prover for UniversalScheme {
                         }
                     }
                 }
+                w.component("self-index");
                 w.write(v.0 as u64, self.n_bits);
-                w.finish()
+                w.finish_for(v.0)
             })
             .collect();
         Ok(Assignment::new(certs))
@@ -217,6 +222,12 @@ impl Verifier for UniversalScheme {
 impl Scheme for UniversalScheme {
     fn name(&self) -> String {
         format!("universal[{}]", self.name)
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Broadcasting the map costs n² + O(n log n) bits (Section 1.2);
+        // the sparse edge-list variant stays within the same family.
+        DeclaredBound::QuadraticN
     }
 }
 

@@ -13,7 +13,8 @@
 
 use crate::bits::{width_for, BitReader, BitWriter};
 use crate::framework::{
-    Assignment, Instance, LocalView, Prover, ProverError, RejectReason, Scheme, Verifier,
+    Assignment, DeclaredBound, Instance, LocalView, Prover, ProverError, RejectReason, Scheme,
+    Verifier,
 };
 use locert_automata::words::Nfa;
 use locert_graph::NodeId;
@@ -150,10 +151,13 @@ impl Prover for WordPathScheme {
         let mut certs = vec![crate::bits::Certificate::empty(); n];
         for (pos, &v) in oriented.iter().enumerate() {
             let mut w = BitWriter::new();
+            w.component("pos-mod-3");
             w.write((pos % 3) as u64, 2);
+            w.component("automaton-state");
             w.write(run[pos] as u64, self.state_bits);
+            w.component("automaton-fingerprint");
             w.write(self.fp, 16);
-            certs[v.0] = w.finish();
+            certs[v.0] = w.finish_for(v.0);
         }
         Ok(Assignment::new(certs))
     }
@@ -214,6 +218,12 @@ impl Verifier for WordPathScheme {
 impl Scheme for WordPathScheme {
     fn name(&self) -> String {
         format!("word-path[{} states]", self.nfa.num_states())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        // Position counter + NFA state + fingerprint: all independent of n
+        // (Theorem 4.1's O(1) regime for fixed formulas on words).
+        DeclaredBound::Constant
     }
 }
 

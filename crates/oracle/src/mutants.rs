@@ -9,7 +9,7 @@
 //! production binary.
 
 use crate::cases::{catalogue, OracleCase, ID_BITS};
-use locert_core::framework::RejectReason;
+use locert_core::framework::{DeclaredBound, RejectReason};
 use locert_core::schemes::depth2_fo::Depth2FoScheme;
 use locert_core::schemes::treedepth::TreedepthScheme;
 use locert_core::{
@@ -48,6 +48,10 @@ impl Scheme for FlipVerdict {
     fn name(&self) -> String {
         format!("{}+flip", self.0.name())
     }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        self.0.declared_bound()
+    }
 }
 
 /// Accepts every view — a verifier whose checks were optimized away.
@@ -69,6 +73,10 @@ impl Verifier for AcceptAll {
 impl Scheme for AcceptAll {
     fn name(&self) -> String {
         format!("{}+accept-all", self.0.name())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        self.0.declared_bound()
     }
 }
 
@@ -103,6 +111,10 @@ impl Verifier for TruncateLastBit {
 impl Scheme for TruncateLastBit {
     fn name(&self) -> String {
         format!("{}+truncate", self.0.name())
+    }
+
+    fn declared_bound(&self) -> DeclaredBound {
+        self.0.declared_bound()
     }
 }
 

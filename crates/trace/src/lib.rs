@@ -48,6 +48,7 @@
 pub mod export;
 pub mod journal;
 pub mod json;
+pub mod ledger;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
