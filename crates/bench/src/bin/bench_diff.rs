@@ -73,11 +73,29 @@ impl Kind {
     }
 }
 
-/// Reads and parses one artifact into its kind and entry list.
-fn load(path: &str) -> Result<(Kind, Vec<Entry>), String> {
+/// A v2 `journal` section's ring accounting: (capacity, dropped, entries).
+type JournalMeta = (u64, u64, u64);
+
+/// The optional `journal` section of a v2 metrics dump, when present and
+/// well-formed.
+fn journal_meta(doc: &Value) -> Option<JournalMeta> {
+    let j = doc.get("journal")?;
+    let field = |name: &str| {
+        j.get(name)
+            .and_then(Value::as_num)
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .map(|v| v as u64)
+    };
+    Some((field("capacity")?, field("dropped")?, field("entries")?))
+}
+
+/// Reads and parses one artifact into its kind, entry list, and
+/// (for v2 metrics dumps) journal ring accounting.
+fn load(path: &str) -> Result<(Kind, Vec<Entry>, Option<JournalMeta>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    extract(&doc).map_err(|e| format!("{path}: {e}"))
+    let (kind, entries) = extract(&doc).map_err(|e| format!("{path}: {e}"))?;
+    Ok((kind, entries, journal_meta(&doc)))
 }
 
 fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
@@ -200,11 +218,11 @@ fn fmt_value(kind: Kind, v: f64) -> String {
 }
 
 fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode {
-    let (base_kind, base) = match load(baseline_path) {
+    let (base_kind, base, base_journal) = match load(baseline_path) {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
-    let (cur_kind, cur) = match load(current_path) {
+    let (cur_kind, cur, cur_journal) = match load(current_path) {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
@@ -218,6 +236,22 @@ fn run_diff(baseline_path: &str, current_path: &str, threshold: f64) -> ExitCode
     println!();
     println!("Threshold: current/baseline >= {threshold:.2} on any shared entry fails the gate.");
     println!();
+    // Journal ring accounting (report-only, never gates): a truncated
+    // journal means wall-clock entries were produced under different
+    // recording pressure, worth seeing next to the deltas.
+    for (label, meta) in [("baseline", &base_journal), ("current", &cur_journal)] {
+        if let Some((capacity, dropped, entries)) = meta {
+            let note = if *dropped > 0 {
+                " — **truncated**"
+            } else {
+                ""
+            };
+            println!("Journal ({label}): {entries}/{capacity} events, {dropped} dropped{note}.");
+        }
+    }
+    if base_journal.is_some() || cur_journal.is_some() {
+        println!();
+    }
     println!(
         "| benchmark | baseline ({u}) | current ({u}) | ratio | status |",
         u = base_kind.unit()

@@ -17,10 +17,14 @@
 //! telemetry dump (default `target/metrics.json`) plus a Telemetry
 //! appendix in the report; `--baseline` writes the dump to the committed
 //! workspace-root `metrics.json` instead (baseline regeneration);
-//! `--journal` records the replayable verification journal as JSONL
-//! (default `target/journal.jsonl`); `--chrome-trace` exports the span
-//! tree in Chrome trace-event format (default `target/trace.json`, load
-//! via `chrome://tracing` or Perfetto); trailing arguments select
+//! `--journal` records the replayable verification journal and streams
+//! it out as JSONL (default `target/journal.jsonl`) in O(line) memory;
+//! `--journal-capacity` bounds the in-memory ring buffer (events beyond
+//! it evict oldest-first and are tallied under `journal.dropped_events`
+//! and the metrics dump's `journal` section); `--chrome-trace` exports
+//! the span tree in Chrome trace-event format (default
+//! `target/trace.json`, load via `chrome://tracing` or Perfetto);
+//! trailing arguments select
 //! experiment ids (`e1`, `e4`, `f1`, …). Unknown `--` flags and unknown
 //! ids are usage errors; unwritable output paths are IO errors (exit 1),
 //! not panics.
@@ -43,8 +47,8 @@ const KNOWN_IDS: [&str; 17] = [
 
 const USAGE: &str = "\
 usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
-                   [--baseline] [--journal [PATH]] [--chrome-trace [PATH]]
-                   [only-ids…]
+                   [--baseline] [--journal [PATH]] [--journal-capacity N]
+                   [--chrome-trace [PATH]] [only-ids…]
 
   --out PATH            report destination (default EXPERIMENTS.md)
   --quick               shrink size grids for a fast smoke run
@@ -59,7 +63,12 @@ usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
                         workspace-root metrics.json (baseline
                         regeneration; implies --metrics metrics.json)
   --journal [PATH]      record the replayable verification journal and
-                        write it as JSONL (default target/journal.jsonl)
+                        stream it out as JSONL (default
+                        target/journal.jsonl)
+  --journal-capacity N  ring-buffer capacity in events (default 65536);
+                        overflow evicts oldest-first, counted in
+                        journal.dropped_events and the metrics journal
+                        section
   --chrome-trace [PATH] export the span tree as Chrome trace events
                         (default target/trace.json)
   --help                print this message
@@ -163,6 +172,17 @@ fn main() {
                 }
                 None => journal_path = Some("target/journal.jsonl".to_string()),
             },
+            "--journal-capacity" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|a| a.parse::<usize>().ok())
+                    .unwrap_or_else(|| fail_usage("--journal-capacity needs an integer"));
+                if n == 0 {
+                    fail_usage("--journal-capacity must be at least 1");
+                }
+                locert_trace::journal::set_capacity(n);
+            }
             "--chrome-trace" => match optional_path(&args, i) {
                 Some(p) => {
                     i += 1;
@@ -346,6 +366,11 @@ fn main() {
     for t in &tables {
         let _ = writeln!(md, "{}", t.markdown());
     }
+    // Snapshot the journal once: the metrics dump's `journal` section
+    // and the JSONL artifact must describe the same state.
+    let journal_snap = journal_path
+        .as_ref()
+        .map(|_| locert_trace::journal::snapshot());
     if let Some(path) = &metrics_path {
         let _ = writeln!(md, "## Telemetry appendix");
         let _ = writeln!(md);
@@ -362,7 +387,7 @@ fn main() {
             let _ = writeln!(md);
             let _ = writeln!(md, "{}", locert_trace::export::snapshot_markdown(snap));
         }
-        write_metrics_json(path, quick, &telemetry);
+        write_metrics_json(path, quick, &telemetry, journal_snap.as_ref());
         eprintln!("wrote {path} ({} experiments)", telemetry.len());
     }
     if let Some(path) = &chrome_path {
@@ -377,9 +402,8 @@ fn main() {
         );
         eprintln!("wrote {path} ({} sections)", sections.len());
     }
-    if let Some(path) = &journal_path {
-        let snap = locert_trace::journal::snapshot();
-        write_artifact("journal", path, &locert_trace::journal::to_jsonl(&snap));
+    if let (Some(path), Some(snap)) = (&journal_path, &journal_snap) {
+        write_journal_artifact(path, snap);
         eprintln!(
             "wrote {path} ({} events, {} dropped)",
             snap.entries.len(),
@@ -388,6 +412,46 @@ fn main() {
     }
     write_artifact("report", &out_path, &md);
     eprintln!("wrote {out_path} ({} tables)", tables.len());
+}
+
+/// Streams the journal snapshot to `path` as JSONL via
+/// `journal::write_jsonl` — one buffered line at a time, so a
+/// ring-capacity-sized journal never needs a second in-memory copy of
+/// its serialization. IO failures exit 1 like every other artifact.
+fn write_journal_artifact(path: &str, snap: &locert_trace::journal::JournalSnapshot) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail_io("journal", path, &e);
+            }
+        }
+    }
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        locert_trace::journal::write_jsonl(snap, &mut out)?;
+        std::io::Write::flush(&mut out)
+    };
+    if let Err(e) = write() {
+        fail_io("journal", path, &e);
+    }
+}
+
+/// The optional `journal` section of the metrics dump: ring
+/// configuration and outcome, so regression tooling can tell a
+/// truncated journal from a complete one without parsing the JSONL.
+fn journal_meta_json(snap: &locert_trace::journal::JournalSnapshot) -> Value {
+    Value::obj([
+        (
+            "capacity".to_string(),
+            Value::from(locert_trace::journal::capacity() as u64),
+        ),
+        ("dropped".to_string(), Value::from(snap.dropped)),
+        (
+            "entries".to_string(),
+            Value::from(snap.entries.len() as u64),
+        ),
+    ])
 }
 
 /// Serializes per-experiment telemetry as the `locert-trace/v2` document
@@ -404,6 +468,7 @@ fn write_metrics_json(
     path: &str,
     quick: bool,
     telemetry: &[(String, f64, locert_trace::Snapshot)],
+    journal_snap: Option<&locert_trace::journal::JournalSnapshot>,
 ) {
     let mut experiments: Vec<Value> = Vec::new();
     let mut timing_entries: Vec<Value> = Vec::new();
@@ -425,11 +490,14 @@ fn write_metrics_json(
             ),
         ]));
     }
-    let doc = Value::obj([
+    let mut fields = vec![
         ("schema".to_string(), Value::from("locert-trace/v2")),
         ("quick".to_string(), Value::Bool(quick)),
         ("experiments".to_string(), Value::Arr(experiments)),
         ("timings".to_string(), Value::Arr(timing_entries)),
-    ]);
-    write_artifact("metrics", path, &format!("{doc}\n"));
+    ];
+    if let Some(snap) = journal_snap {
+        fields.push(("journal".to_string(), journal_meta_json(snap)));
+    }
+    write_artifact("metrics", path, &format!("{}\n", Value::obj(fields)));
 }

@@ -584,6 +584,13 @@ pub fn run_campaign(
     // the schedule.
     let rounds = locert_par::global().par_map_collect(runs, |r| {
         locert_trace::journal::capture(|| {
+            // The run index is deterministic (it seeds the plan), so the
+            // round mark can carry it — windowing readers get numbered
+            // rounds even though the rounds execute out of order.
+            locert_trace::journal::record_with(|| locert_trace::journal::Event::RoundMark {
+                scope: "core.faults.campaign".to_string(),
+                round: Some(r as u64),
+            });
             let plan = FaultPlan::single_at_random_site(model, n, base_seed.wrapping_add(r as u64));
             let outcome = run_with_faults(verifier, instance, honest, &plan);
             locert_trace::journal::record_with(|| locert_trace::journal::Event::CampaignRound {

@@ -613,7 +613,15 @@ pub fn run_verification(
         (reason, bits_read)
     });
     // Emit verdicts sequentially in vertex order, off the hot path: the
-    // journal stays byte-identical to a single-threaded run.
+    // journal stays byte-identical to a single-threaded run. The round
+    // mark carries no number — this function has no deterministic local
+    // counter (a global one would record schedule order when running
+    // inside `journal::capture` on a worker thread), so windowing
+    // readers assign ordinals by marker position instead.
+    locert_trace::journal::record_with(|| locert_trace::journal::Event::RoundMark {
+        scope: "core.verify".to_string(),
+        round: None,
+    });
     let mut rejecting = Vec::new();
     let mut verdicts = Vec::with_capacity(n);
     for (i, (reason, bits_read)) in decided.into_iter().enumerate() {

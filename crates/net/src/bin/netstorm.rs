@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! netstorm [--seed N] [--quick] [--threads N] [--runs N] [--size N]
-//!          [--out DIR] [--list]
+//!          [--journal-capacity N] [--out DIR] [--list]
 //! ```
 //!
 //! Drives every catalogued (scheme, yes-instance) target through the
@@ -30,7 +30,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: netstorm [--seed N] [--quick] [--threads N] [--runs N] [--size N]
-                [--out DIR] [--list]
+                [--journal-capacity N] [--out DIR] [--list]
 
 Seeded, deterministic message-passing simulation of every catalogued
 certification scheme under a grid of network faults: loss, duplication,
@@ -42,6 +42,11 @@ crash-restart with certificate loss, and healing partitions.
   --threads N  worker threads (also honours LOCERT_THREADS; must be >= 1)
   --runs N     seeded runs per (target, point) cell
   --size N     approximate instance size in vertices (>= 7)
+  --journal-capacity N
+               journal ring-buffer capacity in events (default 1048576);
+               overflow evicts oldest-first, counted in
+               journal.dropped_events and net-metrics.json's journal
+               section
   --out DIR    write net-journal.jsonl and net-metrics.json
   --list       print the target catalogue and fault grid, then exit";
 
@@ -64,6 +69,7 @@ struct Args {
     quick: bool,
     runs: Option<usize>,
     size: Option<usize>,
+    journal_capacity: usize,
     out: Option<std::path::PathBuf>,
     list: bool,
 }
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         runs: None,
         size: None,
+        journal_capacity: 1 << 20,
         out: None,
         list: false,
     };
@@ -110,6 +117,14 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.size = Some(n);
             }
+            "--journal-capacity" => {
+                let v = it.next().ok_or("--journal-capacity needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad capacity {v:?}"))?;
+                if n == 0 {
+                    return Err("--journal-capacity must be at least 1".into());
+                }
+                args.journal_capacity = n;
+            }
             "--out" => {
                 let v = it.next().ok_or("--out needs a directory")?;
                 args.out = Some(v.into());
@@ -128,8 +143,14 @@ fn parse_args() -> Result<Args, String> {
 
 /// Serializes the run's telemetry as a single-section `locert-trace/v2`
 /// document so `trace-check --compare` can diff the deterministic half
-/// against a second run.
-fn metrics_json(quick: bool, wall_s: f64, snap: &locert_trace::Snapshot) -> String {
+/// against a second run. The `journal` section records the ring
+/// configuration and outcome of the journal written next to it.
+fn metrics_json(
+    quick: bool,
+    wall_s: f64,
+    snap: &locert_trace::Snapshot,
+    journal_snap: &journal::JournalSnapshot,
+) -> String {
     let (deterministic, timing) = locert_trace::export::split_deterministic(snap);
     let doc = Value::obj([
         ("schema".to_string(), Value::from("locert-trace/v2")),
@@ -155,19 +176,41 @@ fn metrics_json(quick: bool, wall_s: f64, snap: &locert_trace::Snapshot) -> Stri
                 ),
             ])]),
         ),
+        (
+            "journal".to_string(),
+            Value::obj([
+                (
+                    "capacity".to_string(),
+                    Value::from(journal::capacity() as u64),
+                ),
+                ("dropped".to_string(), Value::from(journal_snap.dropped)),
+                (
+                    "entries".to_string(),
+                    Value::from(journal_snap.entries.len() as u64),
+                ),
+            ]),
+        ),
     ]);
     format!("{doc}\n")
 }
 
 fn write_artifacts(dir: &std::path::Path, quick: bool, wall_s: f64) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let journal_snap = journal::snapshot();
     let journal_path = dir.join("net-journal.jsonl");
-    std::fs::write(&journal_path, journal::to_jsonl(&journal::snapshot()))
-        .map_err(|e| format!("cannot write {}: {e}", journal_path.display()))?;
+    // Streamed one line at a time: a full 2^20-event ring serializes
+    // without a second in-memory copy.
+    let stream = || -> std::io::Result<()> {
+        let file = std::fs::File::create(&journal_path)?;
+        let mut out = std::io::BufWriter::new(file);
+        journal::write_jsonl(&journal_snap, &mut out)?;
+        std::io::Write::flush(&mut out)
+    };
+    stream().map_err(|e| format!("cannot write {}: {e}", journal_path.display()))?;
     let metrics_path = dir.join("net-metrics.json");
     std::fs::write(
         &metrics_path,
-        metrics_json(quick, wall_s, &locert_trace::snapshot()),
+        metrics_json(quick, wall_s, &locert_trace::snapshot(), &journal_snap),
     )
     .map_err(|e| format!("cannot write {}: {e}", metrics_path.display()))?;
     Ok(())
@@ -201,7 +244,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    journal::set_capacity(1 << 20);
+    journal::set_capacity(args.journal_capacity);
     journal::enable();
     locert_trace::enable();
     let mut cfg = if args.quick {

@@ -1,0 +1,365 @@
+//! tracescope — query, explain, diff, window, flame, tail, and serve
+//! locert journals and metrics.
+//!
+//! ```text
+//! tracescope query   JOURNAL [--kind K]… [--vertex V] [--name N]
+//!                            [--round R] [--scope S] [--limit N] [--count]
+//! tracescope why     JOURNAL [--vertex V]
+//! tracescope diff    LEFT RIGHT
+//! tracescope windows JOURNAL [--scope S] [--interval N]
+//! tracescope flame   METRICS_JSON [--out PATH]
+//! tracescope tail    JOURNAL [-n N]
+//! tracescope serve   [JOURNAL] [--addr HOST:PORT] [--max-requests N]
+//! ```
+//!
+//! Exit codes: 0 success (for `diff`: identical; for `why`: fully
+//! resolved), 1 finding (divergence / unresolved detection), 2 usage or
+//! I/O error — the same convention as `trace-check` and `bench_diff`,
+//! so CI gates read naturally.
+
+use locert_scope::{causal, diff, flame, http, query, window};
+use locert_trace::journal::{self, JournalSnapshot};
+use locert_trace::json;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: tracescope <command> …
+  query   JOURNAL [--kind K]… [--vertex V] [--name N] [--round R]
+                  [--scope S] [--limit N] [--count]
+  why     JOURNAL [--vertex V]         causal chains (all detections when
+                                       no vertex; exit 1 if any detection
+                                       is unresolved)
+  diff    LEFT RIGHT                   first divergence (exit 1) or
+                                       identical (exit 0)
+  windows JOURNAL [--scope S] [--interval N]
+                                       per-window event counts over
+                                       logical rounds (default interval 1)
+  flame   METRICS_JSON [--out PATH]    collapsed-stack flamegraph export
+  tail    JOURNAL [-n N]               newest N entries as JSONL
+  serve   [JOURNAL] [--addr HOST:PORT] [--max-requests N]
+                                       HTTP exporter: /metrics /healthz
+                                       /journal/tail?n=";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tracescope: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read_file(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("tracescope: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn load_journal(path: &str) -> Result<JournalSnapshot, ExitCode> {
+    let text = read_file(path)?;
+    journal::from_jsonl(&text).map_err(|e| {
+        eprintln!("tracescope: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Consumes `--flag VALUE` from `args`; `Ok(None)` when absent.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_parsed<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match take_opt(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: bad value {v:?}")),
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn positional(args: Vec<String>, want: usize, what: &str) -> Result<Vec<String>, String> {
+    if let Some(stray) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unknown option {stray}"));
+    }
+    if args.len() != want {
+        return Err(format!("expected {what}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage_error("missing command");
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "query" => cmd_query(args),
+        "why" => cmd_why(args),
+        "diff" => cmd_diff(args),
+        "windows" => cmd_windows(args),
+        "flame" => cmd_flame(args),
+        "tail" => cmd_tail(args),
+        "serve" => cmd_serve(args),
+        other => return usage_error(&format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => usage_error(&msg),
+    }
+}
+
+fn cmd_query(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut q = query::Query::default();
+    while let Some(kind) = take_opt(&mut args, "--kind")? {
+        q.kinds.push(kind);
+    }
+    q.vertex = take_parsed(&mut args, "--vertex")?;
+    q.name = take_opt(&mut args, "--name")?;
+    q.round = take_parsed(&mut args, "--round")?;
+    q.scope = take_opt(&mut args, "--scope")?;
+    let limit: Option<usize> = take_parsed(&mut args, "--limit")?;
+    let count_only = take_flag(&mut args, "--count");
+    let [path] = <[String; 1]>::try_from(positional(args, 1, "one JOURNAL path")?).unwrap();
+    let snap = match load_journal(&path) {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let hits = query::run(&snap, &q);
+    if count_only {
+        println!("{}", hits.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    for entry in hits.iter().take(limit.unwrap_or(usize::MAX)) {
+        println!("{}", journal::entry_to_jsonl_line(entry));
+    }
+    if let Some(limit) = limit {
+        if hits.len() > limit {
+            eprintln!("… {} more (raise --limit)", hits.len() - limit);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_why(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let vertex: Option<u64> = take_parsed(&mut args, "--vertex")?;
+    let [path] = <[String; 1]>::try_from(positional(args, 1, "one JOURNAL path")?).unwrap();
+    let snap = match load_journal(&path) {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let report = causal::resolve(&snap);
+    let chains: Vec<&causal::CausalChain> = report
+        .chains
+        .iter()
+        .filter(|c| vertex.is_none_or(|v| c.detector == v))
+        .collect();
+    for c in &chains {
+        let round = c.round.map_or_else(|| "-".to_string(), |r| r.to_string());
+        let distance = c
+            .distance
+            .map_or_else(|| "unreachable".to_string(), |d| format!("distance {d}"));
+        let verdict = c
+            .verdict_seq
+            .map_or_else(String::new, |s| format!(" -> verdict seq {s}"));
+        println!(
+            "vertex {} rejected ({}) in round {round}: {} fault injected at site {} \
+             (seq {}, effective {}) -> detection seq {} at {distance}{verdict}",
+            c.detector, c.reason, c.model, c.site, c.injection_seq, c.effective, c.detection_seq
+        );
+    }
+    if chains.is_empty() {
+        println!(
+            "no causal chains{}",
+            vertex.map_or_else(String::new, |v| format!(" for vertex {v}"))
+        );
+    }
+    let unresolved: Vec<_> = report
+        .unresolved
+        .iter()
+        .filter(|u| vertex.is_none_or(|v| u.detector == v))
+        .collect();
+    if !unresolved.is_empty() {
+        for u in &unresolved {
+            eprintln!(
+                "UNRESOLVED: detection seq {} (detector {}, claimed site {}) has no \
+                 matching injection{}",
+                u.detection_seq,
+                u.detector,
+                u.site,
+                if snap.dropped > 0 {
+                    format!(" — journal dropped {} events", snap.dropped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
+    let [left_path, right_path] =
+        <[String; 2]>::try_from(positional(args, 2, "LEFT and RIGHT journal paths")?).unwrap();
+    let (left, right) = match (read_file(&left_path), read_file(&right_path)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(code), _) | (_, Err(code)) => return Ok(code),
+    };
+    match diff::first_divergence(&left, &right) {
+        None => {
+            println!("identical: {left_path} == {right_path}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(d) => {
+            print!("{d}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_windows(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let scope = take_opt(&mut args, "--scope")?;
+    let interval: u64 = take_parsed(&mut args, "--interval")?.unwrap_or(1);
+    let [path] = <[String; 1]>::try_from(positional(args, 1, "one JOURNAL path")?).unwrap();
+    let snap = match load_journal(&path) {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let windows = window::journal_windows(&snap, scope.as_deref(), interval);
+    if windows.is_empty() {
+        println!("no windowed rounds (journal has no round marks in scope)");
+        return Ok(ExitCode::SUCCESS);
+    }
+    for w in &windows {
+        let counts: Vec<String> = w
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{}={v}", k.trim_start_matches("events.")))
+            .collect();
+        println!(
+            "window {} (rounds {}..{}): {}",
+            w.window,
+            w.start_round,
+            w.end_round,
+            counts.join(" ")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_flame(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let out_path = take_opt(&mut args, "--out")?;
+    let [path] = <[String; 1]>::try_from(positional(args, 1, "one METRICS_JSON path")?).unwrap();
+    let text = match read_file(&path) {
+        Ok(t) => t,
+        Err(code) => return Ok(code),
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tracescope: {path}: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let folded = match flame::from_metrics_json(&doc) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tracescope: {path}: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    match out_path {
+        Some(out) => {
+            if let Err(e) = std::fs::write(&out, &folded) {
+                eprintln!("tracescope: cannot write {out}: {e}");
+                return Ok(ExitCode::from(2));
+            }
+            eprintln!("wrote {out} ({} stacks)", folded.lines().count());
+        }
+        None => print!("{folded}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_tail(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let n: usize = take_parsed(&mut args, "-n")?.unwrap_or(http::DEFAULT_TAIL);
+    let [path] = <[String; 1]>::try_from(positional(args, 1, "one JOURNAL path")?).unwrap();
+    let snap = match load_journal(&path) {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let skip = snap.entries.len().saturating_sub(n);
+    for entry in &snap.entries[skip..] {
+        println!("{}", journal::entry_to_jsonl_line(entry));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let addr = take_opt(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9184".to_string());
+    let max_requests: Option<usize> = take_parsed(&mut args, "--max-requests")?;
+    if args.len() > 1 {
+        return Err("expected at most one JOURNAL path".to_string());
+    }
+    // Replaying a journal file populates both surfaces: the ring buffer
+    // behind /journal/tail, and per-kind counters (plus the recorded
+    // drop count) behind /metrics.
+    if let Some(path) = args.first() {
+        let snap = match load_journal(path) {
+            Ok(s) => s,
+            Err(code) => return Ok(code),
+        };
+        locert_trace::enable();
+        locert_trace::journal::set_capacity(snap.entries.len().max(journal::DEFAULT_CAPACITY));
+        locert_trace::journal::enable();
+        for entry in &snap.entries {
+            locert_trace::add(
+                &format!("scope.journal.events.{}", query::kind_of(&entry.event)),
+                1,
+            );
+        }
+        locert_trace::add(journal::DROPPED_EVENTS_COUNTER, snap.dropped);
+        journal::append_events(snap.entries.into_iter().map(|e| e.event));
+        eprintln!("replayed {path}");
+    } else {
+        locert_trace::enable();
+        locert_trace::journal::enable();
+    }
+    let mut server = match http::ScopeServer::serve(&addr, max_requests) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tracescope: cannot bind {addr}: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    println!("listening on http://{}", server.addr());
+    if max_requests.is_some() {
+        server.join();
+    } else {
+        // Serve until killed.
+        loop {
+            std::thread::park();
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

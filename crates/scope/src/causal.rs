@@ -1,0 +1,259 @@
+//! Causal-chain reconstruction: why did vertex v reject?
+//!
+//! A fault-campaign round flushes as a contiguous block —
+//! `RoundMark`, `FaultInjected`(s), `Detection`(s), `CampaignRound` —
+//! so causality is recoverable by a single forward walk: track the
+//! injections since the last round boundary, and pair each `Detection`
+//! with the injection at its recorded `site`. The chain keeps the
+//! journaled BFS distance (the journal has no graph; the distance *is*
+//! the provenance `run_with_faults` computed), and picks up the
+//! detector's rejecting `Verdict`, when one follows in the same round,
+//! as the third link of `FaultInjected → Detection → Verdict`.
+//!
+//! A `Detection` whose site has no live injection is **unresolved** —
+//! either the journal was truncated by the ring buffer (check
+//! `dropped`) or a producer broke the flush contract. `tracescope why`
+//! treats any unresolved detection as a failure; CI runs it as a smoke
+//! gate over the S2 campaign journal.
+
+use crate::query::assign_rounds;
+use locert_trace::journal::{Event, JournalSnapshot};
+
+/// One resolved `FaultInjected → Detection [→ Verdict]` chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalChain {
+    /// Logical round the chain happened in (`None` before any mark).
+    pub round: Option<u64>,
+    /// Fault model name.
+    pub model: String,
+    /// Injected site.
+    pub site: u64,
+    /// Sequence number of the `FaultInjected` event.
+    pub injection_seq: u64,
+    /// Whether the injection changed the presented world.
+    pub effective: bool,
+    /// The rejecting vertex.
+    pub detector: u64,
+    /// Sequence number of the `Detection` event.
+    pub detection_seq: u64,
+    /// Rejection reason code.
+    pub reason: String,
+    /// Journaled BFS distance from site to detector.
+    pub distance: Option<u64>,
+    /// Sequence number of the detector's rejecting `Verdict` in the
+    /// same round, when the journal carries one.
+    pub verdict_seq: Option<u64>,
+}
+
+/// A `Detection` that could not be paired with an injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unresolved {
+    /// Sequence number of the orphaned `Detection`.
+    pub detection_seq: u64,
+    /// The rejecting vertex.
+    pub detector: u64,
+    /// The site the detection claims.
+    pub site: u64,
+}
+
+/// Everything one resolution pass found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CausalReport {
+    /// Resolved chains, in journal order.
+    pub chains: Vec<CausalChain>,
+    /// Orphaned detections, in journal order.
+    pub unresolved: Vec<Unresolved>,
+}
+
+impl CausalReport {
+    /// Whether every detection resolved to an injection.
+    pub fn fully_resolved(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+}
+
+/// Walks the journal once and reconstructs every causal chain.
+pub fn resolve(snap: &JournalSnapshot) -> CausalReport {
+    let rounds = assign_rounds(snap, None);
+    let mut report = CausalReport::default();
+    // Injections live since the last round boundary: (seq, model, site,
+    // effective). Campaign plans carry one fault, but the resolver
+    // accepts many — later injections at the same site shadow earlier
+    // ones (`last()` below), matching injection order.
+    let mut injections: Vec<(u64, String, u64, bool)> = Vec::new();
+    // Chains whose detector still wants a Verdict link, by index into
+    // `report.chains`; cleared at round boundaries.
+    let mut pending_verdicts: Vec<usize> = Vec::new();
+    for (i, entry) in snap.entries.iter().enumerate() {
+        match &entry.event {
+            Event::RoundMark { .. } | Event::CampaignRound { .. } => {
+                injections.clear();
+                pending_verdicts.clear();
+            }
+            Event::FaultInjected {
+                model,
+                site,
+                effective,
+            } => {
+                injections.push((entry.seq, model.clone(), *site, *effective));
+            }
+            Event::Detection {
+                model: _,
+                site,
+                detector,
+                reason,
+                distance,
+            } => match injections.iter().rfind(|(_, _, s, _)| s == site) {
+                Some((inj_seq, model, _, effective)) => {
+                    pending_verdicts.push(report.chains.len());
+                    report.chains.push(CausalChain {
+                        round: rounds[i],
+                        model: model.clone(),
+                        site: *site,
+                        injection_seq: *inj_seq,
+                        effective: *effective,
+                        detector: *detector,
+                        detection_seq: entry.seq,
+                        reason: reason.clone(),
+                        distance: *distance,
+                        verdict_seq: None,
+                    });
+                }
+                None => report.unresolved.push(Unresolved {
+                    detection_seq: entry.seq,
+                    detector: *detector,
+                    site: *site,
+                }),
+            },
+            Event::Verdict {
+                vertex,
+                accepted: false,
+                ..
+            } => {
+                for &ci in &pending_verdicts {
+                    let chain = &mut report.chains[ci];
+                    if chain.detector == *vertex && chain.verdict_seq.is_none() {
+                        chain.verdict_seq = Some(entry.seq);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+/// The chains explaining why `vertex` rejected.
+pub fn why(snap: &JournalSnapshot, vertex: u64) -> Vec<CausalChain> {
+    resolve(snap)
+        .chains
+        .into_iter()
+        .filter(|c| c.detector == vertex)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_trace::journal::Entry;
+
+    fn snap(events: Vec<Event>) -> JournalSnapshot {
+        JournalSnapshot {
+            entries: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| Entry {
+                    seq: i as u64,
+                    event,
+                })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn detection_resolves_to_its_round_local_injection() {
+        let s = snap(vec![
+            Event::RoundMark {
+                scope: "core.faults.campaign".into(),
+                round: Some(0),
+            },
+            Event::FaultInjected {
+                model: "bit-flip".into(),
+                site: 3,
+                effective: true,
+            },
+            Event::Detection {
+                model: "bit-flip".into(),
+                site: 3,
+                detector: 2,
+                reason: "parent-distance-clash".into(),
+                distance: Some(1),
+            },
+            Event::Verdict {
+                vertex: 2,
+                accepted: false,
+                reason: Some("parent-distance-clash".into()),
+                bits_read: 12,
+            },
+            Event::CampaignRound {
+                model: "bit-flip".into(),
+                run: 0,
+                detected: true,
+                locality: Some(1),
+            },
+            // Round 1: a detection at a site only injected in round 0
+            // must NOT resolve across the boundary.
+            Event::RoundMark {
+                scope: "core.faults.campaign".into(),
+                round: Some(1),
+            },
+            Event::Detection {
+                model: "bit-flip".into(),
+                site: 3,
+                detector: 4,
+                reason: "parent-distance-clash".into(),
+                distance: Some(0),
+            },
+        ]);
+        let report = resolve(&s);
+        assert_eq!(report.chains.len(), 1);
+        let c = &report.chains[0];
+        assert_eq!(
+            (c.round, c.site, c.detector, c.distance, c.verdict_seq),
+            (Some(0), 3, 2, Some(1), Some(3))
+        );
+        assert_eq!(report.unresolved.len(), 1);
+        assert_eq!(report.unresolved[0].detector, 4);
+        assert!(!report.fully_resolved());
+        assert_eq!(why(&s, 2).len(), 1);
+        assert!(why(&s, 9).is_empty());
+    }
+
+    #[test]
+    fn later_injection_at_same_site_shadows_earlier() {
+        let s = snap(vec![
+            Event::FaultInjected {
+                model: "truncate".into(),
+                site: 5,
+                effective: true,
+            },
+            Event::FaultInjected {
+                model: "bit-flip".into(),
+                site: 5,
+                effective: true,
+            },
+            Event::Detection {
+                model: "bit-flip".into(),
+                site: 5,
+                detector: 5,
+                reason: "malformed-certificate".into(),
+                distance: Some(0),
+            },
+        ]);
+        let report = resolve(&s);
+        assert_eq!(report.chains.len(), 1);
+        assert_eq!(report.chains[0].model, "bit-flip");
+        assert_eq!(report.chains[0].injection_seq, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! First-divergence diff of two JSONL journals.
+//!
+//! The determinism contract says a fixed seed yields a *byte-identical*
+//! journal at any thread count, so the diff is deliberately strict:
+//! lines are compared as text (ignoring only trailing whitespace and
+//! blank lines), and the first mismatch is reported with its line
+//! number and both renderings. When both lines parse as JSON objects
+//! the divergence also names the first differing top-level field —
+//! "same event, different `seq`" and "different event kind" read very
+//! differently during a bisect.
+
+use locert_trace::json::{self, Value};
+
+/// The first point where two journals disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number (header line is 1) of the first mismatch,
+    /// counted over non-blank lines.
+    pub line: usize,
+    /// The left journal's line (`None`: left ended early).
+    pub left: Option<String>,
+    /// The right journal's line (`None`: right ended early).
+    pub right: Option<String>,
+    /// First differing top-level JSON field, when both lines parse.
+    pub field: Option<String>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "first divergence at line {}:", self.line)?;
+        match &self.left {
+            Some(l) => writeln!(f, "  left:  {l}")?,
+            None => writeln!(f, "  left:  <journal ends>")?,
+        }
+        match &self.right {
+            Some(r) => writeln!(f, "  right: {r}")?,
+            None => writeln!(f, "  right: <journal ends>")?,
+        }
+        if let Some(field) = &self.field {
+            writeln!(f, "  field: {field}")?;
+        }
+        Ok(())
+    }
+}
+
+fn first_differing_field(a: &str, b: &str) -> Option<String> {
+    let (Ok(Value::Obj(a)), Ok(Value::Obj(b))) = (json::parse(a), json::parse(b)) else {
+        return None;
+    };
+    let mut keys: Vec<&String> = a.keys().chain(b.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter().find(|k| a.get(*k) != b.get(*k)).cloned()
+}
+
+/// Compares two JSONL documents line by line; `None` means identical
+/// (modulo blank lines and trailing whitespace).
+pub fn first_divergence(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines().map(str::trim_end).filter(|s| !s.is_empty());
+    let mut r = right.lines().map(str::trim_end).filter(|s| !s.is_empty());
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => {}
+            (a, b) => {
+                return Some(Divergence {
+                    line,
+                    field: match (a, b) {
+                        (Some(a), Some(b)) => first_differing_field(a, b),
+                        _ => None,
+                    },
+                    left: a.map(str::to_string),
+                    right: b.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "{\"dropped\":0,\"entries\":2,\"schema\":\"locert-journal/v1\"}";
+
+    #[test]
+    fn identical_journals_do_not_diverge() {
+        let j = format!("{HEADER}\n{{\"seq\":0,\"type\":\"marker\",\"label\":\"x\"}}\n");
+        assert_eq!(first_divergence(&j, &j), None);
+        // Trailing whitespace and blank lines are cosmetic.
+        let padded = format!("{j}\n\n");
+        assert_eq!(first_divergence(&j, &padded), None);
+    }
+
+    #[test]
+    fn mismatch_reports_line_and_field() {
+        let a = format!(
+            "{HEADER}\n{{\"label\":\"x\",\"seq\":0,\"type\":\"marker\"}}\n\
+             {{\"label\":\"y\",\"seq\":1,\"type\":\"marker\"}}\n"
+        );
+        let b = format!(
+            "{HEADER}\n{{\"label\":\"x\",\"seq\":0,\"type\":\"marker\"}}\n\
+             {{\"label\":\"z\",\"seq\":1,\"type\":\"marker\"}}\n"
+        );
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.line, 3);
+        assert_eq!(d.field.as_deref(), Some("label"));
+        assert!(d.left.as_deref().unwrap().contains("\"y\""));
+        assert!(d.right.as_deref().unwrap().contains("\"z\""));
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = format!("{HEADER}\n{{\"label\":\"x\",\"seq\":0,\"type\":\"marker\"}}\n");
+        let b = HEADER.to_string();
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.line, 2);
+        assert!(d.right.is_none());
+        // Symmetric.
+        let d = first_divergence(&b, &a).expect("diverges");
+        assert!(d.left.is_none());
+    }
+}

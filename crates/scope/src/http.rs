@@ -1,0 +1,193 @@
+//! A hand-rolled std-only HTTP/1.1 exporter.
+//!
+//! The workspace is offline and serde-free by policy, so there is no
+//! hyper to lean on — and none is needed: the exporter speaks just
+//! enough HTTP/1.1 for a Prometheus scraper or `curl`. One background
+//! thread accepts connections sequentially (scrape traffic is one
+//! client every few seconds; a connection backlog *is* the queue),
+//! answers exactly one request per connection, and closes
+//! (`Connection: close`).
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — the live registry as Prometheus text
+//!   ([`crate::prom::render`]);
+//! - `GET /healthz` — `ok` (liveness for the eventual `locert-serve`);
+//! - `GET /journal/tail?n=N` — the newest `N` journal entries as JSONL
+//!   (default 32), exactly the lines `write_jsonl` would end with.
+//!
+//! Shutdown is cooperative: [`ScopeServer::shutdown`] sets a flag and
+//! self-connects to unblock `accept`, then joins the thread. For
+//! scripted use (CI), a request budget makes the server exit by itself
+//! after N requests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tail length served when `/journal/tail` has no `n` parameter.
+pub const DEFAULT_TAIL: usize = 32;
+
+/// A running exporter; dropping it shuts the server down.
+pub struct ScopeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScopeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves on a background thread until [`shutdown`], drop, or —
+    /// when `max_requests` is set — that many requests have been
+    /// answered.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, when the address is unavailable.
+    ///
+    /// [`shutdown`]: ScopeServer::shutdown
+    pub fn serve(addr: &str, max_requests: Option<usize>) -> io::Result<ScopeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("locert-scope-http".into())
+            .spawn(move || accept_loop(&listener, &thread_stop, max_requests))?;
+        Ok(ScopeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins the thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect so a blocked `accept` returns and sees the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Waits for the server thread to exit on its own (request budget
+    /// exhausted). No-op after [`ScopeServer::shutdown`].
+    pub fn join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScopeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, max_requests: Option<usize>) {
+    let mut served = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(max) = max_requests {
+            if served >= max {
+                return;
+            }
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            return; // the wake-up connection from `shutdown`
+        }
+        if handle_connection(stream).is_ok() {
+            served += 1;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; the routes take no body.
+    let mut header = String::new();
+    for _ in 0..128 {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let body = crate::prom::render(&locert_trace::snapshot());
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/journal/tail" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("n="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                })
+                .unwrap_or(DEFAULT_TAIL);
+            let snap = locert_trace::journal::snapshot();
+            let skip = snap.entries.len().saturating_sub(n);
+            let mut body = String::new();
+            for entry in &snap.entries[skip..] {
+                body.push_str(&locert_trace::journal::entry_to_jsonl_line(entry));
+                body.push('\n');
+            }
+            respond(&mut stream, 200, "application/jsonl", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(code),
+        body.len(),
+    )?;
+    stream.flush()
+}

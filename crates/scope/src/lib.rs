@@ -1,0 +1,34 @@
+//! `locert-scope` — the *dynamic* half of locert's observability.
+//!
+//! The span/counter layer of `locert-trace` aggregates and the journal
+//! records; this crate is what reads, watches, and serves them while (or
+//! after) a process runs:
+//!
+//! - [`query`]: a filter engine over journal snapshots — by event kind,
+//!   vertex (in any role), scheme/model name, and logical round;
+//! - [`causal`]: causal-chain reconstruction for fault campaigns,
+//!   resolving each `Detection` back to the `FaultInjected` event that
+//!   caused it ("why did vertex v reject?");
+//! - [`diff`]: first-divergence comparison of two JSONL journals — the
+//!   tooling behind the determinism contract (same seed, any thread
+//!   count ⇒ byte-identical journals);
+//! - [`flame`]: collapsed-stack flamegraph export from the aggregated
+//!   span forest;
+//! - [`window`]: fixed-interval window deltas over registry snapshots
+//!   and journals, driven by logical round numbers rather than wall
+//!   clock, so windows are as deterministic as the rounds themselves;
+//! - [`http`]: a hand-rolled std-only HTTP/1.1 exporter serving
+//!   [`prom`]-formatted `/metrics`, `/healthz`, and `/journal/tail` —
+//!   the first networked surface on the road to `locert-serve`.
+//!
+//! The `tracescope` binary wraps all of it as a CLI. Everything here is
+//! read-side: this crate never records, so depending on it adds nothing
+//! to instrumented hot paths.
+
+pub mod causal;
+pub mod diff;
+pub mod flame;
+pub mod http;
+pub mod prom;
+pub mod query;
+pub mod window;

@@ -1,0 +1,248 @@
+//! Prometheus text exposition (format 0.0.4) for registry snapshots.
+//!
+//! Name mapping from locert's `layer.component.metric` convention:
+//! prefix `locert_`, then every character outside `[a-zA-Z0-9_]`
+//! becomes `_` (so dots and dashes collapse into underscores) —
+//! `core.framework.verifier.invocations` exports as
+//! `locert_core_framework_verifier_invocations`. Counters export with
+//! the `_total` suffix Prometheus conventions expect. Histograms map
+//! onto native Prometheus histograms: locert buckets are *per-bucket*
+//! counts with inclusive upper bounds, Prometheus buckets are
+//! *cumulative* `le` counts, so rendering takes the running sum; the
+//! overflow bucket (inclusive bound `u64::MAX`) folds into the
+//! mandatory `+Inf` bucket.
+//!
+//! [`parse_text`] is the matching minimal reader — enough to round-trip
+//! everything [`render`] emits, used by the CI gate that proves
+//! `/metrics` output is machine-readable.
+
+use locert_trace::Snapshot;
+use std::fmt::Write as _;
+
+/// Maps a `layer.component.metric` name onto a Prometheus metric name.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 7);
+    out.push_str("locert_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in Prometheus text format. Deterministic: metrics
+/// in registry (sorted) order, buckets ascending.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snap.counters {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname}_total locert counter {name}");
+        let _ = writeln!(out, "# TYPE {pname}_total counter");
+        let _ = writeln!(out, "{pname}_total {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# HELP {pname} locert histogram {name}");
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        let mut cumulative = 0u64;
+        for &(le, count) in &h.buckets {
+            cumulative += count;
+            if le == u64::MAX {
+                // The overflow bucket is the +Inf bucket.
+                continue;
+            }
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{pname}_sum {}", h.sum);
+        let _ = writeln!(out, "{pname}_count {}", h.count);
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_total`/`_bucket` suffix).
+    pub name: String,
+    /// Label pairs, in appearance order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`f64::INFINITY` never appears as a value here, but
+    /// label values may be `+Inf`).
+    pub value: f64,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(body: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(labels);
+    }
+    for pair in body.split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let k = k.trim();
+        if !valid_name(k) {
+            return Err(format!("line {line_no}: bad label name {k:?}"));
+        }
+        let v = v.trim();
+        let inner = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {line_no}: unquoted label value {v:?}"))?;
+        labels.push((k.to_string(), inner.to_string()));
+    }
+    Ok(labels)
+}
+
+/// Parses Prometheus text-format exposition into samples. Comment
+/// (`# HELP`/`# TYPE`) and blank lines are validated for shape and
+/// skipped.
+///
+/// # Errors
+///
+/// A message naming the first malformed line.
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.trim().splitn(2, ' ');
+            if matches!(words.next(), Some("HELP" | "TYPE")) && words.next().is_none() {
+                return Err(format!("line {line_no}: bare # HELP/TYPE"));
+            }
+            continue;
+        }
+        // name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {line_no}: unclosed label braces"))?;
+                (&line[..open], {
+                    let labels = &line[open + 1..close];
+                    (labels, line[close + 1..].trim())
+                })
+            }
+            None => {
+                let (name, value) = line
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+                (name, ("", value.trim()))
+            }
+        };
+        let (label_body, value_str) = rest;
+        let name = name_part.trim();
+        if !valid_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {line_no}: bad value {value_str:?}"))?;
+        samples.push(Sample {
+            name: name.to_string(),
+            labels: parse_labels(label_body, line_no)?,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locert_trace::HistogramSnapshot;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn name_mapping_sanitizes() {
+        assert_eq!(
+            metric_name("core.framework.verifier.invocations"),
+            "locert_core_framework_verifier_invocations"
+        );
+        assert_eq!(
+            metric_name("journal.dropped_events"),
+            "locert_journal_dropped_events"
+        );
+        assert_eq!(metric_name("a-b π"), "locert_a_b__");
+    }
+
+    #[test]
+    fn render_parses_back_with_cumulative_buckets() {
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "core.framework.certificate.bits".to_string(),
+            HistogramSnapshot {
+                count: 7,
+                sum: 61,
+                min: Some(0),
+                max: Some(u64::MAX),
+                // Per-bucket counts; the u64::MAX bucket is overflow.
+                buckets: vec![(0, 1), (3, 2), (7, 3), (u64::MAX, 1)],
+            },
+        );
+        let snap = Snapshot {
+            counters: [("journal.dropped_events".to_string(), 42u64)]
+                .into_iter()
+                .collect(),
+            histograms,
+            spans: Vec::new(),
+        };
+        let text = render(&snap);
+        let samples = parse_text(&text).expect("our own output parses");
+        let find = |n: &str, le: Option<&str>| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == n
+                        && match le {
+                            Some(want) => s.labels.iter().any(|(k, v)| k == "le" && v == want),
+                            None => s.labels.is_empty(),
+                        }
+                })
+                .unwrap_or_else(|| panic!("sample {n} le={le:?}"))
+                .value
+        };
+        assert_eq!(find("locert_journal_dropped_events_total", None), 42.0);
+        let h = "locert_core_framework_certificate_bits";
+        // Cumulative: 1, 3, 6 then +Inf = total count 7.
+        assert_eq!(find(&format!("{h}_bucket"), Some("0")), 1.0);
+        assert_eq!(find(&format!("{h}_bucket"), Some("3")), 3.0);
+        assert_eq!(find(&format!("{h}_bucket"), Some("7")), 6.0);
+        assert_eq!(find(&format!("{h}_bucket"), Some("+Inf")), 7.0);
+        assert_eq!(find(&format!("{h}_sum"), None), 61.0);
+        assert_eq!(find(&format!("{h}_count"), None), 7.0);
+        // No u64::MAX bucket leaks through.
+        assert!(!text.contains(&u64::MAX.to_string()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_text("ok_metric 1\n").is_ok());
+        assert!(parse_text("9bad 1\n").is_err());
+        assert!(parse_text("no_value\n").is_err());
+        assert!(parse_text("m{le=\"1\" 2\n").is_err(), "unclosed braces");
+        assert!(parse_text("m{le=1} 2\n").is_err(), "unquoted label");
+        assert!(parse_text("m nan-ish\n").is_err());
+        assert!(parse_text("# free comment\nm 1\n").is_ok());
+    }
+}

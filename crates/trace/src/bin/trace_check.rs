@@ -12,8 +12,12 @@
 //! writes: a `locert-trace/v2` document with a non-empty `experiments`
 //! array (per entry: `id` + non-empty deterministic counters) and a
 //! matching `timings` array (per entry: `id` + `wall_s` + span tree).
-//! The legacy `locert-trace/v1` shape (wall_s and spans inline in
-//! `experiments`) is still accepted.
+//! The optional v2 `journal` section (written when the run recorded a
+//! journal) must carry consistent ring-buffer accounting: `capacity`
+//! ≥ 1, `entries` ≤ `capacity`, and a `dropped` count — reported in the
+//! OK line so a truncated journal is visible at a glance. The legacy
+//! `locert-trace/v1` shape (wall_s and spans inline in `experiments`)
+//! is still accepted.
 //!
 //! `--compare` checks that two dumps have byte-identical *deterministic*
 //! sections (`quick` + `experiments`, serialized with sorted keys) — the
@@ -95,8 +99,43 @@ fn check(path: &str) -> Result<String, String> {
             }
         }
     }
+    let journal_note = match doc.get("journal") {
+        None => String::new(),
+        Some(_) if !v2 => {
+            return Err(format!(
+                "{path}: \"journal\" section requires locert-trace/v2"
+            ));
+        }
+        Some(j) => {
+            let field = |name: &str| {
+                j.get(name)
+                    .and_then(Value::as_num)
+                    .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+                    .map(|v| v as u64)
+                    .ok_or_else(|| format!("{path}: journal section has no integer \"{name}\""))
+            };
+            let capacity = field("capacity")?;
+            let dropped = field("dropped")?;
+            let entries = field("entries")?;
+            if capacity == 0 {
+                return Err(format!("{path}: journal capacity must be at least 1"));
+            }
+            if entries > capacity {
+                return Err(format!(
+                    "{path}: journal claims {entries} entries in a ring of {capacity}"
+                ));
+            }
+            if dropped > 0 && entries < capacity {
+                return Err(format!(
+                    "{path}: journal dropped {dropped} events but the ring is not full \
+                     ({entries} of {capacity})"
+                ));
+            }
+            format!(", journal {entries}/{capacity} events, {dropped} dropped")
+        }
+    };
     Ok(format!(
-        "{path}: OK ({schema}, {} experiments, {bytes} bytes)",
+        "{path}: OK ({schema}, {} experiments, {bytes} bytes{journal_note})",
         experiments.len(),
     ))
 }

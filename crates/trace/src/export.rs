@@ -409,6 +409,112 @@ mod tests {
     }
 
     #[test]
+    fn chrome_trace_escapes_hostile_span_names() {
+        // Span names come from `span!` literals today, but the export
+        // format must survive anything a future dynamic source puts in
+        // a SpanNode: quotes, backslashes, newlines, non-ASCII.
+        let hostile = [
+            "with \"quotes\"",
+            "back\\slash\\path",
+            "tab\there",
+            "line\nbreak",
+            "π-treewidth ≤ 3 → 日本語",
+            "control\u{1}char",
+        ];
+        let snap = Snapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+            spans: hostile
+                .iter()
+                .map(|&name| SpanNode {
+                    name: name.to_string(),
+                    calls: 1,
+                    total_ns: 1_000,
+                    children: Vec::new(),
+                })
+                .collect(),
+        };
+        let text = chrome_trace_string(&[("sect \"x\" \\ ümlaut", &snap)]);
+        let parsed = json::parse(&text).expect("escaped output parses back");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(json::Value::as_str))
+            .collect();
+        assert_eq!(names[0], "sect \"x\" \\ ümlaut");
+        for name in hostile {
+            assert!(
+                names.contains(&name),
+                "name {name:?} lost in the round trip (got {names:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_trace_event_order_is_stable() {
+        // Events must come out in deterministic depth-first order —
+        // sections in argument order, siblings in snapshot order,
+        // parent before children — and re-exporting must be
+        // byte-identical (CI compares these artifacts).
+        let child = |n: &str| SpanNode {
+            name: n.to_string(),
+            calls: 1,
+            total_ns: 500,
+            children: Vec::new(),
+        };
+        let snap_a = Snapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+            spans: vec![
+                SpanNode {
+                    name: "a.outer".into(),
+                    calls: 1,
+                    total_ns: 2_000,
+                    children: vec![child("a.inner1"), child("a.inner2")],
+                },
+                child("a.second-root"),
+            ],
+        };
+        let snap_b = Snapshot {
+            counters: Default::default(),
+            histograms: Default::default(),
+            spans: vec![child("b.only")],
+        };
+        let sections: &[(&str, &Snapshot)] = &[("first", &snap_a), ("second", &snap_b)];
+        let text = chrome_trace_string(sections);
+        assert_eq!(
+            text,
+            chrome_trace_string(sections),
+            "re-export must be byte-identical"
+        );
+        let parsed = json::parse(&text).expect("parses");
+        let names: Vec<String> = parsed
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents")
+            .iter()
+            .filter_map(|e| e.get("name").and_then(json::Value::as_str))
+            .map(str::to_string)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "first",
+                "a.outer",
+                "a.inner1",
+                "a.inner2",
+                "a.second-root",
+                "second",
+                "b.only",
+            ],
+            "wrapper first, then depth-first spans; sections in argument order"
+        );
+    }
+
+    #[test]
     fn empty_snapshot_renders_empty() {
         let snap = Snapshot {
             counters: Default::default(),

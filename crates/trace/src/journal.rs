@@ -24,8 +24,9 @@
 use crate::json::{self, Value};
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Schema identifier written in the JSONL header line.
 pub const JOURNAL_SCHEMA: &str = "locert-journal/v1";
@@ -34,6 +35,17 @@ pub const JOURNAL_SCHEMA: &str = "locert-journal/v1";
 /// experiment in the suite; a run that overflows it keeps the *newest*
 /// entries and counts the dropped ones.
 pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Registry counter bumped once per entry evicted from the ring buffer
+/// (overflow or a capacity shrink). Lets CI artifacts surface silent
+/// truncation: a metrics snapshot with this counter non-zero means the
+/// journal on disk is missing its oldest events.
+pub const DROPPED_EVENTS_COUNTER: &str = "journal.dropped_events";
+
+fn dropped_events_counter() -> &'static crate::Counter {
+    static C: OnceLock<crate::Counter> = OnceLock::new();
+    C.get_or_init(|| crate::Counter::named(DROPPED_EVENTS_COUNTER))
+}
 
 /// One journal event. Variants mirror the phases of a certification
 /// run; reasons are kebab-case codes (see `locert-core`'s
@@ -181,6 +193,22 @@ pub enum Event {
         /// Logical time the verdict last changed.
         time: u64,
     },
+    /// A logical round boundary for windowed analytics. Emitted at the
+    /// *start* of a round: everything up to the next boundary event
+    /// belongs to this round.
+    ///
+    /// `round` is the producer's own round number when it has a
+    /// deterministic one (fault campaigns use the run index); `None`
+    /// when the producer has no local counter (`run_verification`), in
+    /// which case readers assign ordinals by position — well-defined
+    /// because the journal itself is deterministic for a fixed seed.
+    RoundMark {
+        /// The emitting subsystem (e.g. `core.verify`,
+        /// `core.faults.campaign`).
+        scope: String,
+        /// Producer-local round number, when one exists.
+        round: Option<u64>,
+    },
     /// A free-form boundary marker (experiment start, phase change).
     Marker {
         /// Marker label.
@@ -229,7 +257,7 @@ struct Buf {
 }
 
 fn buf() -> &'static Mutex<Buf> {
-    static BUF: std::sync::OnceLock<Mutex<Buf>> = std::sync::OnceLock::new();
+    static BUF: OnceLock<Mutex<Buf>> = OnceLock::new();
     BUF.get_or_init(|| {
         Mutex::new(Buf {
             entries: VecDeque::new(),
@@ -261,12 +289,25 @@ pub fn enabled() -> bool {
 /// Sets the ring-buffer capacity. Existing overflow is evicted oldest
 /// first.
 pub fn set_capacity(capacity: usize) {
-    let mut b = buf().lock().expect("journal buffer");
-    b.capacity = capacity.max(1);
-    while b.entries.len() > b.capacity {
-        b.entries.pop_front();
-        b.dropped += 1;
+    let evicted;
+    {
+        let mut b = buf().lock().expect("journal buffer");
+        b.capacity = capacity.max(1);
+        let before = b.entries.len();
+        while b.entries.len() > b.capacity {
+            b.entries.pop_front();
+            b.dropped += 1;
+        }
+        evicted = (before - b.entries.len()) as u64;
     }
+    if evicted > 0 {
+        dropped_events_counter().add(evicted);
+    }
+}
+
+/// The current ring-buffer capacity in entries.
+pub fn capacity() -> usize {
+    buf().lock().expect("journal buffer").capacity
 }
 
 /// Clears all entries and restarts sequence numbering.
@@ -313,14 +354,30 @@ pub fn record_with(make: impl FnOnce() -> Event) {
 }
 
 fn append_one(event: Event) {
+    // Load the subscriber flag before taking the buffer lock so the
+    // common no-subscriber case never clones the event.
+    let live = stream::active();
     let mut b = buf().lock().expect("journal buffer");
     let seq = b.next_seq;
     b.next_seq += 1;
+    let mut evicted = false;
     if b.entries.len() == b.capacity {
         b.entries.pop_front();
         b.dropped += 1;
+        evicted = true;
     }
-    b.entries.push_back(Entry { seq, event });
+    let entry = Entry { seq, event };
+    let published = live.then(|| entry.clone());
+    b.entries.push_back(entry);
+    drop(b);
+    // Outside the buffer lock: the registry and subscriber locks must
+    // never nest inside it (and vice versa).
+    if evicted {
+        dropped_events_counter().add(1);
+    }
+    if let Some(entry) = published {
+        stream::publish(&entry);
+    }
 }
 
 /// Runs `f` with this thread's journal writes diverted into a private
@@ -566,6 +623,13 @@ pub fn event_to_json(event: &Event) -> Value {
                 ("time".to_string(), Value::from(*time)),
             ],
         ),
+        Event::RoundMark { scope, round } => typed(
+            "round-mark",
+            vec![
+                ("scope".to_string(), Value::from(scope.as_str())),
+                ("round".to_string(), opt_u64(*round)),
+            ],
+        ),
         Event::Marker { label } => typed(
             "marker",
             vec![("label".to_string(), Value::from(label.as_str()))],
@@ -685,6 +749,10 @@ pub fn event_from_json(v: &Value) -> Option<Event> {
             missing: get_u64(v, "missing")?,
             time: get_u64(v, "time")?,
         }),
+        "round-mark" => Some(Event::RoundMark {
+            scope: get_str(v, "scope")?,
+            round: get_opt_u64(v, "round")?,
+        }),
         "marker" => Some(Event::Marker {
             label: get_str(v, "label")?,
         }),
@@ -692,12 +760,17 @@ pub fn event_from_json(v: &Value) -> Option<Event> {
     }
 }
 
-/// Serializes a snapshot as JSONL: a header line
+/// Streams a snapshot as JSONL into `out`: a header line
 /// `{"schema":"locert-journal/v1","dropped":N,"entries":N}` followed by
 /// one `{"seq":N,"type":...}` object per entry. Deterministic for a
-/// fixed event sequence (no timestamps, sorted keys).
-pub fn to_jsonl(snap: &JournalSnapshot) -> String {
-    let mut out = String::new();
+/// fixed event sequence (no timestamps, sorted keys). One line is
+/// buffered at a time, so a million-entry journal writes in O(line)
+/// memory — wrap `out` in a [`io::BufWriter`] when it is a file.
+///
+/// # Errors
+///
+/// Propagates the first write error from `out`.
+pub fn write_jsonl<W: io::Write>(snap: &JournalSnapshot, out: &mut W) -> io::Result<()> {
     let header = Value::obj([
         ("schema".to_string(), Value::from(JOURNAL_SCHEMA)),
         ("dropped".to_string(), Value::from(snap.dropped)),
@@ -706,18 +779,31 @@ pub fn to_jsonl(snap: &JournalSnapshot) -> String {
             Value::from(snap.entries.len() as u64),
         ),
     ]);
-    out.push_str(&header.to_string());
-    out.push('\n');
+    writeln!(out, "{header}")?;
     for entry in &snap.entries {
-        let mut obj = match event_to_json(&entry.event) {
-            Value::Obj(map) => map,
-            _ => unreachable!("event_to_json returns objects"),
-        };
-        obj.insert("seq".to_string(), Value::from(entry.seq));
-        out.push_str(&Value::Obj(obj).to_string());
-        out.push('\n');
+        writeln!(out, "{}", entry_to_jsonl_line(entry))?;
     }
-    out
+    Ok(())
+}
+
+/// One entry as its JSONL line (no trailing newline) — the unit both
+/// [`write_jsonl`] and live tailing emit.
+pub fn entry_to_jsonl_line(entry: &Entry) -> String {
+    let mut obj = match event_to_json(&entry.event) {
+        Value::Obj(map) => map,
+        _ => unreachable!("event_to_json returns objects"),
+    };
+    obj.insert("seq".to_string(), Value::from(entry.seq));
+    Value::Obj(obj).to_string()
+}
+
+/// Serializes a snapshot as one JSONL `String` (see [`write_jsonl`]).
+/// Convenient for tests and small journals; prefer [`write_jsonl`] when
+/// the destination is a file.
+pub fn to_jsonl(snap: &JournalSnapshot) -> String {
+    let mut out = Vec::with_capacity(64 + snap.entries.len() * 64);
+    write_jsonl(snap, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("JSONL is UTF-8")
 }
 
 /// A JSONL journal decode failure: 1-based line number plus message.
@@ -767,6 +853,174 @@ pub fn from_jsonl(text: &str) -> Result<JournalSnapshot, JournalParseError> {
         entries.push(Entry { seq, event });
     }
     Ok(JournalSnapshot { entries, dropped })
+}
+
+// ---------------------------------------------------------------------
+// Live tailing
+// ---------------------------------------------------------------------
+
+/// Live journal tailing: bounded per-subscriber queues fed from
+/// [`append_one`], so a long-running process (the `/journal/tail` HTTP
+/// endpoint, a future `locert-serve` daemon) can watch events as they
+/// happen without holding the ring-buffer lock or growing without
+/// bound.
+///
+/// Design constraints, in order:
+///
+/// 1. **Zero cost with no subscribers.** The recording hot path checks
+///    one relaxed atomic ([`active`]) before doing anything — no lock,
+///    no clone. The `tests/journal_no_alloc.rs` gate holds with this
+///    module compiled in.
+/// 2. **Recording never blocks on a slow reader.** Each subscriber has
+///    its own bounded [`VecDeque`]; overflow drops that subscriber's
+///    *oldest* queued entries and counts them
+///    ([`Subscription::dropped`]), mirroring the ring buffer's
+///    drop-oldest policy. Publishing only ever takes short
+///    uncontended-in-practice mutexes.
+/// 3. **Subscribers see the post-flush order.** Events diverted by
+///    [`capture`] reach subscribers when the coordinator flushes them
+///    via [`append_events`], in canonical order with their final `seq`
+///    — a tailer observes the same sequence a snapshot would.
+pub mod stream {
+    use super::Entry;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+    use std::time::Duration;
+
+    /// Default per-subscriber queue capacity.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
+
+    /// Number of live subscribers; the recording fast path reads this
+    /// and nothing else.
+    static SUB_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+    struct SubState {
+        queue: VecDeque<Entry>,
+        dropped: u64,
+    }
+
+    struct Shared {
+        state: Mutex<SubState>,
+        cond: Condvar,
+        capacity: usize,
+    }
+
+    fn subscribers() -> &'static Mutex<Vec<Weak<Shared>>> {
+        static SUBS: OnceLock<Mutex<Vec<Weak<Shared>>>> = OnceLock::new();
+        SUBS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Whether any subscriber is live (one relaxed load).
+    #[inline]
+    pub(super) fn active() -> bool {
+        SUB_COUNT.load(Ordering::Relaxed) != 0
+    }
+
+    /// Fans one appended entry out to every live subscriber. Called by
+    /// [`super::append_one`] *after* releasing the ring-buffer lock.
+    pub(super) fn publish(entry: &Entry) {
+        let subs = subscribers().lock().expect("journal subscribers");
+        for weak in subs.iter() {
+            let Some(shared) = weak.upgrade() else {
+                continue;
+            };
+            let mut st = shared.state.lock().expect("subscriber queue");
+            if st.queue.len() == shared.capacity {
+                st.queue.pop_front();
+                st.dropped += 1;
+            }
+            st.queue.push_back(entry.clone());
+            drop(st);
+            shared.cond.notify_all();
+        }
+    }
+
+    /// A live tail of the journal. Entries recorded while the
+    /// subscription exists are queued here (bounded, drop-oldest);
+    /// dropping the subscription unregisters it.
+    pub struct Subscription {
+        shared: Arc<Shared>,
+    }
+
+    /// Registers a subscriber with the default queue capacity.
+    pub fn subscribe() -> Subscription {
+        subscribe_with_capacity(DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Registers a subscriber whose queue holds at most `capacity`
+    /// entries; older queued entries are dropped (and counted) when a
+    /// slow reader falls behind.
+    pub fn subscribe_with_capacity(capacity: usize) -> Subscription {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                dropped: 0,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let mut subs = subscribers().lock().expect("journal subscribers");
+        subs.retain(|w| w.strong_count() > 0);
+        subs.push(Arc::downgrade(&shared));
+        SUB_COUNT.store(subs.len(), Ordering::Release);
+        Subscription { shared }
+    }
+
+    impl Subscription {
+        /// Takes everything currently queued, oldest first, without
+        /// blocking.
+        pub fn drain(&self) -> Vec<Entry> {
+            let mut st = self.shared.state.lock().expect("subscriber queue");
+            st.queue.drain(..).collect()
+        }
+
+        /// Waits up to `timeout` for one entry; `None` on timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Option<Entry> {
+            let mut st = self.shared.state.lock().expect("subscriber queue");
+            if st.queue.is_empty() {
+                let (guard, res) = self
+                    .shared
+                    .cond
+                    .wait_timeout_while(st, timeout, |st| st.queue.is_empty())
+                    .expect("subscriber queue");
+                st = guard;
+                if res.timed_out() && st.queue.is_empty() {
+                    return None;
+                }
+            }
+            st.queue.pop_front()
+        }
+
+        /// Entries this subscriber lost to queue overflow.
+        pub fn dropped(&self) -> u64 {
+            self.shared.state.lock().expect("subscriber queue").dropped
+        }
+
+        /// Entries currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("subscriber queue")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl Drop for Subscription {
+        fn drop(&mut self) {
+            let mut subs = subscribers().lock().expect("journal subscribers");
+            let me = Arc::as_ptr(&self.shared);
+            subs.retain(|w| w.strong_count() > 0 && !std::ptr::eq(w.as_ptr(), me));
+            SUB_COUNT.store(subs.len(), Ordering::Release);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -862,6 +1116,14 @@ mod tests {
                 reason: Some("malformed-certificate".into()),
                 missing: 0,
                 time: 12,
+            },
+            Event::RoundMark {
+                scope: "core.faults.campaign".into(),
+                round: Some(3),
+            },
+            Event::RoundMark {
+                scope: "core.verify".into(),
+                round: None,
             },
         ]
     }
@@ -965,6 +1227,104 @@ mod tests {
             .entries
             .iter()
             .any(|e| matches!(&e.event, Event::Marker { label } if label == "doomed")));
+    }
+
+    #[test]
+    fn subscribers_tail_the_journal_live() {
+        let _g = crate::tests::serial();
+        reset();
+        enable();
+        record_with(|| Event::Marker {
+            label: "before".into(),
+        });
+        let sub = stream::subscribe_with_capacity(3);
+        assert!(sub.is_empty(), "nothing recorded since subscribing");
+        for i in 0..5u64 {
+            record_with(|| Event::CertMutated { vertex: i });
+        }
+        // Capacity 3, drop-oldest: vertices 2, 3, 4 remain; 0 and 1
+        // were evicted from the *subscriber's* queue (the ring kept
+        // everything).
+        assert_eq!(sub.dropped(), 2);
+        let tailed: Vec<u64> = sub
+            .drain()
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::CertMutated { vertex } => Some(*vertex),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tailed, vec![2, 3, 4]);
+        // Seq numbers are the ring's, assigned at append time.
+        assert_eq!(snapshot().entries.len(), 6);
+        // Captured events reach subscribers at flush, in flush order.
+        let ((), captured) = capture(|| {
+            record_with(|| Event::CertMutated { vertex: 100 });
+        });
+        assert!(sub.is_empty(), "capture diverts away from subscribers");
+        append_events(captured);
+        let flushed = sub.drain();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].event, Event::CertMutated { vertex: 100 });
+        // recv_timeout returns a queued entry immediately and times out
+        // on an empty queue.
+        record_with(|| Event::Marker { label: "w".into() });
+        assert!(sub
+            .recv_timeout(std::time::Duration::from_millis(10))
+            .is_some());
+        assert!(sub
+            .recv_timeout(std::time::Duration::from_millis(10))
+            .is_none());
+        // Dropping the subscription unregisters it: recording continues
+        // without publishing.
+        drop(sub);
+        record_with(|| Event::Marker {
+            label: "after-drop".into(),
+        });
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn eviction_bumps_dropped_events_counter_exactly() {
+        let _g = crate::tests::serial();
+        crate::reset();
+        reset();
+        crate::enable();
+        enable();
+        set_capacity(4);
+        for i in 0..10u64 {
+            record_with(|| Event::CertMutated { vertex: i });
+        }
+        let snap = snapshot();
+        assert_eq!(snap.dropped, 6, "ring evicted exactly the overflow");
+        assert_eq!(
+            crate::snapshot().counters.get(DROPPED_EVENTS_COUNTER),
+            Some(&6),
+            "registry counter matches the ring's eviction count"
+        );
+        // Shrinking the capacity evicts (and counts) the excess too.
+        set_capacity(1);
+        assert_eq!(snapshot().dropped, 9);
+        assert_eq!(
+            crate::snapshot().counters.get(DROPPED_EVENTS_COUNTER),
+            Some(&9)
+        );
+        disable();
+        crate::disable();
+        set_capacity(DEFAULT_CAPACITY);
+        reset();
+        crate::reset();
+    }
+
+    #[test]
+    fn capacity_accessor_reflects_configuration() {
+        let _g = crate::tests::serial();
+        assert_eq!(capacity(), DEFAULT_CAPACITY);
+        set_capacity(128);
+        assert_eq!(capacity(), 128);
+        set_capacity(DEFAULT_CAPACITY);
+        assert_eq!(capacity(), DEFAULT_CAPACITY);
     }
 
     #[test]

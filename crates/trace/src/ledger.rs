@@ -250,9 +250,13 @@ pub fn capture<R>(f: impl FnOnce() -> R) -> (R, BitLedger) {
     let certs = SINK
         .with(|s| std::mem::replace(&mut *s.borrow_mut(), guard.0.take()))
         .unwrap_or_default();
-    // `guard` still runs to decrement ACTIVE; its sink slot is now the
-    // `None` we just swapped back in, so the restore is a no-op.
-    drop(guard);
+    // The outer sink is already back in place; running the guard's Drop
+    // now would overwrite it with the `None` we just took out, losing a
+    // nesting capture's records. Forget it and decrement ACTIVE by hand
+    // (the Drop path still restores correctly on unwind, where the swap
+    // above never ran).
+    std::mem::forget(guard);
+    ACTIVE.fetch_sub(1, Ordering::Relaxed);
     (result, BitLedger { certs })
 }
 

@@ -1,0 +1,105 @@
+//! Black-box tests of `trace-check`'s v2 `journal`-section validation:
+//! consistent ring accounting passes (and is surfaced in the OK line),
+//! impossible accounting fails.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn check(doc: &str, name: &str) -> Output {
+    let dir = std::env::temp_dir().join(format!("trace-check-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path: PathBuf = dir.join(name);
+    std::fs::write(&path, doc).expect("write metrics doc");
+    Command::new(env!("CARGO_BIN_EXE_trace-check"))
+        .arg(&path)
+        .output()
+        .expect("spawn trace-check")
+}
+
+/// A minimal valid `locert-trace/v2` document with the given optional
+/// `journal` section spliced in.
+fn v2_doc(journal: Option<&str>) -> String {
+    let journal = journal.map_or_else(String::new, |j| format!(r#","journal":{j}"#));
+    format!(
+        concat!(
+            r#"{{"schema":"locert-trace/v2","quick":true,"#,
+            r#""experiments":[{{"id":"s2","telemetry":{{"counters":{{"x":1}}}}}}],"#,
+            r#""timings":[{{"id":"s2","wall_s":0.5,"telemetry":{{"spans":[{{}}]}}}}]"#,
+            r#"{}}}"#
+        ),
+        journal
+    )
+}
+
+#[test]
+fn journal_section_is_optional() {
+    let out = check(&v2_doc(None), "plain.json");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        !stdout.contains("journal"),
+        "no journal note without one: {stdout}"
+    );
+}
+
+#[test]
+fn consistent_journal_accounting_passes_and_is_reported() {
+    let out = check(
+        &v2_doc(Some(r#"{"capacity":8,"dropped":0,"entries":3}"#)),
+        "journal-ok.json",
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("journal 3/8 events, 0 dropped"),
+        "OK line surfaces the ring state: {stdout}"
+    );
+
+    // A full ring that dropped events is consistent too.
+    let out = check(
+        &v2_doc(Some(r#"{"capacity":4,"dropped":6,"entries":4}"#)),
+        "journal-full.json",
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("journal 4/4 events, 6 dropped"));
+}
+
+#[test]
+fn impossible_journal_accounting_fails() {
+    // More entries than the ring holds.
+    let out = check(
+        &v2_doc(Some(r#"{"capacity":4,"dropped":0,"entries":9}"#)),
+        "journal-overfull.json",
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("9 entries in a ring of 4"));
+
+    // Drops without a full ring: drop-oldest only evicts when full.
+    let out = check(
+        &v2_doc(Some(r#"{"capacity":8,"dropped":2,"entries":3}"#)),
+        "journal-phantom-drop.json",
+    );
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ring is not full"));
+
+    // Zero capacity and missing fields are malformed.
+    let out = check(
+        &v2_doc(Some(r#"{"capacity":0,"dropped":0,"entries":0}"#)),
+        "journal-zero-cap.json",
+    );
+    assert!(!out.status.success());
+    let out = check(&v2_doc(Some(r#"{"dropped":0}"#)), "journal-missing.json");
+    assert!(!out.status.success());
+}
