@@ -15,7 +15,10 @@
 //!   experiment id (inline in `experiments`);
 //! - `locert-trace/v2` (current `metrics.json`): compares `wall_s` per
 //!   experiment id from the `timings` section — the deterministic
-//!   `experiments` section carries no wall-clock by design.
+//!   `experiments` section carries no wall-clock by design;
+//! - `locert-serve/v1` (`loadgen-latency.json` from the serve load
+//!   generator): compares `p50_ns` and `p99_ns` per latency entry,
+//!   flattened to `<name>/p50` and `<name>/p99` rows.
 //!
 //! Entries present in only one file are reported but never fail the gate
 //! (benchmarks come and go; the gate is about the ones that persist). A
@@ -37,10 +40,12 @@ usage: bench-diff BASELINE CURRENT [--threshold FACTOR]
        bench-diff scale FACTOR IN OUT
 
 Compares two benchmark artifacts (BENCH_*.json with schema
-locert-criterion/v1, or metrics.json with schema locert-trace/v1 or
-/v2 — v2 wall-clock lives in the \"timings\" section), prints a
-markdown delta table, and exits 1 if any shared entry in CURRENT
-reaches or exceeds BASELINE times FACTOR (default 1.5).
+locert-criterion/v1, metrics.json with schema locert-trace/v1 or
+/v2 — v2 wall-clock lives in the \"timings\" section — or
+loadgen-latency.json with schema locert-serve/v1, whose p50/p99
+nanoseconds are compared per entry), prints a markdown delta table,
+and exits 1 if any shared entry in CURRENT reaches or exceeds
+BASELINE times FACTOR (default 1.5).
 
 The scale form multiplies every metric in IN by FACTOR and writes
 OUT; CI uses it to inject a synthetic regression.";
@@ -62,6 +67,7 @@ struct Entry {
 enum Kind {
     Criterion,
     Metrics,
+    Serve,
 }
 
 impl Kind {
@@ -69,6 +75,7 @@ impl Kind {
         match self {
             Kind::Criterion => "median ns",
             Kind::Metrics => "wall s",
+            Kind::Serve => "latency ns",
         }
     }
 }
@@ -158,6 +165,32 @@ fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
                 .collect::<Result<Vec<_>, &str>>()?;
             Ok((Kind::Metrics, entries))
         }
+        "locert-serve/v1" => {
+            // Each latency entry carries two comparable quantiles;
+            // flatten them into independent rows so a p99-only
+            // regression is its own line in the delta table.
+            let items = doc
+                .get("latency")
+                .and_then(Value::as_arr)
+                .ok_or("missing \"latency\" array")?;
+            let mut entries = Vec::new();
+            for item in items {
+                let name = item
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("latency entry without \"name\"")?;
+                for quantile in ["p50", "p99"] {
+                    entries.push(Entry {
+                        name: format!("{name}/{quantile}"),
+                        value: item
+                            .get(&format!("{quantile}_ns"))
+                            .and_then(Value::as_num)
+                            .ok_or("latency entry without p50_ns/p99_ns")?,
+                    });
+                }
+            }
+            Ok((Kind::Serve, entries))
+        }
         other => Err(format!("unknown schema {other:?}")),
     }
 }
@@ -166,10 +199,11 @@ fn extract(doc: &Value) -> Result<(Kind, Vec<Entry>), String> {
 fn scale_doc(doc: &mut Value, factor: f64) -> Result<(), String> {
     let (kind, _) = extract(doc)?;
     let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
-    let (list_key, metric_key) = match kind {
-        Kind::Criterion => ("benchmarks", "median_ns"),
-        Kind::Metrics if schema == "locert-trace/v1" => ("experiments", "wall_s"),
-        Kind::Metrics => ("timings", "wall_s"),
+    let (list_key, metric_keys): (&str, &[&str]) = match kind {
+        Kind::Criterion => ("benchmarks", &["median_ns"]),
+        Kind::Metrics if schema == "locert-trace/v1" => ("experiments", &["wall_s"]),
+        Kind::Metrics => ("timings", &["wall_s"]),
+        Kind::Serve => ("latency", &["p50_ns", "p99_ns"]),
     };
     let Value::Obj(map) = doc else {
         unreachable!("extract checked")
@@ -179,8 +213,10 @@ fn scale_doc(doc: &mut Value, factor: f64) -> Result<(), String> {
     };
     for item in items {
         if let Value::Obj(fields) = item {
-            if let Some(Value::Num(v)) = fields.get_mut(metric_key) {
-                *v *= factor;
+            for metric_key in metric_keys {
+                if let Some(Value::Num(v)) = fields.get_mut(*metric_key) {
+                    *v *= factor;
+                }
             }
         }
     }
@@ -212,7 +248,7 @@ fn run_scale(factor_s: &str, input: &str, output: &str) -> ExitCode {
 /// Formats a metric for the table: ns as integers, seconds with precision.
 fn fmt_value(kind: Kind, v: f64) -> String {
     match kind {
-        Kind::Criterion => format!("{v:.0}"),
+        Kind::Criterion | Kind::Serve => format!("{v:.0}"),
         Kind::Metrics => format!("{v:.3}"),
     }
 }

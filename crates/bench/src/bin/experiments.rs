@@ -40,9 +40,9 @@ use locert_trace::json::Value;
 use std::fmt::Write as _;
 
 /// Every experiment id the binary knows how to run, in report order.
-const KNOWN_IDS: [&str; 17] = [
+const KNOWN_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "f4", "p34", "a1", "s1", "s2",
-    "s3", "s4",
+    "s3", "s4", "s5",
 ];
 
 const USAGE: &str = "\
@@ -73,7 +73,7 @@ usage: experiments [--out PATH] [--quick] [--threads N] [--metrics [PATH]]
                         (default target/trace.json)
   --help                print this message
   only-ids…             run only the listed experiments (e1 e2 e3 e4 e5 e6
-                        e7 e8 e9 f1 f4 p34 a1 s1 s2 s3 s4)";
+                        e7 e8 e9 f1 f4 p34 a1 s1 s2 s3 s4 s5)";
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("experiments: {msg}\n{USAGE}");
@@ -327,6 +327,7 @@ fn main() {
     });
     run_exp!("s3", vec![s3_oracle::run(quick, 0x53)]);
     run_exp!("s4", vec![s4_net::run(quick, 0x54)]);
+    run_exp!("s5", s5_serve::run(quick));
 
     // Assemble the report.
     let mut md = String::new();

@@ -1,8 +1,8 @@
 //! E9 — the bound-conformance observatory: per-component certificate
 //! size curves, measured against every scheme's [`DeclaredBound`].
 //!
-//! One sweep target per catalogue scheme family (the same sixteen names
-//! as `locert-net`'s campaign catalogue), but over **growing** seeded
+//! One sweep target per shared-catalogue scheme family (the sixteen
+//! stable ids of [`locert_core::catalogue`]), over **growing** seeded
 //! instance families with identifier widths that track `n`
 //! (`id_bits_for`), so `O(log n)` growth is actually observable. Every
 //! point runs the prover under a [`locert_trace::ledger`] capture: the
@@ -21,28 +21,11 @@
 //! `locert-trace/v2` metrics schema.
 
 use crate::report::{f2, Table};
-use locert_automata::library;
-use locert_automata::words::Nfa;
 use locert_core::framework::{run_verification, DeclaredBound, Instance};
-use locert_core::schemes::acyclicity::AcyclicityScheme;
-use locert_core::schemes::combinators::AndScheme;
 use locert_core::schemes::common::id_bits_for;
-use locert_core::schemes::depth2_fo::Depth2FoScheme;
-use locert_core::schemes::existential_fo::ExistentialFoScheme;
-use locert_core::schemes::kernel_mso::KernelMsoScheme;
-use locert_core::schemes::minor_free::{CtMinorFreeScheme, PathMinorFreeScheme};
-use locert_core::schemes::mso_tree::MsoTreeScheme;
-use locert_core::schemes::spanning_tree::{SpanningTreeScheme, VertexCountScheme};
-use locert_core::schemes::tree_depth_bound::TreeDepthBoundScheme;
-use locert_core::schemes::tree_diameter::TreeDiameterScheme;
-use locert_core::schemes::treedepth::TreedepthScheme;
-use locert_core::schemes::universal::UniversalScheme;
-use locert_core::schemes::word_path::WordPathScheme;
 use locert_core::Scheme;
-use locert_graph::{generators, Graph, IdAssignment};
-use locert_logic::props;
+use locert_graph::{Graph, IdAssignment};
 use std::collections::BTreeMap;
-use std::collections::BTreeSet;
 
 /// Default slope tolerance for the least-squares conformance fit: the
 /// normalized ratio drift per doubling of `n` must stay below this.
@@ -68,174 +51,29 @@ pub struct SweepTarget {
     family: fn(usize) -> (Graph, Option<Vec<usize>>),
 }
 
-fn lollipop(n: usize) -> Graph {
-    let n = n.max(4);
-    let mut edges = vec![(0, 1), (1, 2), (2, 0)];
-    for v in 3..n {
-        edges.push((v - 1, v));
-    }
-    Graph::from_edges(n, edges).expect("lollipop is simple and connected")
-}
-
-/// The two-state "no two consecutive 1s" NFA (as in the net catalogue).
-fn no_11_nfa() -> Nfa {
-    let set = |states: &[usize]| states.iter().copied().collect::<BTreeSet<_>>();
-    Nfa::new(
-        2,
-        2,
-        set(&[0]),
-        vec![true, true],
-        vec![vec![set(&[0]), set(&[1])], vec![set(&[0]), set(&[])]],
-    )
-    .expect("well-formed NFA")
-}
-
-fn plain(g: Graph) -> (Graph, Option<Vec<usize>>) {
-    (g, None)
-}
-
-/// The sixteen sweep targets, in catalogue order.
+/// The sixteen sweep targets, in catalogue order: the shared
+/// [`locert_core::catalogue`] entries with this observatory's grid
+/// policy applied.
 pub fn targets() -> Vec<SweepTarget> {
-    fn t(
-        name: &'static str,
-        build: fn(u32, usize) -> Box<dyn Scheme>,
-        family: fn(usize) -> (Graph, Option<Vec<usize>>),
-    ) -> SweepTarget {
-        SweepTarget {
-            name,
-            grid: GRID,
-            quick_grid: GRID_QUICK,
-            build,
-            family,
-        }
-    }
-    let mut out = vec![
-        t(
-            "acyclicity",
-            |b, _| Box::new(AcyclicityScheme::new(b)),
-            |n| plain(generators::path(n)),
-        ),
-        t(
-            "spanning-tree",
-            |b, _| Box::new(SpanningTreeScheme::new(b)),
-            |n| plain(generators::cycle(n)),
-        ),
-        t(
-            "vertex-count",
-            |b, n| Box::new(VertexCountScheme::new(b, n as u64)),
-            |n| plain(generators::path(n)),
-        ),
-        t(
-            "universal-connected",
-            |b, _| {
-                Box::new(UniversalScheme::new(b, "universal-connected", |g| {
-                    g.is_connected()
-                }))
-            },
-            |n| plain(generators::clique(n)),
-        ),
-        t(
-            "tree-diameter-3",
-            |b, _| Box::new(TreeDiameterScheme::new(b, 3)),
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "treedepth-3",
-            |b, _| Box::new(TreedepthScheme::new(b, 3)),
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "tree-depth-bound-2",
-            |_, _| Box::new(TreeDepthBoundScheme::new(2)),
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "mso-perfect-matching",
-            |_, _| Box::new(MsoTreeScheme::new(library::has_perfect_matching())),
-            |n| {
-                plain(generators::path(if n.is_multiple_of(2) {
-                    n
-                } else {
-                    n + 1
-                }))
-            },
-        ),
-        t(
-            "mso-height-5",
-            |_, _| Box::new(MsoTreeScheme::new(library::height_at_most(5))),
-            // Spiders with legs of length 2: height 2 from the hub, any
-            // number of legs.
-            |n| plain(generators::spider(((n.max(7) - 1) / 2).max(3), 2)),
-        ),
-        t(
-            "word-no-11",
-            |_, _| Box::new(WordPathScheme::new(no_11_nfa())),
-            |n| {
-                let alternating: Vec<usize> = (0..n)
-                    .map(|i| usize::from(i % 2 == 1 && i + 1 < n))
-                    .collect();
-                (generators::path(n), Some(alternating))
-            },
-        ),
-        t(
-            "existential-triangle",
-            |b, _| {
-                Box::new(
-                    ExistentialFoScheme::new(b, &props::has_clique(3))
-                        .expect("has_clique(3) is existential"),
-                )
-            },
-            |n| plain(lollipop(n)),
-        ),
-        t(
-            "depth2-dominating",
-            |b, _| {
-                Box::new(
-                    Depth2FoScheme::from_formula(b, &props::has_dominating_vertex())
-                        .expect("has_dominating_vertex is depth-2"),
-                )
-            },
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "path-minor-free-4",
-            |b, _| Box::new(PathMinorFreeScheme::new(b, 4)),
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "ct-minor-free-3",
-            |b, _| Box::new(CtMinorFreeScheme::new(b, 3)),
-            |n| plain(generators::path(n)),
-        ),
-        t(
-            "kernel-triangle-free",
-            |b, _| {
-                Box::new(
-                    KernelMsoScheme::new(b, 3, props::triangle_free())
-                        .expect("triangle-free kernelizes"),
-                )
-            },
-            |n| plain(generators::star(n)),
-        ),
-        t(
-            "and-acyclic-count",
-            |b, n| {
-                Box::new(AndScheme::new(
-                    AcyclicityScheme::new(b),
-                    VertexCountScheme::new(b, n as u64),
-                    16,
-                ))
-            },
-            |n| plain(generators::path(n)),
-        ),
-    ];
-    for target in &mut out {
-        if target.name == "universal-connected" {
-            target.grid = GRID_UNIVERSAL;
-            target.quick_grid = GRID_UNIVERSAL_QUICK;
-        }
-    }
-    out
+    locert_core::catalogue::entries()
+        .into_iter()
+        .map(|e| {
+            // The universal scheme broadcasts the n² map; keep its grid
+            // small.
+            let (grid, quick_grid) = if e.id == "universal-connected" {
+                (GRID_UNIVERSAL, GRID_UNIVERSAL_QUICK)
+            } else {
+                (GRID, GRID_QUICK)
+            };
+            SweepTarget {
+                name: e.id,
+                grid,
+                quick_grid,
+                build: e.build,
+                family: e.family,
+            }
+        })
+        .collect()
 }
 
 /// One measured sweep point.

@@ -39,5 +39,6 @@ pub mod s1_soundness;
 pub mod s2_faults;
 pub mod s3_oracle;
 pub mod s4_net;
+pub mod s5_serve;
 
 pub use report::Table;

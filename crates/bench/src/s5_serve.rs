@@ -1,0 +1,196 @@
+//! S5 — Certification as a service: daemon throughput and cache curve.
+//!
+//! The schemes' prover/verifier split maps naturally onto a service
+//! boundary: proving is centralized and expensive, verification is the
+//! cheap distributed act (Section 2). `locert-serve` makes that split
+//! operational — this experiment drives a live in-process daemon with
+//! the seeded loadgen workload over a real TCP socket.
+//!
+//! S5a measures end-to-end throughput and latency for the cold phase
+//! (every request certifies a fresh instance) against the repeated
+//! phase (a small pool cycled until the content-addressed certificate
+//! cache serves almost everything). S5b sweeps the cache capacity
+//! against a fixed repeated pool: LRU under a cyclic access pattern is
+//! all-or-nothing — one slot short of the pool size thrashes to zero
+//! hits, pool-sized capacity converges to the compulsory-miss optimum.
+//! The S5b counters are seed-deterministic; wall-clock columns in S5a
+//! are not (and stay out of the committed metrics baseline).
+
+use crate::report::{f2, Table};
+use locert_serve::loadgen::{run_loadgen, LoadgenConfig};
+use locert_serve::{ServeConfig, Server};
+
+fn start_server(cache_capacity: usize) -> Server {
+    Server::start(&ServeConfig {
+        cache_capacity,
+        ..ServeConfig::default()
+    })
+    .expect("bind an ephemeral port for the S5 daemon")
+}
+
+/// Nearest-rank quantile over one phase's samples, in microseconds.
+fn quantile_us(report: &locert_serve::loadgen::Report, phase: Option<u8>, q: f64) -> String {
+    match report.latency_quantile_ns(phase, q) {
+        Some(ns) => format!("{:.1}", ns as f64 / 1_000.0),
+        None => "-".to_string(),
+    }
+}
+
+/// Sequential per-phase throughput: samples over their summed latency.
+fn throughput_rps(report: &locert_serve::loadgen::Report, phase: Option<u8>) -> String {
+    let samples: Vec<u64> = report
+        .latency_ns
+        .iter()
+        .filter(|(p, _)| phase.is_none_or(|want| want == *p))
+        .map(|&(_, ns)| ns)
+        .collect();
+    let total_ns: u64 = samples.iter().sum();
+    if total_ns == 0 {
+        return "-".to_string();
+    }
+    format!(
+        "{:.0}",
+        samples.len() as f64 * 1_000_000_000.0 / total_ns as f64
+    )
+}
+
+/// S5a: one seeded mixed workload against a live daemon, tabulated per
+/// phase. Wall-clock columns vary run to run; the request, verdict, and
+/// cache-disposition counts do not.
+pub fn run_throughput(quick: bool) -> Table {
+    let (unique, repeats) = if quick { (12, 60) } else { (30, 90) };
+    let server = start_server(256);
+    let config = LoadgenConfig {
+        addr: server.addr(),
+        unique,
+        repeats,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&config).expect("S5a workload completes");
+    assert_eq!(report.mismatches, 0, "S5a verdict cross-check failed");
+    assert_eq!(report.unexpected, 0, "S5a saw unexpected error codes");
+    let mut t = Table::new(
+        "S5a",
+        "Certification service: throughput and latency by phase (locert-serve)",
+        "Centralized proving with distributed radius-1 verification is a \
+         service: certificates are content-addressed by instance digest, \
+         so re-certifying a known instance costs a cache lookup instead \
+         of a prover run (Sec. 2 prover/verifier split).",
+        "every verdict matches a direct run_verification, and the \
+         repeated phase is served from the cache at a higher request \
+         rate than the cold phase",
+        &[
+            "phase",
+            "requests",
+            "hit",
+            "miss",
+            "hit-rate",
+            "throughput [req/s]",
+            "p50 [us]",
+            "p99 [us]",
+        ],
+    );
+    let phase1 = (report.requests - report.phase2_requests, 0u64);
+    let phase2 = (report.phase2_requests, report.phase2_hits);
+    for (label, phase, (requests, hits)) in [
+        ("cold (fresh instances)", Some(1u8), phase1),
+        ("repeated (cached pool)", Some(2u8), phase2),
+    ] {
+        let misses = requests - hits;
+        t.push([
+            label.to_string(),
+            requests.to_string(),
+            hits.to_string(),
+            misses.to_string(),
+            f2(hits as f64 / requests.max(1) as f64),
+            throughput_rps(&report, phase),
+            quantile_us(&report, phase, 0.5),
+            quantile_us(&report, phase, 0.99),
+        ]);
+    }
+    t
+}
+
+/// S5b: repeated-pool hit rate as a function of cache capacity. Fully
+/// deterministic: the workload is seeded and the daemon serves it on
+/// one connection in order.
+pub fn run_hit_curve(quick: bool) -> Table {
+    let pool = 8usize;
+    let repeats = if quick { 40 } else { 120 };
+    let mut t = Table::new(
+        "S5b",
+        "Certificate-cache hit rate vs. capacity (LRU, cyclic pool)",
+        "A content-addressed certificate cache turns repeat certification \
+         into O(1) service; LRU under a cyclic request pattern is \
+         all-or-nothing around the working-set size.",
+        "zero hits at every capacity below the pool size, and exactly \
+         (repeats - pool) hits at or above it",
+        &[
+            "capacity", "pool", "requests", "hit", "miss", "evict", "hit-rate",
+        ],
+    );
+    for capacity in [pool / 2, pool - 1, pool, 2 * pool] {
+        let server = start_server(capacity);
+        let config = LoadgenConfig {
+            addr: server.addr(),
+            unique: 0,
+            distinct: pool,
+            repeats,
+            ..LoadgenConfig::default()
+        };
+        let report = run_loadgen(&config).expect("S5b workload completes");
+        assert_eq!(report.mismatches, 0, "S5b verdict cross-check failed");
+        let (hits, misses, evictions) = server.cache_stats();
+        t.push([
+            capacity.to_string(),
+            pool.to_string(),
+            repeats.to_string(),
+            hits.to_string(),
+            misses.to_string(),
+            evictions.to_string(),
+            f2(hits as f64 / repeats.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Runs both S5 tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![run_throughput(quick), run_hit_curve(quick)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s5b_hit_curve_is_all_or_nothing_around_the_pool_size() {
+        let t = run_hit_curve(true);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let capacity: usize = row[0].parse().unwrap();
+            let pool: usize = row[1].parse().unwrap();
+            let repeats: u64 = row[2].parse().unwrap();
+            let hits: u64 = row[3].parse().unwrap();
+            if capacity < pool {
+                assert_eq!(hits, 0, "cyclic LRU below the pool size must thrash");
+            } else {
+                assert_eq!(
+                    hits,
+                    repeats - pool as u64,
+                    "pool-sized capacity must reach the compulsory-miss optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s5a_phases_tabulate_and_the_repeated_phase_hits() {
+        let t = run_throughput(true);
+        assert_eq!(t.rows.len(), 2);
+        let cold_rate: f64 = t.rows[0][4].parse().unwrap();
+        let repeated_rate: f64 = t.rows[1][4].parse().unwrap();
+        assert_eq!(cold_rate, 0.0, "fresh instances never hit");
+        assert!(repeated_rate >= 0.9, "repeated phase must be cache-hot");
+    }
+}

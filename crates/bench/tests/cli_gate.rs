@@ -211,6 +211,51 @@ fn metrics_schema_compares_wall_seconds() {
 }
 
 #[test]
+fn serve_schema_compares_latency_quantiles() {
+    let base = scratch("serve_base.json");
+    let slow = scratch("serve_slow.json");
+    std::fs::write(
+        &base,
+        r#"{"schema": "locert-serve/v1", "latency": [{"name": "request", "p50_ns": 100000.0, "p99_ns": 900000.0}, {"name": "request.repeated", "p50_ns": 20000.0, "p99_ns": 80000.0}]}"#,
+    )
+    .unwrap();
+    // Identity passes and the flattened quantile rows appear.
+    let out = bench_diff().arg(&base).arg(&base).output().unwrap();
+    assert!(
+        out.status.success(),
+        "identical serve artifacts must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| request/p50 |"), "report: {stdout}");
+    assert!(
+        stdout.contains("| request.repeated/p99 |"),
+        "report: {stdout}"
+    );
+    assert!(stdout.contains("latency ns"), "report: {stdout}");
+    // A synthetic 2x slowdown trips the gate.
+    let scaled = bench_diff()
+        .args(["scale", "2.0"])
+        .arg(&base)
+        .arg(&slow)
+        .output()
+        .unwrap();
+    assert!(scaled.status.success());
+    let out = bench_diff().arg(&base).arg(&slow).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "2x latency must trip the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // Serve artifacts never compare against another schema.
+    let criterion = scratch("serve_vs_criterion.json");
+    std::fs::write(&criterion, CRITERION_FIXTURE).unwrap();
+    let out = bench_diff().arg(&base).arg(&criterion).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "schema mismatch is an error");
+}
+
+#[test]
 fn experiments_rejects_unwritable_metrics_path_without_panicking() {
     let out_md = scratch("unwritable_report.md");
     let out = experiments()

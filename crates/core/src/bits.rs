@@ -89,6 +89,26 @@ impl Certificate {
         &self.bytes
     }
 
+    /// Builds a certificate from raw bytes and a bit length — the
+    /// binary-wire inverse of [`Certificate::as_bytes`] +
+    /// [`Certificate::len_bits`]. Returns `None` unless the byte count
+    /// matches `len_bits` exactly and the final byte's trailing padding
+    /// bits are zero (the canonical form, as in [`Certificate::from_hex`]).
+    pub fn from_bytes(bytes: Vec<u8>, len_bits: usize) -> Option<Certificate> {
+        if bytes.len() != len_bits.div_ceil(8) {
+            return None;
+        }
+        if !len_bits.is_multiple_of(8) {
+            if let Some(&last) = bytes.last() {
+                let used = len_bits % 8;
+                if last & ((1u8 << (8 - used)) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Certificate { bytes, len_bits })
+    }
+
     /// Serializes as `"<len_bits>:<hex bytes>"` (for files and CLIs).
     pub fn to_hex(&self) -> String {
         let mut s = format!("{}:", self.len_bits);

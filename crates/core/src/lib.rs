@@ -39,9 +39,14 @@
 //! span to a named component via [`bits::BitWriter::component`]
 //! (captured by `locert_trace::ledger`), and the `boundcheck` gate fits
 //! measured size curves against the declared family (DESIGN.md §10).
+//!
+//! The [`catalogue`] module names all sixteen scheme families with
+//! stable id strings — the single registry behind the fault campaigns,
+//! bound sweeps, oracle, and the `locert-serve` request dispatch.
 
 pub mod attacks;
 pub mod bits;
+pub mod catalogue;
 pub mod faults;
 pub mod framework;
 pub mod radius;

@@ -12,6 +12,8 @@
 //!   isomorphism, and tree centers;
 //! - fixed-point-free automorphisms of trees ([`automorphism`]), the
 //!   non-MSO property of Theorem 2.3;
+//! - content digests over the canonical edge list ([`digest`]), the
+//!   cache key of the `locert-serve` certificate cache;
 //! - minor checks for paths and cycles ([`minors`]), used by Corollary 2.7;
 //! - deterministic and random generators ([`generators`]) for all the
 //!   workloads in the experiment suite, including the paper's gadget
@@ -36,6 +38,7 @@
 pub mod automorphism;
 pub mod bcc;
 pub mod canon;
+pub mod digest;
 pub mod enumerate;
 pub mod generators;
 pub mod graph;

@@ -1,0 +1,101 @@
+//! Digest stability under presentation relabeling: any `.graph` text
+//! that parses to the same labeled graph — shuffled edge lines, flipped
+//! endpoints, duplicated edges, comments, a redundant header, CRLF —
+//! must produce the same [`locert_graph::digest::digest`] value after
+//! an `io` round-trip. This is the property that makes the digest safe
+//! as a persisted cache key: clients may serialize however they like.
+
+use locert_graph::digest::{digest, digest_instance};
+use locert_graph::io::{parse_edge_list, to_edge_list};
+use locert_graph::{generators, IdAssignment};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Renders `g` as a deliberately messy edge list steered by `rng`.
+fn noisy_presentation(g: &locert_graph::Graph, rng: &mut StdRng) -> String {
+    let mut lines: Vec<String> = g
+        .edges()
+        .map(|(u, v)| {
+            if rng.random_bool(0.5) {
+                format!("{} {}", v.0, u.0)
+            } else {
+                format!("{} {}", u.0, v.0)
+            }
+        })
+        .collect();
+    // Duplicate a few edges; the parser collapses them.
+    for _ in 0..rng.random_range(0..3usize) {
+        if !lines.is_empty() {
+            let pick = lines[rng.random_range(0..lines.len())].clone();
+            lines.push(pick);
+        }
+    }
+    lines.shuffle(rng);
+    // Interleave comment and blank lines.
+    let mut out = String::new();
+    // The header is required when isolated vertices exist; emitting it
+    // always exercises the duplicate-information path too.
+    out.push_str(&format!("c noisy presentation\np {}\n", g.num_nodes()));
+    let crlf = rng.random_bool(0.5);
+    let eol = if crlf { "\r\n" } else { "\n" };
+    for line in lines {
+        if rng.random_bool(0.2) {
+            out.push_str("# noise");
+            out.push_str(eol);
+        }
+        if rng.random_bool(0.1) {
+            out.push_str(eol);
+        }
+        out.push_str(&line);
+        out.push_str(eol);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn noisy_round_trips_hash_identically(seed in 0u64..1 << 16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(2..24usize);
+        let extra = rng.random_range(0..8usize);
+        let g = generators::random_connected(n, extra, &mut rng);
+        let reference = digest(&g);
+
+        // The canonical round-trip is a fixpoint.
+        let canonical = parse_edge_list(&to_edge_list(&g)).unwrap();
+        prop_assert_eq!(digest(&canonical), reference);
+
+        // Any messy presentation of the same labeled graph agrees.
+        for _ in 0..3 {
+            let noisy = noisy_presentation(&g, &mut rng);
+            let parsed = parse_edge_list(&noisy).unwrap();
+            prop_assert_eq!(
+                digest(&parsed),
+                reference,
+                "presentation changed the digest:\n{}",
+                noisy
+            );
+        }
+    }
+
+    /// Relabeling network identifiers is invisible to the digest: the
+    /// instance key depends on the labeled graph and inputs only, never
+    /// on the identifier assignment a deployment happens to use.
+    #[test]
+    fn identifier_relabeling_preserves_instance_digest(seed in 0u64..1 << 16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(2..16usize);
+        let g = generators::random_connected(n, 2, &mut rng);
+        let word: Vec<usize> = (0..n).map(|_| rng.random_range(0..2usize)).collect();
+        let before = digest_instance(&g, Some(&word));
+        // Identifier assignments live outside the graph; shuffling them
+        // must leave every digest untouched (they are not hashed).
+        let _shuffled = IdAssignment::shuffled(n, &mut rng);
+        prop_assert_eq!(digest_instance(&g, Some(&word)), before);
+        prop_assert_eq!(digest(&g), digest(&parse_edge_list(&to_edge_list(&g)).unwrap()));
+    }
+}

@@ -1,38 +1,26 @@
 //! The sixteen (scheme, yes-instance) targets of the network campaign.
 //!
-//! One target per scheme family in the workspace — tree certification,
-//! counting, diameter, treedepth (paper and kernel routes), MSO on
-//! trees and words, existential and depth-2 FO, minor-freeness, the
-//! universal fallback, and a combinator — each paired with a small
-//! yes-instance whose honest certificates the fault grid then attacks
-//! in transit.
+//! One target per scheme family in the shared catalogue
+//! ([`locert_core::catalogue`]) — tree certification, counting,
+//! diameter, treedepth (paper and kernel routes), MSO on trees and
+//! words, existential and depth-2 FO, minor-freeness, the universal
+//! fallback, and a combinator — each paired with a small yes-instance
+//! whose honest certificates the fault grid then attacks in transit.
+//! The schemes themselves are built by stable id via
+//! [`locert_core::catalogue::build`]; only the instance pairing is
+//! campaign-specific.
 
-use locert_automata::library;
-use locert_automata::words::Nfa;
-use locert_core::schemes::acyclicity::AcyclicityScheme;
-use locert_core::schemes::combinators::AndScheme;
-use locert_core::schemes::depth2_fo::Depth2FoScheme;
-use locert_core::schemes::existential_fo::ExistentialFoScheme;
-use locert_core::schemes::kernel_mso::KernelMsoScheme;
-use locert_core::schemes::minor_free::{CtMinorFreeScheme, PathMinorFreeScheme};
-use locert_core::schemes::mso_tree::MsoTreeScheme;
-use locert_core::schemes::spanning_tree::{SpanningTreeScheme, VertexCountScheme};
-use locert_core::schemes::tree_depth_bound::TreeDepthBoundScheme;
-use locert_core::schemes::tree_diameter::TreeDiameterScheme;
-use locert_core::schemes::treedepth::TreedepthScheme;
-use locert_core::schemes::universal::UniversalScheme;
-use locert_core::schemes::word_path::WordPathScheme;
+use locert_core::catalogue::{self, lollipop};
 use locert_core::Scheme;
 use locert_graph::{generators, Graph};
-use locert_logic::props;
-use std::collections::BTreeSet;
 
 /// Identifier field width used by every catalogued scheme.
 pub const ID_BITS: u32 = 16;
 
 /// One campaign target: a scheme and a yes-instance it certifies.
 pub struct NetTarget {
-    /// Stable target name (journals and tables key on it).
+    /// Stable target name (journals and tables key on it) — the shared
+    /// catalogue's scheme id.
     pub name: &'static str,
     /// The scheme under test.
     pub scheme: Box<dyn Scheme>,
@@ -40,32 +28,6 @@ pub struct NetTarget {
     pub graph: Graph,
     /// Vertex inputs, for input-reading schemes (word letters).
     pub inputs: Option<Vec<usize>>,
-}
-
-fn lollipop(n: usize) -> Graph {
-    let n = n.max(4);
-    let mut edges = vec![(0, 1), (1, 2), (2, 0)];
-    for v in 3..n {
-        edges.push((v - 1, v));
-    }
-    Graph::from_edges(n, edges).expect("lollipop is simple and connected")
-}
-
-/// The two-state "no two consecutive 1s" NFA (both states accepting;
-/// reading `1` twice in a row has no successor).
-fn no_11_nfa() -> Nfa {
-    let set = |states: &[usize]| states.iter().copied().collect::<BTreeSet<_>>();
-    Nfa::new(
-        2,
-        2,
-        set(&[0]),
-        vec![true, true],
-        vec![
-            vec![set(&[0]), set(&[1])], // q0: last letter was not 1.
-            vec![set(&[0]), set(&[])],  // q1: last letter was 1.
-        ],
-    )
-    .expect("well-formed NFA")
 }
 
 /// Builds the full sixteen-target catalogue, scaled to instances of
@@ -77,119 +39,37 @@ pub fn catalogue(n: usize) -> Vec<NetTarget> {
     let alternating: Vec<usize> = (0..n)
         .map(|i| usize::from(i % 2 == 1 && i + 1 < n))
         .collect();
-    vec![
-        NetTarget {
-            name: "acyclicity",
-            scheme: Box::new(AcyclicityScheme::new(ID_BITS)),
-            graph: generators::path(n),
-            inputs: None,
-        },
-        NetTarget {
-            name: "spanning-tree",
-            scheme: Box::new(SpanningTreeScheme::new(ID_BITS)),
-            graph: generators::cycle(n),
-            inputs: None,
-        },
-        NetTarget {
-            name: "vertex-count",
-            scheme: Box::new(VertexCountScheme::new(ID_BITS, n as u64)),
-            graph: generators::path(n),
-            inputs: None,
-        },
-        NetTarget {
-            name: "universal-connected",
-            scheme: Box::new(UniversalScheme::new(ID_BITS, "universal-connected", |g| {
-                g.is_connected()
-            })),
-            graph: generators::clique(5),
-            inputs: None,
-        },
-        NetTarget {
-            name: "tree-diameter-3",
-            scheme: Box::new(TreeDiameterScheme::new(ID_BITS, 3)),
-            graph: generators::star(n.min(9)),
-            inputs: None,
-        },
-        NetTarget {
-            name: "treedepth-3",
-            scheme: Box::new(TreedepthScheme::new(ID_BITS, 3)),
-            graph: generators::path(7),
-            inputs: None,
-        },
-        NetTarget {
-            name: "tree-depth-bound-2",
-            scheme: Box::new(TreeDepthBoundScheme::new(2)),
-            graph: generators::star(n.min(9)),
-            inputs: None,
-        },
-        NetTarget {
-            name: "mso-perfect-matching",
-            scheme: Box::new(MsoTreeScheme::new(library::has_perfect_matching())),
-            graph: generators::path(even),
-            inputs: None,
-        },
-        NetTarget {
-            name: "mso-height-5",
-            scheme: Box::new(MsoTreeScheme::new(library::height_at_most(5))),
-            graph: generators::spider(3, 2),
-            inputs: None,
-        },
-        NetTarget {
-            name: "word-no-11",
-            scheme: Box::new(WordPathScheme::new(no_11_nfa())),
-            graph: generators::path(n),
-            inputs: Some(alternating),
-        },
-        NetTarget {
-            name: "existential-triangle",
-            scheme: Box::new(
-                ExistentialFoScheme::new(ID_BITS, &props::has_clique(3))
-                    .expect("has_clique(3) is existential"),
-            ),
-            graph: lollipop(n),
-            inputs: None,
-        },
-        NetTarget {
-            name: "depth2-dominating",
-            scheme: Box::new(
-                Depth2FoScheme::from_formula(ID_BITS, &props::has_dominating_vertex())
-                    .expect("has_dominating_vertex is depth-2"),
-            ),
-            graph: generators::star(n.min(9)),
-            inputs: None,
-        },
-        NetTarget {
-            name: "path-minor-free-4",
-            scheme: Box::new(PathMinorFreeScheme::new(ID_BITS, 4)),
-            graph: generators::star(n.min(9)),
-            inputs: None,
-        },
-        NetTarget {
-            name: "ct-minor-free-3",
-            scheme: Box::new(CtMinorFreeScheme::new(ID_BITS, 3)),
-            graph: generators::path(7),
-            inputs: None,
-        },
-        NetTarget {
-            name: "kernel-triangle-free",
-            scheme: Box::new(
-                KernelMsoScheme::new(ID_BITS, 3, props::triangle_free())
-                    .expect("triangle-free kernelizes"),
-            ),
-            graph: generators::path(7),
-            inputs: None,
-        },
-        NetTarget {
-            name: "and-acyclic-count",
-            scheme: Box::new(AndScheme::new(
-                AcyclicityScheme::new(ID_BITS),
-                VertexCountScheme::new(ID_BITS, n as u64),
-                16,
-            )),
-            graph: generators::path(n),
-            inputs: None,
-        },
-    ]
+    let instances: Vec<(&'static str, Graph, Option<Vec<usize>>)> = vec![
+        ("acyclicity", generators::path(n), None),
+        ("spanning-tree", generators::cycle(n), None),
+        ("vertex-count", generators::path(n), None),
+        ("universal-connected", generators::clique(5), None),
+        ("tree-diameter-3", generators::star(n.min(9)), None),
+        ("treedepth-3", generators::path(7), None),
+        ("tree-depth-bound-2", generators::star(n.min(9)), None),
+        ("mso-perfect-matching", generators::path(even), None),
+        ("mso-height-5", generators::spider(3, 2), None),
+        ("word-no-11", generators::path(n), Some(alternating)),
+        ("existential-triangle", lollipop(n), None),
+        ("depth2-dominating", generators::star(n.min(9)), None),
+        ("path-minor-free-4", generators::star(n.min(9)), None),
+        ("ct-minor-free-3", generators::path(7), None),
+        ("kernel-triangle-free", generators::path(7), None),
+        ("and-acyclic-count", generators::path(n), None),
+    ];
+    instances
+        .into_iter()
+        .map(|(name, graph, inputs)| {
+            let scheme = catalogue::build(name, ID_BITS, graph.num_nodes())
+                .unwrap_or_else(|| panic!("{name} is a catalogued scheme id"));
+            NetTarget {
+                name,
+                scheme,
+                graph,
+                inputs,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -205,6 +85,12 @@ mod tests {
         assert_eq!(targets.len(), 16);
         let names: BTreeSet<_> = targets.iter().map(|t| t.name).collect();
         assert_eq!(names.len(), targets.len(), "duplicate target names");
+    }
+
+    #[test]
+    fn target_names_are_shared_catalogue_ids_in_order() {
+        let names: Vec<_> = catalogue(12).iter().map(|t| t.name).collect();
+        assert_eq!(names, locert_core::catalogue::ids());
     }
 
     #[test]

@@ -13,14 +13,8 @@
 //! refusals must be typed errors, never panics — but draws no verdict.
 
 use locert_automata::library;
-use locert_core::schemes::acyclicity::AcyclicityScheme;
-use locert_core::schemes::depth2_fo::Depth2FoScheme;
-use locert_core::schemes::existential_fo::ExistentialFoScheme;
-use locert_core::schemes::kernel_mso::KernelMsoScheme;
-use locert_core::schemes::minor_free::PathMinorFreeScheme;
-use locert_core::schemes::mso_tree::MsoTreeScheme;
-use locert_core::schemes::spanning_tree::{SpanningTreeScheme, VertexCountScheme};
-use locert_core::schemes::treedepth::TreedepthScheme;
+use locert_core::catalogue;
+use locert_core::schemes::spanning_tree::VertexCountScheme;
 use locert_core::schemes::universal::UniversalScheme;
 use locert_core::Scheme;
 use locert_graph::rooted::RootedTree;
@@ -31,7 +25,9 @@ use locert_logic::{eval, props};
 /// for shuffled identifier assignments on every family graph.
 pub const ID_BITS: u32 = 16;
 
-/// Treedepth bound certified by the treedepth and kernel cases.
+/// Treedepth bound certified by the treedepth and kernel cases —
+/// matches the bound baked into the shared catalogue's `treedepth-3`
+/// and `kernel-triangle-free` constructions.
 pub const TD_BOUND: usize = 3;
 
 /// One differential-testing case.
@@ -118,31 +114,36 @@ fn has_triangle_direct(g: &Graph) -> bool {
         .any(|(u, v)| g.neighbors(u).iter().any(|w| g.neighbors(v).contains(w)))
 }
 
+/// Builds a shared-catalogue scheme by stable id. The instance-size
+/// parameter is irrelevant for every id the oracle delegates (none of
+/// them bind `n`); the differing constructions below stay local.
+fn shared(id: &str) -> Box<dyn Scheme> {
+    catalogue::build(id, ID_BITS, 0)
+        .unwrap_or_else(|| panic!("{id} is a shared-catalogue scheme id"))
+}
+
 fn build_spanning_tree() -> Box<dyn Scheme> {
-    Box::new(SpanningTreeScheme::new(ID_BITS))
+    shared("spanning-tree")
 }
 
 fn build_vertex_count() -> Box<dyn Scheme> {
+    // Not the catalogue's `vertex-count`: the oracle variant certifies
+    // *any* count (the truth is connectivity), not a fixed target `n`.
     Box::new(VertexCountScheme::any_count(ID_BITS))
 }
 
 fn build_universal_connected() -> Box<dyn Scheme> {
     // The verifier independently rejects disconnected broadcast maps;
     // the property closure is the identity on top of that.
-    Box::new(UniversalScheme::new(ID_BITS, "universal-connected", |g| {
-        g.is_connected()
-    }))
+    shared("universal-connected")
 }
 
 fn build_treedepth() -> Box<dyn Scheme> {
-    Box::new(TreedepthScheme::new(ID_BITS, TD_BOUND))
+    shared("treedepth-3")
 }
 
 fn build_depth2_dominating() -> Box<dyn Scheme> {
-    Box::new(
-        Depth2FoScheme::from_formula(ID_BITS, &props::has_dominating_vertex())
-            .expect("has_dominating_vertex is a depth-2 sentence"),
-    )
+    shared("depth2-dominating")
 }
 
 fn build_universal_dominating() -> Box<dyn Scheme> {
@@ -154,10 +155,7 @@ fn build_universal_dominating() -> Box<dyn Scheme> {
 }
 
 fn build_existential_triangle() -> Box<dyn Scheme> {
-    Box::new(
-        ExistentialFoScheme::new(ID_BITS, &props::has_clique(3))
-            .expect("has_clique(3) is an existential sentence"),
-    )
+    shared("existential-triangle")
 }
 
 fn build_universal_triangle() -> Box<dyn Scheme> {
@@ -169,22 +167,19 @@ fn build_universal_triangle() -> Box<dyn Scheme> {
 }
 
 fn build_mso_perfect_matching() -> Box<dyn Scheme> {
-    Box::new(MsoTreeScheme::new(library::has_perfect_matching()))
+    shared("mso-perfect-matching")
 }
 
 fn build_path_minor_free() -> Box<dyn Scheme> {
-    Box::new(PathMinorFreeScheme::new(ID_BITS, 4))
+    shared("path-minor-free-4")
 }
 
 fn build_kernel_triangle_free() -> Box<dyn Scheme> {
-    Box::new(
-        KernelMsoScheme::new(ID_BITS, TD_BOUND, props::triangle_free())
-            .expect("triangle-free kernelizes at this bound"),
-    )
+    shared("kernel-triangle-free")
 }
 
 fn build_acyclicity() -> Box<dyn Scheme> {
-    Box::new(AcyclicityScheme::new(ID_BITS))
+    shared("acyclicity")
 }
 
 /// The full case catalogue. Order is stable — journals, repro file

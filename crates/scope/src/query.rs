@@ -32,6 +32,7 @@ pub fn kind_of(event: &Event) -> &'static str {
         Event::NetRetry { .. } => "net-retry",
         Event::NetCrash { .. } => "net-crash",
         Event::NetVerdict { .. } => "net-verdict",
+        Event::ServeRequest { .. } => "serve-request",
         Event::RoundMark { .. } => "round-mark",
         Event::Marker { .. } => "marker",
     }
@@ -52,6 +53,7 @@ pub fn vertices_of(event: &Event) -> Vec<u64> {
         | Event::CampaignRound { .. }
         | Event::OracleDisagreement { .. }
         | Event::ShrinkStep { .. }
+        | Event::ServeRequest { .. }
         | Event::RoundMark { .. }
         | Event::Marker { .. } => Vec::new(),
     }
@@ -66,6 +68,7 @@ pub fn name_of(event: &Event) -> Option<&str> {
         | Event::Detection { model, .. }
         | Event::CampaignRound { model, .. } => Some(model),
         Event::OracleDisagreement { case, .. } | Event::ShrinkStep { case, .. } => Some(case),
+        Event::ServeRequest { scheme, .. } => Some(scheme),
         Event::RoundMark { scope, .. } => Some(scope),
         Event::Marker { label } => Some(label),
         _ => None,

@@ -1,0 +1,281 @@
+//! loadgen — seeded load generator for a live locert-serve daemon.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--seed N] [--unique N] [--distinct N]
+//!         [--repeats N] [--concurrency N] [--qps N] [--schemes a,b,c]
+//!         [--inject-errors N] [--mode prove|verify|roundtrip]
+//!         [--min-hit-rate F] [--out DIR] [--shutdown]
+//! ```
+//!
+//! Replays the two-phase seeded workload (fresh instances, then a
+//! repeated pool exercising the certificate cache), cross-checks every
+//! verdict locally, and prints one summary line per phase. With
+//! `--out DIR` writes `loadgen-deterministic.txt` (the byte-comparable
+//! counter lines) and `loadgen-metrics.json` (a `locert-trace/v2`
+//! document splitting counts from wall-clock timings). Exits 0 when
+//! every gate holds — zero unexpected errors, zero verdict mismatches,
+//! and the phase-2 hit rate at or above `--min-hit-rate` — 1 on a gate
+//! violation, 2 on usage errors.
+
+use locert_serve::loadgen::{run_loadgen, LoadgenConfig, DEFAULT_MIX};
+use locert_serve::Mode;
+use locert_trace::json::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: loadgen --addr HOST:PORT [--seed N] [--unique N] [--distinct N]
+               [--repeats N] [--concurrency N] [--qps N] [--schemes a,b,c]
+               [--inject-errors N] [--mode prove|verify|roundtrip]
+               [--min-hit-rate F] [--out DIR] [--shutdown]
+
+Seeded two-phase workload against a live locert-serve daemon, with
+local verdict cross-checks and cache-hit accounting.
+
+  --addr HOST:PORT   daemon protocol address (required)
+  --seed N           workload seed (default 1)
+  --unique N         phase-1 fresh-instance requests (default 30)
+  --distinct N       phase-2 distinct instances (default 5)
+  --repeats N        phase-2 total requests (default 60)
+  --concurrency N    worker connections; 1 = deterministic (default 1)
+  --qps N            pace across workers; 0 = unpaced (default 0)
+  --schemes a,b,c    scheme mix (default spanning-tree,acyclicity,
+                     mso-perfect-matching)
+  --inject-errors N  unknown-scheme probes expecting that exact code
+  --mode M           prove | verify-less roundtrip (default roundtrip)
+  --min-hit-rate F   phase-2 hit-rate gate (default 0.9; 0 disables)
+  --out DIR          write loadgen-deterministic.txt and
+                     loadgen-metrics.json
+  --shutdown         send the drain opcode after the workload";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("loadgen: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+struct Args {
+    config: LoadgenConfig,
+    addr: Option<String>,
+    min_hit_rate: f64,
+    out: Option<std::path::PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: LoadgenConfig::default(),
+        addr: None,
+        min_hit_rate: 0.9,
+        out: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let num = |name: &str, it: &mut dyn Iterator<Item = String>| -> Result<usize, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {name} value {v:?}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--seed" => args.config.seed = num("--seed", &mut it)? as u64,
+            "--unique" => args.config.unique = num("--unique", &mut it)?,
+            "--distinct" => {
+                args.config.distinct = num("--distinct", &mut it)?;
+                if args.config.distinct == 0 {
+                    return Err("--distinct must be at least 1".into());
+                }
+            }
+            "--repeats" => args.config.repeats = num("--repeats", &mut it)?,
+            "--concurrency" => {
+                args.config.concurrency = num("--concurrency", &mut it)?;
+                if args.config.concurrency == 0 {
+                    return Err("--concurrency must be at least 1".into());
+                }
+            }
+            "--qps" => args.config.qps = num("--qps", &mut it)? as u64,
+            "--inject-errors" => args.config.inject_errors = num("--inject-errors", &mut it)?,
+            "--schemes" => {
+                let v = it.next().ok_or("--schemes needs a value")?;
+                args.config.schemes = v.split(',').map(|s| s.trim().to_string()).collect();
+                if args.config.schemes.iter().any(|s| s.is_empty()) {
+                    return Err(format!("empty scheme id in {v:?}"));
+                }
+            }
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value")?;
+                args.config.mode = match v.as_str() {
+                    "prove" => Mode::Prove,
+                    "verify" => Mode::Verify,
+                    "roundtrip" => Mode::Roundtrip,
+                    _ => return Err(format!("bad mode {v:?}")),
+                };
+                if args.config.mode == Mode::Verify {
+                    return Err("verify mode needs certificates; use roundtrip".into());
+                }
+            }
+            "--min-hit-rate" => {
+                let v = it.next().ok_or("--min-hit-rate needs a value")?;
+                args.min_hit_rate = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+            }
+            "--out" => args.out = Some(it.next().ok_or("--out needs a directory")?.into()),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Serializes observed latency quantiles as a `locert-serve/v1`
+/// document — the schema `bench-diff` compares for the S5 regression
+/// gate (per-name `p50_ns`/`p99_ns`, lower is better).
+fn latency_json(report: &locert_serve::loadgen::Report) -> String {
+    let entry = |name: &str, phase: Option<u8>| {
+        Value::obj([
+            ("name".to_string(), Value::from(name)),
+            (
+                "p50_ns".to_string(),
+                Value::from(report.latency_quantile_ns(phase, 0.5).unwrap_or(0)),
+            ),
+            (
+                "p99_ns".to_string(),
+                Value::from(report.latency_quantile_ns(phase, 0.99).unwrap_or(0)),
+            ),
+        ])
+    };
+    let doc = Value::obj([
+        ("schema".to_string(), Value::from("locert-serve/v1")),
+        (
+            "latency".to_string(),
+            Value::Arr(vec![
+                entry("request", None),
+                entry("request.cold", Some(1)),
+                entry("request.repeated", Some(2)),
+            ]),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Serializes client telemetry as a `locert-trace/v2` document whose
+/// deterministic section excludes every wall-clock quantity.
+fn metrics_json(report: &locert_serve::loadgen::Report) -> String {
+    let snap = locert_trace::snapshot();
+    let (deterministic, timing) = locert_trace::export::split_deterministic(&snap);
+    let doc = Value::obj([
+        ("schema".to_string(), Value::from("locert-trace/v2")),
+        (
+            "experiments".to_string(),
+            Value::Arr(vec![Value::obj([
+                ("id".to_string(), Value::from("loadgen")),
+                (
+                    "telemetry".to_string(),
+                    locert_trace::export::snapshot_to_json(&deterministic),
+                ),
+            ])]),
+        ),
+        (
+            "timings".to_string(),
+            Value::Arr(vec![Value::obj([
+                ("id".to_string(), Value::from("loadgen")),
+                ("wall_s".to_string(), Value::Num(report.wall_s)),
+                (
+                    "telemetry".to_string(),
+                    locert_trace::export::snapshot_to_json(&timing),
+                ),
+            ])]),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+fn main() -> ExitCode {
+    let mut args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => return fail(&msg),
+    };
+    let Some(addr) = args.addr.take() else {
+        return fail("--addr is required");
+    };
+    let addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr)
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(addr) => addr,
+        None => return fail(&format!("cannot resolve {addr:?}")),
+    };
+    args.config.addr = addr;
+    if args.config.schemes.is_empty() {
+        args.config.schemes = DEFAULT_MIX.iter().map(|s| s.to_string()).collect();
+    }
+    locert_trace::enable();
+    let report = match run_loadgen(&args.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: transport failure: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "loadgen: {} requests in {:.3}s ({:.0} req/s), ok={} hit={} miss={} bypass={}",
+        report.requests,
+        report.wall_s,
+        report.requests as f64 / report.wall_s.max(1e-9),
+        report.ok,
+        report.hits,
+        report.misses,
+        report.bypass,
+    );
+    println!(
+        "loadgen: phase2 hit rate {:.3} ({}/{}), mismatches={}, unexpected={}",
+        report.phase2_hit_rate(),
+        report.phase2_hits,
+        report.phase2_requests,
+        report.mismatches,
+        report.unexpected,
+    );
+    println!(
+        "loadgen: latency p50={}ns p99={}ns",
+        report.latency_quantile_ns(None, 0.5).unwrap_or(0),
+        report.latency_quantile_ns(None, 0.99).unwrap_or(0),
+    );
+    for (code, count) in &report.errors {
+        println!("loadgen: error {code}: {count}");
+    }
+    if args.shutdown {
+        match locert_serve::Client::connect(addr).and_then(locert_serve::Client::shutdown) {
+            Ok(true) => println!("loadgen: daemon acknowledged drain"),
+            Ok(false) => eprintln!("loadgen: daemon closed without a drain ack"),
+            Err(e) => eprintln!("loadgen: drain request failed: {e}"),
+        }
+    }
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                std::fs::write(
+                    dir.join("loadgen-deterministic.txt"),
+                    report.deterministic_lines(),
+                )
+                .map_err(|e| e.to_string())?;
+                std::fs::write(dir.join("loadgen-metrics.json"), metrics_json(&report))
+                    .map_err(|e| e.to_string())?;
+                std::fs::write(dir.join("loadgen-latency.json"), latency_json(&report))
+                    .map_err(|e| e.to_string())
+            })
+        {
+            eprintln!("loadgen: cannot write artifacts to {}: {e}", dir.display());
+            return ExitCode::from(1);
+        }
+    }
+    let hit_rate_ok = args.min_hit_rate <= 0.0 || report.phase2_hit_rate() >= args.min_hit_rate;
+    if report.mismatches == 0 && report.unexpected == 0 && hit_rate_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("loadgen: gate violated");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,34 @@
+//! locert-serve: certification as a service.
+//!
+//! A std-only daemon that accepts `(graph, scheme id, mode)` requests
+//! over a length-prefixed binary protocol ([`proto`]), runs the
+//! catalogued provers and verifiers on the shared `locert-par` pool,
+//! and answers with verdicts and certificates. Proving is backed by a
+//! content-addressed certificate cache ([`cache`]) keyed on the
+//! instance digest from `locert_graph::digest` — the same labeled
+//! instance certifies once and is served from memory afterwards.
+//! Per-scheme admission limits ([`admit`]) bound in-flight work with
+//! typed `overloaded` rejections instead of queues, and shutdown drains:
+//! in-flight batches finish, late arrivals get `shutting-down`, then
+//! every thread joins ([`server`]).
+//!
+//! The companion pieces are a blocking protocol [`client`] and a seeded
+//! [`loadgen`] that replays deterministic mixed workloads against a live
+//! daemon, cross-checking every verdict against a direct local
+//! `run_verification`. An optional HTTP admin plane (the `locert-scope`
+//! exporter) serves `/metrics` and `/healthz` from the global trace
+//! registry, where the daemon counts `serve.requests`,
+//! `serve.cache.{hit,miss,evict}`, and `serve.rejected.<code>`.
+//!
+//! Wire-format and policy details live in `DESIGN.md` §12.
+
+pub mod admit;
+pub mod cache;
+pub mod client;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{CacheDisposition, ErrorCode, Mode, Request, Response};
+pub use server::{ServeConfig, Server};

@@ -193,6 +193,27 @@ pub enum Event {
         /// Logical time the verdict last changed.
         time: u64,
     },
+    /// One `locert-serve` request lifecycle: admission through verdict
+    /// (or typed rejection), with its cache disposition.
+    ServeRequest {
+        /// Connection ordinal, in accept order.
+        conn: u64,
+        /// Request ordinal within the connection (batch entries count
+        /// individually).
+        req: u64,
+        /// Stable scheme id (`locert-core`'s shared catalogue).
+        scheme: String,
+        /// Request mode: `prove`, `verify`, or `roundtrip`.
+        mode: String,
+        /// Vertex count of the request graph.
+        vertices: u64,
+        /// `accepted`, `rejected`, or a typed wire error code
+        /// (e.g. `unknown-scheme`, `overloaded`).
+        outcome: String,
+        /// Certificate-cache disposition: `hit`, `miss`, or `bypass`
+        /// (modes that never consult the cache).
+        cache: String,
+    },
     /// A logical round boundary for windowed analytics. Emitted at the
     /// *start* of a round: everything up to the next boundary event
     /// belongs to this round.
@@ -623,6 +644,26 @@ pub fn event_to_json(event: &Event) -> Value {
                 ("time".to_string(), Value::from(*time)),
             ],
         ),
+        Event::ServeRequest {
+            conn,
+            req,
+            scheme,
+            mode,
+            vertices,
+            outcome,
+            cache,
+        } => typed(
+            "serve-request",
+            vec![
+                ("conn".to_string(), Value::from(*conn)),
+                ("req".to_string(), Value::from(*req)),
+                ("scheme".to_string(), Value::from(scheme.as_str())),
+                ("mode".to_string(), Value::from(mode.as_str())),
+                ("vertices".to_string(), Value::from(*vertices)),
+                ("outcome".to_string(), Value::from(outcome.as_str())),
+                ("cache".to_string(), Value::from(cache.as_str())),
+            ],
+        ),
         Event::RoundMark { scope, round } => typed(
             "round-mark",
             vec![
@@ -748,6 +789,15 @@ pub fn event_from_json(v: &Value) -> Option<Event> {
             },
             missing: get_u64(v, "missing")?,
             time: get_u64(v, "time")?,
+        }),
+        "serve-request" => Some(Event::ServeRequest {
+            conn: get_u64(v, "conn")?,
+            req: get_u64(v, "req")?,
+            scheme: get_str(v, "scheme")?,
+            mode: get_str(v, "mode")?,
+            vertices: get_u64(v, "vertices")?,
+            outcome: get_str(v, "outcome")?,
+            cache: get_str(v, "cache")?,
         }),
         "round-mark" => Some(Event::RoundMark {
             scope: get_str(v, "scope")?,
@@ -1116,6 +1166,24 @@ mod tests {
                 reason: Some("malformed-certificate".into()),
                 missing: 0,
                 time: 12,
+            },
+            Event::ServeRequest {
+                conn: 2,
+                req: 5,
+                scheme: "spanning-tree".into(),
+                mode: "roundtrip".into(),
+                vertices: 9,
+                outcome: "accepted".into(),
+                cache: "hit".into(),
+            },
+            Event::ServeRequest {
+                conn: 0,
+                req: 0,
+                scheme: "no-such".into(),
+                mode: "prove".into(),
+                vertices: 0,
+                outcome: "unknown-scheme".into(),
+                cache: "bypass".into(),
             },
             Event::RoundMark {
                 scope: "core.faults.campaign".into(),
