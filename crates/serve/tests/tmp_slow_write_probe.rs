@@ -1,0 +1,45 @@
+use locert_serve::proto::{self, Message, Mode, Request, Response};
+use locert_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn slow_mid_frame_write_keeps_framing() {
+    let mut server = Server::start(&ServeConfig::default()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    let request = Request {
+        mode: Mode::Prove,
+        scheme: "acyclicity".to_string(),
+        n: 4,
+        edges: vec![(0, 1), (1, 2), (2, 3)],
+        inputs: None,
+        certs: None,
+    };
+    let payload = proto::encode_requests(std::slice::from_ref(&request));
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    // Send the first half, stall past the server's 200ms read timeout,
+    // then send the rest.
+    let half = wire.len() / 2;
+    w.write_all(&wire[..half]).unwrap();
+    w.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    w.write_all(&wire[half..]).unwrap();
+    w.flush().unwrap();
+    let mut r = std::io::BufReader::new(stream);
+    let reply = proto::read_frame(&mut r).unwrap();
+    match reply {
+        None => panic!("server closed the connection on a slow mid-frame write"),
+        Some(bytes) => match proto::decode(&bytes) {
+            Ok(Message::Responses(rs)) => {
+                assert!(matches!(rs[0], Response::Ok { .. }), "got {rs:?}");
+            }
+            other => panic!("expected a response batch, got {other:?}"),
+        },
+    }
+    server.shutdown();
+}
