@@ -128,7 +128,7 @@ pub fn exhaustive_soundness_in(
             certs.push(space[idx % m].clone());
             idx /= m;
         }
-        Assignment::new(certs)
+        Assignment::from_unpacked(certs)
     };
     // One candidate: journal-silent accept-all probe (short-circuits on
     // the first rejecting vertex).
@@ -226,7 +226,7 @@ pub fn random_assignments(
                 w.finish()
             })
             .collect();
-        let asg = Assignment::new(certs);
+        let asg = Assignment::from_unpacked(certs);
         if run_verification(verifier, instance, &asg).accepted() {
             return Some(asg);
         }

@@ -6,8 +6,29 @@
 //! an instance is the maximum certificate length in bits.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Storage behind a [`Certificate`]: either bytes the certificate owns,
+/// or a window into a contiguous arena shared with other certificates
+/// (see `Assignment::new`, which packs per-vertex certificates into one
+/// buffer). Views clone by bumping the arena's refcount; mutation paths
+/// ([`Certificate::with_bit_flipped`]) copy out to `Owned` first, so a
+/// view can never write into the shared arena.
+#[derive(Clone)]
+enum Repr {
+    Owned(Vec<u8>),
+    View {
+        arena: Arc<[u8]>,
+        byte_off: usize,
+        byte_len: usize,
+    },
+}
 
 /// An immutable bit string used as a vertex certificate.
+///
+/// Equality and hashing are content-based: an arena view and an owned
+/// copy with the same bits compare equal and hash identically.
 ///
 /// # Example
 ///
@@ -24,10 +45,41 @@ use std::fmt;
 /// assert_eq!(r.read(5), Some(7));
 /// assert_eq!(r.read(1), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct Certificate {
-    bytes: Vec<u8>,
+    repr: Repr,
     len_bits: usize,
+}
+
+impl Default for Certificate {
+    fn default() -> Self {
+        Certificate::const_empty()
+    }
+}
+
+impl PartialEq for Certificate {
+    fn eq(&self, other: &Self) -> bool {
+        self.len_bits == other.len_bits && self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Certificate {}
+
+impl Hash for Certificate {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len_bits.hash(state);
+        self.as_bytes().hash(state);
+    }
+}
+
+impl fmt::Debug for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Certificate")
+            .field("len_bits", &self.len_bits)
+            .field("bytes", &self.as_bytes())
+            .field("view", &matches!(self.repr, Repr::View { .. }))
+            .finish()
+    }
 }
 
 impl Certificate {
@@ -40,8 +92,49 @@ impl Certificate {
     /// the total fallback of `Assignment::cert`).
     pub const fn const_empty() -> Self {
         Certificate {
-            bytes: Vec::new(),
+            repr: Repr::Owned(Vec::new()),
             len_bits: 0,
+        }
+    }
+
+    /// A zero-copy view of `len_bits` bits stored at `byte_off` in a
+    /// shared arena. The window must hold the bits in canonical form
+    /// (trailing padding bits of the final byte zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window `byte_off..byte_off + ceil(len_bits / 8)`
+    /// falls outside the arena.
+    pub fn view(arena: Arc<[u8]>, byte_off: usize, len_bits: usize) -> Certificate {
+        let byte_len = len_bits.div_ceil(8);
+        assert!(
+            byte_off + byte_len <= arena.len(),
+            "certificate view out of arena bounds"
+        );
+        Certificate {
+            repr: Repr::View {
+                arena,
+                byte_off,
+                byte_len,
+            },
+            len_bits,
+        }
+    }
+
+    /// Whether this certificate borrows a shared arena rather than
+    /// owning its bytes.
+    pub fn is_view(&self) -> bool {
+        matches!(self.repr, Repr::View { .. })
+    }
+
+    /// For arena views, the `(byte_offset, byte_len)` window into the
+    /// shared buffer; `None` for owned certificates.
+    pub fn view_range(&self) -> Option<(usize, usize)> {
+        match self.repr {
+            Repr::Owned(_) => None,
+            Repr::View {
+                byte_off, byte_len, ..
+            } => Some((byte_off, byte_len)),
         }
     }
 
@@ -61,7 +154,7 @@ impl Certificate {
         if index >= self.len_bits {
             return None;
         }
-        let byte = self.bytes[index / 8];
+        let byte = self.as_bytes()[index / 8];
         Some((byte >> (7 - index % 8)) & 1 == 1)
     }
 
@@ -75,18 +168,30 @@ impl Certificate {
 
     /// A copy with the bit at `index` flipped (for mutation attacks and
     /// fault injection). Total: an out-of-range `index` returns an
-    /// unchanged copy.
+    /// unchanged copy. Copy-on-write: on an arena view this materializes
+    /// an owned certificate — the shared arena is never written.
     pub fn with_bit_flipped(&self, index: usize) -> Certificate {
-        let mut c = self.clone();
-        if index < self.len_bits {
-            c.bytes[index / 8] ^= 1 << (7 - index % 8);
+        if index >= self.len_bits {
+            return self.clone();
         }
-        c
+        let mut bytes = self.as_bytes().to_vec();
+        bytes[index / 8] ^= 1 << (7 - index % 8);
+        Certificate {
+            repr: Repr::Owned(bytes),
+            len_bits: self.len_bits,
+        }
     }
 
     /// The raw bytes (the final byte's trailing bits are zero).
     pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+        match &self.repr {
+            Repr::Owned(bytes) => bytes,
+            Repr::View {
+                arena,
+                byte_off,
+                byte_len,
+            } => &arena[*byte_off..byte_off + byte_len],
+        }
     }
 
     /// Builds a certificate from raw bytes and a bit length — the
@@ -106,13 +211,16 @@ impl Certificate {
                 }
             }
         }
-        Some(Certificate { bytes, len_bits })
+        Some(Certificate {
+            repr: Repr::Owned(bytes),
+            len_bits,
+        })
     }
 
     /// Serializes as `"<len_bits>:<hex bytes>"` (for files and CLIs).
     pub fn to_hex(&self) -> String {
         let mut s = format!("{}:", self.len_bits);
-        for b in &self.bytes {
+        for b in self.as_bytes() {
             s.push_str(&format!("{b:02x}"));
         }
         s
@@ -142,7 +250,10 @@ impl Certificate {
                 }
             }
         }
-        Some(Certificate { bytes, len_bits })
+        Some(Certificate {
+            repr: Repr::Owned(bytes),
+            len_bits,
+        })
     }
 }
 
@@ -192,15 +303,20 @@ impl BitWriter {
             width == 64 || value < (1u64 << width),
             "value {value} does not fit in {width} bits"
         );
-        for i in (0..width).rev() {
-            let bit = (value >> i) & 1 == 1;
-            if self.len_bits.is_multiple_of(8) {
+        // Byte-at-a-time instead of bit-at-a-time: each iteration packs
+        // up to 8 bits into the current partial byte.
+        let mut remaining = width as usize;
+        while remaining > 0 {
+            let bit_in_byte = self.len_bits % 8;
+            if bit_in_byte == 0 {
                 self.bytes.push(0);
             }
-            if bit {
-                *self.bytes.last_mut().expect("pushed") |= 1 << (7 - self.len_bits % 8);
-            }
-            self.len_bits += 1;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(remaining);
+            let chunk = (value >> (remaining - take)) & ((1u64 << take) - 1);
+            *self.bytes.last_mut().expect("pushed") |= (chunk as u8) << (avail - take);
+            self.len_bits += take;
+            remaining -= take;
         }
         self
     }
@@ -210,10 +326,23 @@ impl BitWriter {
         self.write(u64::from(bit), 1)
     }
 
-    /// Appends all bits of another certificate.
+    /// Appends all bits of another certificate. Byte-aligned writers
+    /// append with a single memcpy (certificates are canonical, so the
+    /// tail padding bits are already zero); unaligned writers fall back
+    /// to 56-bit chunks.
     pub fn write_cert(&mut self, other: &Certificate) -> &mut Self {
-        for i in 0..other.len_bits() {
-            self.write_bit(other.bit(i));
+        if self.len_bits.is_multiple_of(8) {
+            self.bytes.extend_from_slice(other.as_bytes());
+            self.len_bits += other.len_bits();
+        } else {
+            let mut r = BitReader::new(other);
+            let mut rem = other.len_bits();
+            while rem > 0 {
+                let take = rem.min(56) as u32;
+                let v = r.read(take).expect("reader stays in range");
+                self.write(v, take);
+                rem -= take as usize;
+            }
         }
         self
     }
@@ -237,7 +366,7 @@ impl BitWriter {
     /// Finalizes into a [`Certificate`].
     pub fn finish(self) -> Certificate {
         Certificate {
-            bytes: self.bytes,
+            repr: Repr::Owned(self.bytes),
             len_bits: self.len_bits,
         }
     }
@@ -269,14 +398,19 @@ impl BitWriter {
 /// panic).
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
-    cert: &'a Certificate,
+    bytes: &'a [u8],
+    len_bits: usize,
     pos: usize,
 }
 
 impl<'a> BitReader<'a> {
     /// A reader at bit position 0.
     pub fn new(cert: &'a Certificate) -> Self {
-        BitReader { cert, pos: 0 }
+        BitReader {
+            bytes: cert.as_bytes(),
+            len_bits: cert.len_bits(),
+            pos: 0,
+        }
     }
 
     /// Reads a `width`-bit field; `None` if fewer bits remain.
@@ -286,14 +420,26 @@ impl<'a> BitReader<'a> {
     /// Panics if `width > 64`.
     pub fn read(&mut self, width: u32) -> Option<u64> {
         assert!(width <= 64, "width exceeds 64");
-        if self.pos + width as usize > self.cert.len_bits() {
+        if self.pos + width as usize > self.len_bits {
             return None;
         }
+        // Byte-at-a-time: each iteration pulls the overlap of the field
+        // with one byte, so a 64-bit read costs at most 9 iterations
+        // instead of 64.
         let mut v = 0u64;
-        for _ in 0..width {
-            v = (v << 1) | u64::from(self.cert.bit(self.pos));
-            self.pos += 1;
+        let mut pos = self.pos;
+        let mut remaining = width as usize;
+        while remaining > 0 {
+            let byte = u64::from(self.bytes[pos / 8]);
+            let bit_in_byte = pos % 8;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u64 << take) - 1);
+            v = (v << take) | chunk;
+            pos += take;
+            remaining -= take;
         }
+        self.pos = pos;
         Some(v)
     }
 
@@ -304,7 +450,7 @@ impl<'a> BitReader<'a> {
 
     /// Remaining bits.
     pub fn remaining(&self) -> usize {
-        self.cert.len_bits() - self.pos
+        self.len_bits - self.pos
     }
 
     /// Whether the reader consumed the certificate exactly.

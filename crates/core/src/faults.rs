@@ -841,4 +841,54 @@ mod tests {
         swapped_bits.sort_unstable();
         assert_eq!(honest_bits, swapped_bits);
     }
+
+    #[test]
+    fn campaigns_against_arena_backed_assignments_are_cow() {
+        // Honest assignments are arena-backed (every certificate is a view
+        // into one shared buffer). Fault injection mutates certificates via
+        // copy-on-write: the faulty world must never write through the
+        // shared arena, so the honest assignment stays bit-identical across
+        // an entire campaign.
+        let (g, ids) = tree_instance(9);
+        let inst = Instance::new(&g, &ids);
+        let scheme = AcyclicityScheme::new(4);
+        let honest = scheme.assign(&inst).unwrap();
+        assert!(
+            (0..9).all(|v| honest.cert(NodeId(v)).is_view()),
+            "honest assignment should be arena-backed"
+        );
+        let before: Vec<String> = (0..9).map(|v| honest.cert(NodeId(v)).to_hex()).collect();
+
+        for model in FaultModel::ALL {
+            let stats = run_campaign(&scheme, &inst, &honest, model, 25, 0xC0);
+            // Sanity: campaigns ran without panicking on view-backed certs.
+            assert_eq!(stats.effective_runs + stats.noop_runs, 25);
+        }
+
+        let after: Vec<String> = (0..9).map(|v| honest.cert(NodeId(v)).to_hex()).collect();
+        assert_eq!(before, after, "fault campaign wrote through the arena");
+        assert!(run_verification(&scheme, &inst, &honest).accepted());
+    }
+
+    #[test]
+    fn bit_flip_on_view_matches_owned() {
+        // with_bit_flipped must behave identically whether the certificate
+        // owns its bytes or is a view into an assignment arena.
+        let (g, ids) = tree_instance(5);
+        let inst = Instance::new(&g, &ids);
+        let scheme = AcyclicityScheme::new(4);
+        let honest = scheme.assign(&inst).unwrap();
+        let view = honest.cert(NodeId(2));
+        assert!(view.is_view());
+        let owned = Certificate::from_bytes(view.as_bytes().to_vec(), view.len_bits()).unwrap();
+        assert!(!owned.is_view());
+        for i in 0..view.len_bits() {
+            let a = view.with_bit_flipped(i);
+            let b = owned.with_bit_flipped(i);
+            assert_eq!(a, b, "flip at bit {i} diverged between view and owned");
+            assert!(!a.is_view(), "COW result must own its bytes");
+        }
+        // The view itself is untouched.
+        assert_eq!(view.as_bytes(), owned.as_bytes());
+    }
 }

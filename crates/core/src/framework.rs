@@ -81,14 +81,47 @@ impl<'a> Instance<'a> {
 }
 
 /// A certificate assignment: one certificate per vertex.
+///
+/// [`Assignment::new`] packs the certificates into one contiguous byte
+/// arena and stores per-vertex [`Certificate`] *views* into it: cloning
+/// a certificate out of an assignment is a refcount bump, and the serve
+/// cache and wire encoders serialize each certificate with a single
+/// memcpy of its arena window. Mutation through [`Assignment::cert_mut`]
+/// replaces the vertex's slot (typically with an owned copy-on-write
+/// certificate); the arena itself is immutable for its whole life.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Assignment {
     certs: Vec<Certificate>,
 }
 
 impl Assignment {
-    /// Wraps per-vertex certificates (indexed by [`NodeId`]).
+    /// Wraps per-vertex certificates (indexed by [`NodeId`]), packing
+    /// their bytes into one shared arena.
     pub fn new(certs: Vec<Certificate>) -> Self {
+        let total: usize = certs.iter().map(|c| c.as_bytes().len()).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(certs.len());
+        for c in &certs {
+            offsets.push(arena.len());
+            arena.extend_from_slice(c.as_bytes());
+        }
+        let arena: std::sync::Arc<[u8]> = arena.into();
+        let certs = certs
+            .iter()
+            .zip(offsets)
+            .map(|(c, off)| Certificate::view(arena.clone(), off, c.len_bits()))
+            .collect();
+        Assignment { certs }
+    }
+
+    /// Wraps per-vertex certificates as-is, without arena packing.
+    ///
+    /// For enumeration hot loops (exhaustive and random attacks) that
+    /// build millions of short-lived assignments: `new`'s arena costs
+    /// two allocations per assignment, which dominates when each
+    /// assignment is verified once and dropped. Honest provers use
+    /// [`Assignment::new`] so long-lived assignments stay arena-backed.
+    pub fn from_unpacked(certs: Vec<Certificate>) -> Self {
         Assignment { certs }
     }
 

@@ -29,7 +29,7 @@ use crate::framework::{
     Verifier,
 };
 use crate::schemes::treedepth::{
-    honest_td_certs, model_for, verify_td_cert, ModelStrategy, TdCert,
+    check_own_td, check_td_edges, honest_td_certs, model_for, ModelStrategy, TdCert,
 };
 #[cfg(test)]
 use locert_graph::NodeId;
@@ -405,11 +405,23 @@ impl Prover for KernelMsoScheme {
 
 impl Verifier for KernelMsoScheme {
     fn decide(&self, view: &LocalView<'_>) -> Result<(), RejectReason> {
-        // 1. Treedepth layer.
-        let td = verify_td_cert(view, self.t, &|c| self.parse(c).map(|kc| kc.td))?;
+        // 1. Treedepth layer, on certificates parsed exactly once: the
+        //    embedded TdCert checks run against the same parses the
+        //    kernel-layer checks below reuse.
         let mine = self
             .parse(view.cert)
             .ok_or(RejectReason::MalformedCertificate)?;
+        check_own_td(view.id, &mine.td, self.t)?;
+        let mut nbrs = Vec::with_capacity(view.neighbors.len());
+        for &(_, _, cert) in &view.neighbors {
+            nbrs.push(
+                self.parse(cert)
+                    .ok_or(RejectReason::MalformedNeighborCertificate)?,
+            );
+        }
+        let td_refs: Vec<&TdCert> = nbrs.iter().map(|nc| &nc.td).collect();
+        check_td_edges(view.id, &mine.td, &td_refs)?;
+        let td = &mine.td;
         let m = td.depth();
         if mine.flags.len() != m + 1 || mine.types.len() != m + 1 {
             return Err(RejectReason::MalformedCertificate);
@@ -418,13 +430,8 @@ impl Verifier for KernelMsoScheme {
         if !mine.table.well_formed(self.k) {
             return Err(RejectReason::MalformedCertificate);
         }
-        // 3. Parse neighbors; identical tables; shared-ancestor types and
-        //    flags agree.
-        let mut nbrs = Vec::with_capacity(view.neighbors.len());
-        for &(_, _, cert) in &view.neighbors {
-            let nc = self
-                .parse(cert)
-                .ok_or(RejectReason::MalformedNeighborCertificate)?;
+        // 3. Identical tables; shared-ancestor types and flags agree.
+        for nc in &nbrs {
             if nc.table != mine.table {
                 return Err(RejectReason::CopyMismatch);
             }
@@ -436,7 +443,6 @@ impl Verifier for KernelMsoScheme {
             {
                 return Err(RejectReason::CopyMismatch);
             }
-            nbrs.push(nc);
         }
         // 4. Each carried type sits at the right depth.
         for (i, &ty) in mine.types.iter().enumerate() {
@@ -453,9 +459,13 @@ impl Verifier for KernelMsoScheme {
                 return Err(RejectReason::AdjacencyMismatch);
             }
         }
-        // 6. Children audit: collect (child id → (type, flag)) from
-        //    strict descendants among my neighbors.
-        let mut children: HashMap<u64, (u32, bool)> = HashMap::new();
+        // 6. Children audit: collect (child id, (type, flag)) from
+        //    strict descendants among my neighbors. A sorted vector
+        //    replaces the per-vertex HashMap: duplicates are adjacent
+        //    after the sort, and the declared children list is already
+        //    in canonical sorted order (`well_formed`), so the multiset
+        //    comparison is a linear slice walk.
+        let mut children: Vec<(u64, (u32, bool))> = Vec::new();
         for nc in &nbrs {
             let nm = nc.td.depth();
             if nm < m + 1 {
@@ -469,30 +479,44 @@ impl Verifier for KernelMsoScheme {
             }
             let child_idx = off - 1; // their ancestor at depth m + 1.
             let child_id = nc.td.ancestors[child_idx].value();
-            let report = (nc.types[child_idx], nc.flags[child_idx]);
-            if let Some(prev) = children.insert(child_id, report) {
-                if prev != report {
-                    return Err(RejectReason::CopyMismatch);
-                }
+            children.push((child_id, (nc.types[child_idx], nc.flags[child_idx])));
+        }
+        children.sort_unstable();
+        for w in children.windows(2) {
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                return Err(RejectReason::CopyMismatch);
             }
         }
-        // Multiset of kept-children types.
-        let mut kept_counts: HashMap<u32, usize> = HashMap::new();
+        children.dedup();
+        // Multiset of kept-children types, as sorted (type, count) runs.
+        let mut kept: Vec<u32> = Vec::with_capacity(children.len());
         let mut pruned_types: Vec<u32> = Vec::new();
-        for (ty, pruned) in children.values() {
-            if *pruned {
-                pruned_types.push(*ty);
+        for &(_, (ty, pruned)) in &children {
+            if pruned {
+                pruned_types.push(ty);
             } else {
-                *kept_counts.entry(*ty).or_insert(0) += 1;
+                kept.push(ty);
             }
         }
-        let declared: HashMap<u32, usize> = my_type.children.iter().copied().collect();
-        if kept_counts != declared {
+        kept.sort_unstable();
+        let mut kept_counts: Vec<(u32, usize)> = Vec::new();
+        for &ty in &kept {
+            match kept_counts.last_mut() {
+                Some((last, count)) if *last == ty => *count += 1,
+                _ => kept_counts.push((ty, 1)),
+            }
+        }
+        if kept_counts != my_type.children {
             return Err(RejectReason::CounterMismatch);
         }
         // Lemma 6.1: every pruned child type has exactly k kept siblings.
         for ty in pruned_types {
-            if declared.get(&ty).copied() != Some(self.k) {
+            let declared = my_type
+                .children
+                .binary_search_by_key(&ty, |&(c, _)| c)
+                .ok()
+                .map(|i| my_type.children[i].1);
+            if declared != Some(self.k) {
                 return Err(RejectReason::CounterMismatch);
             }
         }
@@ -578,9 +602,20 @@ impl KernelMsoGlobalScheme {
     }
 
     fn slice(cert: &Certificate, from: usize, to: usize) -> Certificate {
+        let mut r = BitReader::new(cert);
+        let mut skip = from;
+        while skip > 0 {
+            let take = skip.min(56) as u32;
+            r.read(take).expect("slice range inside certificate");
+            skip -= take as usize;
+        }
         let mut w = BitWriter::new();
-        for i in from..to {
-            w.write_bit(cert.bit(i));
+        let mut left = to - from;
+        while left > 0 {
+            let take = left.min(56) as u32;
+            let chunk = r.read(take).expect("slice range inside certificate");
+            w.write(chunk, take);
+            left -= take as usize;
         }
         w.finish()
     }

@@ -144,7 +144,12 @@ pub fn honest_td_certs(instance: &Instance<'_>, model: &EliminationTree) -> Vec<
         .collect();
     // For every non-root vertex v: a spanning tree of G_v rooted at the
     // exit vertex, recorded at each member of G_v at tree index
-    // depth(v) − 1.
+    // depth(v) − 1. Membership marks are epoch-stamped so the scratch
+    // arrays are allocated once, not per subtree.
+    let mut in_sub = vec![0u64; n];
+    let mut epoch = 0u64;
+    let mut dist = vec![u64::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
     for v in g.nodes() {
         let Some(parent) = tree.parent(v) else {
             continue;
@@ -156,16 +161,17 @@ pub fn honest_td_certs(instance: &Instance<'_>, model: &EliminationTree) -> Vec<
             .find(|&x| g.has_edge(x, parent))
             .expect("coherent model has an exit vertex per subtree");
         // BFS within G_v from the exit.
-        let mut in_sub = vec![false; n];
+        epoch += 1;
         for &x in &members {
-            in_sub[x.0] = true;
+            in_sub[x.0] = epoch;
+            dist[x.0] = u64::MAX;
         }
-        let mut dist = vec![u64::MAX; n];
         dist[exit.0] = 0;
-        let mut queue = std::collections::VecDeque::from([exit]);
+        queue.clear();
+        queue.push_back(exit);
         while let Some(x) = queue.pop_front() {
             for &y in g.neighbors(x) {
-                if in_sub[y.0] && dist[y.0] == u64::MAX {
+                if in_sub[y.0] == epoch && dist[y.0] == u64::MAX {
                     dist[y.0] = dist[x.0] + 1;
                     queue.push_back(y);
                 }
@@ -209,21 +215,46 @@ pub fn verify_td_cert(
     extract: &impl Fn(&Certificate) -> Option<TdCert>,
 ) -> Result<TdCert, RejectReason> {
     let mine = extract(view.cert).ok_or(RejectReason::MalformedCertificate)?;
-    let m = mine.depth();
-    if mine.ancestors.len() > t || mine.ancestors[0] != view.id {
-        return Err(RejectReason::AncestryViolation);
-    }
-    if mine.trees.len() != m {
-        return Err(RejectReason::MalformedCertificate);
-    }
+    check_own_td(view.id, &mine, t)?;
     // Parse neighbors once.
     let mut nbrs = Vec::with_capacity(view.neighbors.len());
     for &(_, _, cert) in &view.neighbors {
         nbrs.push(extract(cert).ok_or(RejectReason::MalformedNeighborCertificate)?);
     }
+    let refs: Vec<&TdCert> = nbrs.iter().collect();
+    check_td_edges(view.id, &mine, &refs)?;
+    Ok(mine)
+}
+
+/// The vertex-local part of [`verify_td_cert`] on an already-parsed
+/// certificate: ancestor-list length and head, tree-entry count.
+/// Composite schemes that embed a [`TdCert`] inside a larger certificate
+/// call this (and [`check_td_edges`]) directly to avoid re-parsing.
+///
+/// # Errors
+///
+/// As the corresponding checks of [`verify_td_cert`].
+pub fn check_own_td(id: Ident, mine: &TdCert, t: usize) -> Result<(), RejectReason> {
+    if mine.ancestors.len() > t || mine.ancestors[0] != id {
+        return Err(RejectReason::AncestryViolation);
+    }
+    if mine.trees.len() != mine.depth() {
+        return Err(RejectReason::MalformedCertificate);
+    }
+    Ok(())
+}
+
+/// The edge part of [`verify_td_cert`] on already-parsed certificates:
+/// cross-edge comparability and the per-ancestor spanning-tree chains.
+///
+/// # Errors
+///
+/// As the corresponding checks of [`verify_td_cert`].
+pub fn check_td_edges(id: Ident, mine: &TdCert, nbrs: &[&TdCert]) -> Result<(), RejectReason> {
+    let m = mine.depth();
     // Every edge joins comparable vertices: one list is a suffix of the
     // other.
-    for nc in &nbrs {
+    for nc in nbrs {
         let (short, long) = if nc.ancestors.len() <= mine.ancestors.len() {
             (&nc.ancestors, &mine.ancestors)
         } else {
@@ -240,7 +271,7 @@ pub fn verify_td_cert(
         if dist == 0 {
             // I am the exit vertex of α_j: adjacent to α_j's parent,
             // whose full list is my suffix of length j.
-            if view.id != exit {
+            if id != exit {
                 return Err(RejectReason::AncestryViolation);
             }
             let parent_list = &mine.ancestors[mine.ancestors.len() - j..];
@@ -260,7 +291,7 @@ pub fn verify_td_cert(
             }
         }
     }
-    Ok(mine)
+    Ok(())
 }
 
 /// Certifies "the graph has treedepth at most `t`" (vertex-count

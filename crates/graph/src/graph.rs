@@ -41,11 +41,16 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
-/// A simple, undirected, loopless graph.
+/// A simple, undirected, loopless graph in CSR (compressed sparse row)
+/// form.
 ///
-/// Vertices are `NodeId(0) .. NodeId(n-1)`. Adjacency lists are kept sorted
-/// and deduplicated, so iteration order is deterministic and
-/// [`Graph::has_edge`] is a binary search.
+/// Vertices are `NodeId(0) .. NodeId(n-1)`. Adjacency is stored as two
+/// flat arrays: `offsets` (length `n + 1`) and `neighbors` (length `2m`),
+/// with the neighbors of `v` at `neighbors[offsets[v]..offsets[v + 1]]`,
+/// sorted and deduplicated. Iteration order is deterministic and
+/// [`Graph::has_edge`] is a binary search; the flat layout keeps neighbor
+/// scans on one cache line run instead of chasing per-vertex heap
+/// allocations.
 ///
 /// # Example
 ///
@@ -60,7 +65,10 @@ impl Error for GraphError {}
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors`; length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2 * num_edges`.
+    neighbors: Vec<NodeId>,
     num_edges: usize,
 }
 
@@ -68,7 +76,8 @@ impl Graph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
             num_edges: 0,
         }
     }
@@ -95,7 +104,7 @@ impl Graph {
     /// Number of vertices.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
@@ -106,17 +115,17 @@ impl Graph {
 
     /// Iterator over all vertices in increasing index order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId)
+        (0..self.num_nodes()).map(NodeId)
     }
 
-    /// Sorted neighbors of `v`.
+    /// Sorted neighbors of `v`, as a slice of the shared CSR array.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.0]
+        &self.neighbors[self.offsets[v.0]..self.offsets[v.0 + 1]]
     }
 
     /// Degree of `v`.
@@ -126,20 +135,21 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.0].len()
+        self.offsets[v.0 + 1] - self.offsets[v.0]
     }
 
     /// Whether the edge `{u, v}` is present. `O(log deg)`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && self.adj[u.0].binary_search(&v).is_ok()
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Iterator over all edges `(u, v)` with `u < v`, in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| NodeId(u) < v)
-                .map(move |&v| (NodeId(u), v))
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
         })
     }
 
@@ -272,20 +282,20 @@ impl GraphBuilder {
         NodeId(self.adj.len() - 1)
     }
 
-    /// Finalizes the graph.
+    /// Finalizes the graph, flattening the per-vertex sets into CSR form.
     pub fn build(self) -> Graph {
-        let mut num_edges = 0;
-        let adj: Vec<Vec<NodeId>> = self
-            .adj
-            .into_iter()
-            .map(|s| {
-                num_edges += s.len();
-                s.into_iter().collect()
-            })
-            .collect();
+        let mut offsets = Vec::with_capacity(self.adj.len() + 1);
+        offsets.push(0);
+        let total: usize = self.adj.iter().map(BTreeSet::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for s in self.adj {
+            neighbors.extend(s);
+            offsets.push(neighbors.len());
+        }
         Graph {
-            adj,
-            num_edges: num_edges / 2,
+            offsets,
+            neighbors,
+            num_edges: total / 2,
         }
     }
 }

@@ -1,0 +1,153 @@
+//! CSR observational equivalence: the flat offsets/neighbors layout
+//! behind [`locert_graph::Graph`] must be indistinguishable from the
+//! adjacency-set model it replaced, for every generator family.
+//!
+//! The reference model is a per-vertex `BTreeSet` rebuilt from the
+//! graph's own edge list: if the CSR slices were unsorted, duplicated,
+//! asymmetric, or misaligned against `offsets`, the slices and the sets
+//! would disagree somewhere. On top of that, BFS orders, `digest()`,
+//! and `.graph` text round-trips must all be stable under a rebuild —
+//! those are the observations the certification stack actually makes.
+
+use locert_graph::digest::digest;
+use locert_graph::io::{parse_edge_list, to_edge_list};
+use locert_graph::{generators, traversal, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Every generator family at a size steered by `seed`.
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 + (seed as usize % 21);
+    let mut out = vec![
+        ("path", generators::path(n)),
+        ("cycle", generators::cycle(n.max(3))),
+        ("clique", generators::clique(n.min(8))),
+        ("star", generators::star(n)),
+        ("spider", generators::spider(1 + n % 4, 1 + n % 5)),
+        ("kary", generators::complete_kary_tree(2 + n % 2, 1 + n % 3)),
+        ("random_tree", generators::random_tree(n, &mut rng)),
+        (
+            "random_connected",
+            generators::random_connected(n, n / 2, &mut rng),
+        ),
+    ];
+    let (g, _) = generators::random_bounded_treedepth(n.max(4), 3, 0.4, &mut rng);
+    out.push(("bounded_td", g));
+    out
+}
+
+/// Reference adjacency sets, rebuilt from the edge list alone.
+fn reference_sets(g: &Graph) -> Vec<BTreeSet<usize>> {
+    let mut sets = vec![BTreeSet::new(); g.num_nodes()];
+    for (u, v) in g.edges() {
+        sets[u.0].insert(v.0);
+        sets[v.0].insert(u.0);
+    }
+    sets
+}
+
+/// BFS visit order over the reference sets (queue discipline, ascending
+/// neighbor order) — the order the adjacency-set graph produced.
+fn reference_bfs(sets: &[BTreeSet<usize>], source: usize) -> Vec<usize> {
+    let mut seen = vec![false; sets.len()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::from([source]);
+    seen[source] = true;
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in &sets[u] {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS visit order over the CSR slices.
+fn csr_bfs(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::from([source]);
+    seen[source.0] = true;
+    while let Some(u) = queue.pop_front() {
+        order.push(u.0);
+        for &v in g.neighbors(u) {
+            if !seen[v.0] {
+                seen[v.0] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_matches_adjacency_set_model(seed in 0u64..1 << 16) {
+        for (name, g) in families(seed) {
+            let sets = reference_sets(&g);
+
+            // Neighbor slices: sorted, duplicate-free, symmetric, and
+            // aligned with degrees and the edge count.
+            let mut degree_sum = 0;
+            for v in g.nodes() {
+                let slice = g.neighbors(v);
+                prop_assert!(
+                    slice.windows(2).all(|w| w[0] < w[1]),
+                    "{name}: neighbors of {v:?} not strictly sorted"
+                );
+                let as_set: BTreeSet<usize> = slice.iter().map(|u| u.0).collect();
+                prop_assert_eq!(
+                    &as_set, &sets[v.0],
+                    "{}: neighbor set of {:?} diverged", name, v
+                );
+                prop_assert_eq!(g.degree(v), slice.len(), "{}: degree of {:?}", name, v);
+                degree_sum += slice.len();
+                for &u in slice {
+                    prop_assert!(g.has_edge(v, u) && g.has_edge(u, v),
+                        "{name}: has_edge asymmetric on ({v:?}, {u:?})");
+                }
+            }
+            prop_assert_eq!(degree_sum, 2 * g.num_edges(), "{}: handshake", name);
+
+            // BFS observation: the CSR slices visit in exactly the order
+            // the sorted adjacency sets did.
+            prop_assert_eq!(
+                csr_bfs(&g, NodeId(0)),
+                reference_bfs(&sets, 0),
+                "{}: BFS order changed", name
+            );
+            prop_assert_eq!(
+                traversal::is_connected(&g),
+                reference_bfs(&sets, 0).len() == g.num_nodes(),
+                "{}: connectivity", name
+            );
+        }
+    }
+
+    #[test]
+    fn csr_rebuilds_and_io_round_trips_are_fixpoints(seed in 0u64..1 << 16) {
+        for (name, g) in families(seed) {
+            // Rebuilding through the set-based builder is the identity.
+            let mut b = GraphBuilder::new(g.num_nodes());
+            for (u, v) in g.edges() {
+                b.add_edge(u.0, v.0).unwrap();
+            }
+            let rebuilt = b.build();
+            prop_assert_eq!(&rebuilt, &g, "{}: builder round-trip", name);
+            prop_assert_eq!(digest(&rebuilt), digest(&g), "{}: digest drift", name);
+
+            // `.graph` text round-trip preserves the graph and its digest.
+            let parsed = parse_edge_list(&to_edge_list(&g)).unwrap();
+            prop_assert_eq!(&parsed, &g, "{}: io round-trip", name);
+            prop_assert_eq!(digest(&parsed), digest(&g), "{}: io digest drift", name);
+        }
+    }
+}

@@ -158,25 +158,41 @@ pub fn k_reduce(g: &Graph, model: &EliminationTree, k: usize) -> Reduction {
     // Postorder guarantees children are finalized before parents; pruning
     // at a parent of depth d happens only after all deeper pruning, which
     // is exactly the deepest-first discipline.
+    let mut tagged: Vec<(TypeId, NodeId)> = Vec::new();
     for v in tree.postorder() {
-        // Group the *kept* children by their end types.
-        let mut groups: BTreeMap<TypeId, Vec<NodeId>> = BTreeMap::new();
-        for &c in tree.children(v) {
-            if kept[c.0] {
-                groups.entry(end_type[c.0]).or_default().push(c);
-            }
-        }
+        // Group the *kept* children by their end types: a reused,
+        // stably-sorted slice instead of a per-vertex map of per-group
+        // vectors. The stable sort keeps same-type children in child
+        // order, so "the k lowest-indexed are kept" is unchanged, and
+        // runs come out in ascending TypeId order exactly like the old
+        // BTreeMap iteration.
+        tagged.clear();
+        tagged.extend(
+            tree.children(v)
+                .iter()
+                .filter(|c| kept[c.0])
+                .map(|&c| (end_type[c.0], c)),
+        );
+        tagged.sort_by_key(|&(ty, _)| ty);
         let mut child_multiset = BTreeMap::new();
-        for (ty, members) in &groups {
+        let mut i = 0;
+        while i < tagged.len() {
+            let ty = tagged[i].0;
+            let mut j = i;
+            while j < tagged.len() && tagged[j].0 == ty {
+                j += 1;
+            }
+            let members = &tagged[i..j];
             if members.len() > k {
-                for &drop in &members[k..] {
+                for &(_, drop) in &members[k..] {
                     pruned[drop.0] = true;
                     for u in tree.subtree(drop) {
                         kept[u.0] = false;
                     }
                 }
             }
-            child_multiset.insert(*ty, members.len().min(k));
+            child_multiset.insert(ty, members.len().min(k));
+            i = j;
         }
         let data = TypeData {
             ancestors: ancestor_vector(g, model, v),

@@ -616,34 +616,97 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// `UnexpectedEof` when the stream dies mid-frame; otherwise the
 /// underlying read error.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    // A clean EOF before any length byte is a closed connection, not an
-    // error; EOF mid-prefix is malformed.
-    let mut filled = 0;
-    while filled < 4 {
-        match r.read(&mut len_buf[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "eof inside frame length",
-                ))
+    FrameReader::new().read_frame(r)
+}
+
+/// Resumable frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] is correct on blocking streams, but on a socket with a
+/// read timeout a `WouldBlock`/`TimedOut` return discards any bytes of
+/// the length prefix or payload already consumed, desynchronizing the
+/// framing for slow writers. `FrameReader` persists the partial-read
+/// state across calls: a timeout mid-frame leaves the prefix and payload
+/// progress buffered, and the next [`FrameReader::read_frame`] resumes
+/// the same frame where it stopped. The server keeps one per connection
+/// so its drain-poll timeout can fire at any point in a frame without
+/// corrupting the stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    len_filled: usize,
+    /// Allocated once the prefix completes; holds the payload in flight.
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader with no frame in flight.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Whether a frame is partially read — a timeout now means a slow
+    /// writer mid-frame, not an idle connection.
+    pub fn mid_frame(&self) -> bool {
+        self.len_filled > 0 || self.payload.is_some()
+    }
+
+    /// Reads one frame, resuming a partially-read one if present.
+    /// Returns `Ok(None)` on clean EOF before a length prefix.
+    ///
+    /// # Errors
+    ///
+    /// As [`read_frame`]; additionally, on `WouldBlock`/`TimedOut` the
+    /// partial state is retained and a subsequent call continues the
+    /// same frame.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Vec<u8>>> {
+        // A clean EOF before any length byte is a closed connection, not
+        // an error; EOF mid-prefix is malformed.
+        while self.payload.is_none() {
+            match r.read(&mut self.len_buf[self.len_filled..]) {
+                Ok(0) if self.len_filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame length",
+                    ))
+                }
+                Ok(k) => {
+                    self.len_filled += k;
+                    if self.len_filled == 4 {
+                        let len = u32::from_le_bytes(self.len_buf) as usize;
+                        if len > MAX_FRAME {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                ErrorCode::FrameTooLarge.code(),
+                            ));
+                        }
+                        self.payload = Some(vec![0u8; len]);
+                        self.payload_filled = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             }
-            Ok(k) => filled += k,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
         }
+        let payload = self.payload.as_mut().expect("payload in flight");
+        while self.payload_filled < payload.len() {
+            match r.read(&mut payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame payload",
+                    ))
+                }
+                Ok(k) => self.payload_filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.len_filled = 0;
+        self.payload_filled = 0;
+        Ok(self.payload.take())
     }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            ErrorCode::FrameTooLarge.code(),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
 }
 
 #[cfg(test)]

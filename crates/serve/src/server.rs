@@ -215,8 +215,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn: u64) -> io::
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut req_seq = 0u64;
+    // Resumable across timeout polls: the drain-poll timeout can fire
+    // mid-frame on a slow writer, and the partially-read prefix/payload
+    // must survive to the next iteration instead of desynchronizing the
+    // stream.
+    let mut frames = proto::FrameReader::new();
     loop {
-        let payload = match proto::read_frame(&mut reader) {
+        let payload = match frames.read_frame(&mut reader) {
             Ok(Some(payload)) => payload,
             Ok(None) => return Ok(()), // clean EOF
             Err(e)

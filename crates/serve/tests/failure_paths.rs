@@ -205,3 +205,71 @@ fn encode_requests_and_server_agree_on_the_frame_layout() {
         other => panic!("expected responses, got {other:?}"),
     }
 }
+
+/// Wire bytes for a one-request batch: 4-byte length prefix + payload.
+fn request_wire(request: &Request) -> Vec<u8> {
+    let payload = encode_requests(std::slice::from_ref(request));
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&payload);
+    wire
+}
+
+/// Sends `wire` in two writes split at `split`, stalling past the
+/// server's 200ms drain-poll read timeout in between, and expects a
+/// well-framed `Ok` response (not a reset or desynchronized stream).
+fn slow_write_roundtrip(split: usize) {
+    let mut server = Server::start(&ServeConfig::default()).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    let request = Request {
+        mode: Mode::Prove,
+        scheme: "acyclicity".to_string(),
+        n: 4,
+        edges: vec![(0, 1), (1, 2), (2, 3)],
+        inputs: None,
+        certs: None,
+    };
+    let wire = request_wire(&request);
+    assert!(split < wire.len());
+    w.write_all(&wire[..split]).unwrap();
+    w.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    w.write_all(&wire[split..]).unwrap();
+    w.flush().unwrap();
+    let mut r = std::io::BufReader::new(stream);
+    let reply = proto::read_frame(&mut r).unwrap();
+    match reply {
+        None => panic!("server closed the connection on a slow mid-frame write"),
+        Some(bytes) => match proto::decode(&bytes) {
+            Ok(Message::Responses(rs)) => {
+                assert!(matches!(rs[0], Response::Ok { .. }), "got {rs:?}");
+            }
+            other => panic!("expected a response batch, got {other:?}"),
+        },
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_mid_frame_write_keeps_framing() {
+    // Stall halfway through the payload: the prefix and a payload
+    // prefix are buffered when the drain-poll timeout fires.
+    let request = Request {
+        mode: Mode::Prove,
+        scheme: "acyclicity".to_string(),
+        n: 4,
+        edges: vec![(0, 1), (1, 2), (2, 3)],
+        inputs: None,
+        certs: None,
+    };
+    let wire = request_wire(&request);
+    slow_write_roundtrip(wire.len() / 2);
+}
+
+#[test]
+fn slow_write_inside_length_prefix_keeps_framing() {
+    // Stall after two bytes of the 4-byte length prefix itself.
+    slow_write_roundtrip(2);
+}

@@ -65,6 +65,7 @@ pub fn separator_elimination_tree(g: &Graph) -> EliminationTree {
     );
     let n = g.num_nodes();
     let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut scratch = Scratch::new(n);
     // Work queue of (vertex set, parent) pieces. Vertex sets as Vec<NodeId>.
     let all: Vec<NodeId> = g.nodes().collect();
     let mut queue = vec![(all, None::<usize>)];
@@ -76,26 +77,101 @@ pub fn separator_elimination_tree(g: &Graph) -> EliminationTree {
             parent[piece[0].0] = above;
             continue;
         }
-        let root = best_separator(g, &piece);
+        let root = best_separator(g, &piece, &mut scratch);
         parent[root.0] = above;
-        for comp in components_within(g, &piece, root) {
+        for comp in components_within(g, &piece, root, &mut scratch) {
             queue.push((comp, Some(root.0)));
         }
     }
     EliminationTree::new(g, &parent).expect("separator recursion is a model")
 }
 
+/// Reusable DFS marks for the separator recursion. Membership and visit
+/// marks are epoch-stamped (`marks[v] == epoch` means "set"), so clearing
+/// between the O(n) candidate evaluations is one counter increment
+/// instead of an O(n) allocation or memset.
+struct Scratch {
+    in_piece: Vec<u64>,
+    piece_epoch: u64,
+    seen: Vec<u64>,
+    seen_epoch: u64,
+    stack: Vec<NodeId>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            in_piece: vec![0; n],
+            piece_epoch: 0,
+            seen: vec![0; n],
+            seen_epoch: 0,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Stamps `piece` as the current vertex set.
+    fn mark_piece(&mut self, piece: &[NodeId]) {
+        self.piece_epoch += 1;
+        for &v in piece {
+            self.in_piece[v.0] = self.piece_epoch;
+        }
+    }
+
+    /// The size of the largest component of `piece \ {removed}`, capped:
+    /// returns early with a value `>= cap` as soon as any component
+    /// reaches `cap` vertices, since the caller only asks whether the
+    /// score beats a strictly smaller incumbent. Requires `mark_piece`
+    /// to have stamped `piece`.
+    fn max_component_capped(
+        &mut self,
+        g: &Graph,
+        piece: &[NodeId],
+        removed: NodeId,
+        cap: usize,
+    ) -> usize {
+        self.seen_epoch += 1;
+        let epoch = self.seen_epoch;
+        let mut max = 0usize;
+        for &s in piece {
+            if s == removed || self.seen[s.0] == epoch {
+                continue;
+            }
+            let mut size = 0usize;
+            self.seen[s.0] = epoch;
+            self.stack.push(s);
+            while let Some(u) = self.stack.pop() {
+                size += 1;
+                if size >= cap {
+                    self.stack.clear();
+                    return size;
+                }
+                for &v in g.neighbors(u) {
+                    if v != removed
+                        && self.in_piece[v.0] == self.piece_epoch
+                        && self.seen[v.0] != epoch
+                    {
+                        self.seen[v.0] = epoch;
+                        self.stack.push(v);
+                    }
+                }
+            }
+            max = max.max(size);
+        }
+        max
+    }
+}
+
 /// The vertex of `piece` whose removal minimizes the largest remaining
-/// component within `piece`.
-fn best_separator(g: &Graph, piece: &[NodeId]) -> NodeId {
+/// component within `piece` (ties broken by first position in `piece`,
+/// as before: candidates are scanned in order under strict `<`, and the
+/// capped scan only short-circuits candidates that provably cannot beat
+/// the incumbent).
+fn best_separator(g: &Graph, piece: &[NodeId], scratch: &mut Scratch) -> NodeId {
+    scratch.mark_piece(piece);
     let mut best = piece[0];
     let mut best_score = usize::MAX;
     for &v in piece {
-        let score = components_within(g, piece, v)
-            .iter()
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let score = scratch.max_component_capped(g, piece, v, best_score);
         if score < best_score {
             best_score = score;
             best = v;
@@ -105,27 +181,32 @@ fn best_separator(g: &Graph, piece: &[NodeId]) -> NodeId {
 }
 
 /// Connected components of `piece \ {removed}` inside the induced subgraph.
-fn components_within(g: &Graph, piece: &[NodeId], removed: NodeId) -> Vec<Vec<NodeId>> {
-    let mut in_piece = vec![false; g.num_nodes()];
-    for &v in piece {
-        in_piece[v.0] = true;
-    }
-    in_piece[removed.0] = false;
-    let mut seen = vec![false; g.num_nodes()];
+fn components_within(
+    g: &Graph,
+    piece: &[NodeId],
+    removed: NodeId,
+    scratch: &mut Scratch,
+) -> Vec<Vec<NodeId>> {
+    scratch.mark_piece(piece);
+    scratch.seen_epoch += 1;
+    let epoch = scratch.seen_epoch;
     let mut comps = Vec::new();
     for &s in piece {
-        if s == removed || seen[s.0] || !in_piece[s.0] {
+        if s == removed || scratch.seen[s.0] == epoch {
             continue;
         }
         let mut comp = Vec::new();
-        let mut stack = vec![s];
-        seen[s.0] = true;
-        while let Some(u) = stack.pop() {
+        scratch.seen[s.0] = epoch;
+        scratch.stack.push(s);
+        while let Some(u) = scratch.stack.pop() {
             comp.push(u);
             for &v in g.neighbors(u) {
-                if in_piece[v.0] && !seen[v.0] {
-                    seen[v.0] = true;
-                    stack.push(v);
+                if v != removed
+                    && scratch.in_piece[v.0] == scratch.piece_epoch
+                    && scratch.seen[v.0] != epoch
+                {
+                    scratch.seen[v.0] = epoch;
+                    scratch.stack.push(v);
                 }
             }
         }
